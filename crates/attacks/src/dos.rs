@@ -1,0 +1,184 @@
+//! Denial-of-service detection (Table 1, third row).
+
+use rnr_hypervisor::VmSpec;
+use rnr_isa::{Assembler, Reg};
+use rnr_workloads::{Workload, WorkloadParams};
+
+/// Verdict of the DOS watchdog over one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DosVerdict {
+    /// Scheduling activity looks healthy.
+    Healthy,
+    /// Context-switch frequency collapsed: raise an alarm; "the replay
+    /// analyzes the code that has dominated the system's execution time".
+    Alarm {
+        /// Switches observed in the stalled window.
+        observed: u64,
+        /// The minimum expected.
+        expected: u64,
+    },
+}
+
+/// Table 1's DOS first-line detector: "a counter that increments every time
+/// the kernel performs a context switch. If the counter has not increased
+/// much for a while, an alarm is raised."
+///
+/// Feed it context-switch timestamps (virtual cycles) via
+/// [`DosDetector::on_switch`] and poll it with [`DosDetector::check`].
+#[derive(Debug, Clone)]
+pub struct DosDetector {
+    window: u64,
+    min_switches: u64,
+    window_start: u64,
+    switches_in_window: u64,
+}
+
+impl DosDetector {
+    /// A watchdog expecting at least `min_switches` context switches per
+    /// `window` cycles.
+    pub fn new(window: u64, min_switches: u64) -> DosDetector {
+        DosDetector { window, min_switches, window_start: 0, switches_in_window: 0 }
+    }
+
+    /// Records a context switch at `cycle`.
+    pub fn on_switch(&mut self, cycle: u64) {
+        self.roll(cycle);
+        self.switches_in_window += 1;
+    }
+
+    /// Checks the watchdog at `cycle`.
+    pub fn check(&mut self, cycle: u64) -> DosVerdict {
+        if cycle < self.window_start + self.window {
+            return DosVerdict::Healthy;
+        }
+        let observed = self.switches_in_window;
+        self.roll(cycle);
+        if observed < self.min_switches {
+            DosVerdict::Alarm { observed, expected: self.min_switches }
+        } else {
+            DosVerdict::Healthy
+        }
+    }
+
+    fn roll(&mut self, cycle: u64) {
+        while cycle >= self.window_start + self.window {
+            self.window_start += self.window;
+            self.switches_in_window = 0;
+        }
+    }
+
+    /// Runs the watchdog over a full trace of switch timestamps, returning
+    /// the cycle of the first alarm, if any.
+    pub fn first_alarm(mut self, switches: &[u64], until_cycle: u64) -> Option<u64> {
+        let mut i = 0;
+        let mut t = self.window;
+        while t <= until_cycle {
+            while i < switches.len() && switches[i] < t {
+                self.on_switch(switches[i]);
+                i += 1;
+            }
+            if let DosVerdict::Alarm { .. } = self.check(t) {
+                return Some(t);
+            }
+            t += self.window;
+        }
+        None
+    }
+}
+
+/// The healthy baseline for the DOS experiment: two compute threads, so
+/// round-robin context switches tick steadily.
+pub fn dos_control(params: &WorkloadParams) -> VmSpec {
+    let mut spec = Workload::Radiosity.spec_with(false, params);
+    let entry = spec.extra_images[0].require_symbol("radiosity_main");
+    spec.boot.user_thread(entry);
+    spec.name = "radiosity-x2".to_string();
+    spec
+}
+
+/// Builds the DOS attack scenario: the two-thread baseline plus a malicious
+/// **kernel thread** that disables interrupts and spins, starving the
+/// scheduler — the paper's kernel-scheduler-inactivity trigger (cf. the
+/// CVE-2015-5364 style interrupt-storm DoS it cites).
+///
+/// The spin starts only after a warm-up loop, so the detector observes a
+/// healthy phase first.
+pub fn dos_scenario(params: &WorkloadParams, warmup_iterations: u32) -> VmSpec {
+    let mut spec = dos_control(params);
+    // A separate image at a free address hosts the malicious thread.
+    let base = rnr_guest::layout::USER_BASE + 0x4_0000;
+    let mut a = Assembler::new(base);
+    a.label("dos_main");
+    a.movi(Reg::R10, warmup_iterations as i32);
+    a.label("dos_warm");
+    a.movi(Reg::R1, 50);
+    a.call("dos_u_compute");
+    a.addi(Reg::R10, Reg::R10, -1);
+    a.movi(Reg::R5, 0);
+    a.bne(Reg::R10, Reg::R5, "dos_warm");
+    // The attack: kernel-mode cli + spin. Timer interrupts stop being
+    // delivered; context switches cease.
+    a.cli();
+    a.label("dos_spin");
+    a.jmp("dos_spin");
+    // A local compute kernel (kernel threads cannot share the user image's
+    // runtime labels across images).
+    a.label("dos_u_compute");
+    a.movi(Reg::R5, 0x9e37);
+    a.movi(Reg::R6, 0);
+    a.label("dos_cl");
+    a.bgeu(Reg::R6, Reg::R1, "dos_cd");
+    a.muli(Reg::R5, Reg::R5, 0x01000193);
+    a.addi(Reg::R6, Reg::R6, 1);
+    a.jmp("dos_cl");
+    a.label("dos_cd");
+    a.ret();
+    let image = a.assemble().expect("dos image assembles");
+    let entry = image.require_symbol("dos_main");
+    spec.extra_images.push(image);
+    spec.boot.kernel_thread(entry);
+    spec.name = "radiosity+dos".to_string();
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_schedule_never_alarms() {
+        let switches: Vec<u64> = (1..200).map(|i| i * 1000).collect();
+        let det = DosDetector::new(10_000, 5);
+        assert_eq!(det.first_alarm(&switches, 200_000), None);
+    }
+
+    #[test]
+    fn stalled_schedule_alarms_after_the_stall() {
+        // Healthy for 100k cycles, then silence.
+        let switches: Vec<u64> = (1..100).map(|i| i * 1000).collect();
+        let det = DosDetector::new(10_000, 5);
+        let alarm = det.first_alarm(&switches, 300_000).expect("must alarm");
+        assert!(alarm > 100_000, "alarm at {alarm}");
+        assert!(alarm <= 120_000, "alarm too late: {alarm}");
+    }
+
+    #[test]
+    fn windows_roll_independently() {
+        let mut det = DosDetector::new(1000, 2);
+        det.on_switch(100);
+        det.on_switch(200);
+        assert_eq!(det.check(1000), DosVerdict::Healthy);
+        // Next window: only one switch.
+        det.on_switch(1500);
+        assert_eq!(det.check(2000), DosVerdict::Alarm { observed: 1, expected: 2 });
+    }
+
+    #[test]
+    fn scenario_adds_kernel_thread() {
+        let spec = dos_scenario(&WorkloadParams::default(), 10);
+        // Two compute threads (the healthy baseline) plus the spin thread.
+        assert_eq!(spec.boot.entries().len(), 3);
+        assert_eq!(spec.name, "radiosity+dos");
+        assert_eq!(dos_control(&WorkloadParams::default()).boot.entries().len(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Jump-oriented-programming detection (Table 1, second row).
+
+use rnr_isa::{Addr, Image};
+
+/// Outcome of checking one indirect branch/call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JopCheck {
+    /// Target is the first instruction of a tracked function.
+    FunctionEntry,
+    /// Target lies within the same function as the branch.
+    IntraFunction,
+    /// Target is not explainable with the tracked set — raise an alarm; the
+    /// replayer re-checks against the full (less common) function list.
+    Alarm,
+}
+
+/// Table 1's first-line JOP detector: "a table of begin and end addresses
+/// of the most common functions. An indirect branch or call target is
+/// compared to the table and is legal if the target is the first
+/// instruction of a function. Indirect branch targets within the current
+/// function are also fine."
+///
+/// The hardware tracks only the `common` hottest functions (a small table);
+/// the replay-side instance tracks everything, resolving the false
+/// positives — the RnR-Safe division of labour.
+#[derive(Debug, Clone)]
+pub struct JopDetector {
+    /// Sorted (start, end) ranges of tracked functions.
+    functions: Vec<(Addr, Addr)>,
+}
+
+impl JopDetector {
+    /// Builds a detector from explicit function ranges.
+    pub fn from_ranges(mut ranges: Vec<(Addr, Addr)>) -> JopDetector {
+        ranges.sort_unstable();
+        JopDetector { functions: ranges }
+    }
+
+    /// Derives function ranges from an image's symbols (each symbol starts
+    /// a function that extends to the next symbol), keeping only the first
+    /// `limit` functions — the hardware's "most common functions" table.
+    /// `usize::MAX` gives the replayer's full table.
+    pub fn from_image(image: &Image, limit: usize) -> JopDetector {
+        let mut addrs: Vec<Addr> = image.symbols().map(|(_, a)| a).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let mut ranges = Vec::new();
+        for (i, &start) in addrs.iter().enumerate() {
+            let end = addrs.get(i + 1).copied().unwrap_or(image.end());
+            ranges.push((start, end));
+        }
+        ranges.truncate(limit);
+        JopDetector { functions: ranges }
+    }
+
+    /// Number of tracked functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when no functions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    fn containing(&self, addr: Addr) -> Option<(Addr, Addr)> {
+        self.functions.iter().copied().find(|&(s, e)| s <= addr && addr < e)
+    }
+
+    /// Checks an indirect branch at `branch_pc` targeting `target`.
+    pub fn check(&self, branch_pc: Addr, target: Addr) -> JopCheck {
+        if self.functions.iter().any(|&(s, _)| s == target) {
+            return JopCheck::FunctionEntry;
+        }
+        if let Some(range) = self.containing(branch_pc) {
+            if range.0 <= target && target < range.1 {
+                return JopCheck::IntraFunction;
+            }
+        }
+        JopCheck::Alarm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_guest::KernelBuilder;
+
+    fn detector() -> JopDetector {
+        JopDetector::from_ranges(vec![(0x100, 0x200), (0x200, 0x300)])
+    }
+
+    #[test]
+    fn function_entry_is_legal() {
+        assert_eq!(detector().check(0x110, 0x200), JopCheck::FunctionEntry);
+    }
+
+    #[test]
+    fn intra_function_is_legal() {
+        assert_eq!(detector().check(0x110, 0x180), JopCheck::IntraFunction);
+    }
+
+    #[test]
+    fn cross_function_mid_body_alarms() {
+        // The classic JOP dispatcher jump: into the middle of another
+        // function.
+        assert_eq!(detector().check(0x110, 0x250), JopCheck::Alarm);
+    }
+
+    #[test]
+    fn unknown_source_mid_target_alarms() {
+        assert_eq!(detector().check(0x900, 0x180), JopCheck::Alarm);
+    }
+
+    #[test]
+    fn hardware_table_vs_replay_table() {
+        let kernel = KernelBuilder::new().build();
+        let hw = JopDetector::from_image(kernel.image(), 8);
+        let replay = JopDetector::from_image(kernel.image(), usize::MAX);
+        assert!(hw.len() < replay.len());
+        // A legitimate call to a *less common* function: the hardware
+        // alarms (imprecise), the replayer resolves it as a function entry
+        // — the RnR-Safe pattern.
+        let uncommon_entry = replay.functions[replay.len() - 2].0;
+        assert_eq!(hw.check(replay.functions[0].0, uncommon_entry), JopCheck::Alarm);
+        assert_eq!(replay.check(replay.functions[0].0, uncommon_entry), JopCheck::FunctionEntry);
+        // A true JOP-style target (mid-function) alarms on both.
+        let mid = uncommon_entry + 8;
+        assert_eq!(replay.check(0x1000, mid), JopCheck::Alarm);
+    }
+}

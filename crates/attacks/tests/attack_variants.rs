@@ -1,0 +1,80 @@
+//! Soundness across attack variants: no matter when the exploit packet
+//! lands or which escalation target it uses, the hijacked return always
+//! alarms and the alarm replayer always convicts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rnr_attacks::{mount_kernel_rop, RopChainBuilder};
+use rnr_hypervisor::{PacketInjection, RecordConfig, RecordMode, Recorder};
+use rnr_replay::{AlarmReplayer, ReplayConfig, Replayer, VIRTUAL_HZ};
+use rnr_workloads::{Workload, WorkloadParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Vary the attack's arrival time and the recording seed: detection and
+    /// conviction are invariant.
+    #[test]
+    fn attack_timing_does_not_evade_detection(
+        attack_cycle in 600_000u64..2_000_000,
+        seed in 0u64..100,
+    ) {
+        let (spec, plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), attack_cycle).unwrap();
+        let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, seed, 1_200_000))
+            .unwrap()
+            .run();
+        prop_assert!(rec.fault.is_none());
+        // The exploit packet may still be in flight at the budget's end;
+        // otherwise the hijack must have alarmed.
+        if rec.priv_flag == 0x1337 {
+            prop_assert!(rec.alarms > 0, "escalation without an alarm = false negative");
+            let log = Arc::new(rec.log.clone());
+            let cfg = ReplayConfig {
+                checkpoint_interval: Some(VIRTUAL_HZ / 8),
+                ..ReplayConfig::default()
+            };
+            let out = Replayer::new(&spec, Arc::clone(&log), cfg.clone()).run().unwrap();
+            prop_assert!(!out.alarm_cases.is_empty());
+            let ar = AlarmReplayer::new(&spec, log).with_config(cfg);
+            let convicted = out
+                .alarm_cases
+                .iter()
+                .map(|c| ar.resolve(c).unwrap().0)
+                .filter(|v| v.is_attack())
+                .count();
+            prop_assert!(convicted >= 1, "attack escaped conviction");
+            // The first conviction names the right entry point.
+            let (first, _) = ar.resolve(&out.alarm_cases[0]).unwrap();
+            if let rnr_replay::Verdict::RopAttack(report) = first {
+                prop_assert_eq!(report.actual_target, plan.g1);
+            }
+        }
+    }
+}
+
+/// A chain with a different getaway target and extra junk still convicts
+/// (the detector keys on the hijacked return, not the payload's shape).
+#[test]
+fn payload_shape_variants_are_convicted() {
+    for junk_seed in [1u64, 7, 99] {
+        let mut spec = Workload::vulnerable_server(&WorkloadParams::attack_demo());
+        let resume = spec.extra_images[0].require_symbol("ap_loop");
+        let mut plan = RopChainBuilder::new(&spec.kernel).build(resume).unwrap();
+        // Re-skin the junk words; keep them non-zero.
+        for (i, word) in plan.payload.chunks_mut(8).take(16).enumerate() {
+            let v = 0x4b4b_4b4b_0000_0001u64 | (junk_seed << 16) | (i as u64) << 8;
+            word.copy_from_slice(&v.to_le_bytes());
+        }
+        spec.net.injections.push(PacketInjection { at_cycle: 1_200_000, payload: plan.payload.clone() });
+        let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, 900_000)).unwrap().run();
+        assert!(rec.alarms > 0, "junk_seed {junk_seed}");
+        let log = Arc::new(rec.log.clone());
+        let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 8), ..ReplayConfig::default() };
+        let out = Replayer::new(&spec, Arc::clone(&log), cfg.clone()).run().unwrap();
+        let ar = AlarmReplayer::new(&spec, log).with_config(cfg);
+        let convicted =
+            out.alarm_cases.iter().map(|c| ar.resolve(c).unwrap().0).filter(|v| v.is_attack()).count();
+        assert!(convicted >= 1, "junk_seed {junk_seed}: attack escaped");
+    }
+}

@@ -1,0 +1,76 @@
+//! Table 1 row 2 end to end: hardware JOP alarms during recording,
+//! replay-side resolution against the full function table.
+
+use std::sync::Arc;
+
+use rnr_attacks::mount_jop;
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_replay::{resolve_jop, JopVerdict, ReplayConfig, Replayer};
+
+const ATTACK_CYCLE: u64 = 900_000;
+const RUN_INSNS: u64 = 700_000;
+
+fn record(spec: &rnr_hypervisor::VmSpec, hw_limit: usize) -> rnr_hypervisor::RecordOutcome {
+    let mut rc = RecordConfig::new(RecordMode::Rec, 42, RUN_INSNS);
+    rc.jop_common_functions = Some(hw_limit);
+    let out = Recorder::new(spec, rc).unwrap().run();
+    assert!(out.fault.is_none(), "{:?}", out.fault);
+    out
+}
+
+#[test]
+fn jop_attack_is_detected_and_convicted() {
+    let (spec, plan) = mount_jop(ATTACK_CYCLE);
+    let rec = record(&spec, plan.hw_table_limit);
+    // The CR lifts JOP cases from the log while verifying the replay.
+    let log = Arc::new(rec.log.clone());
+    let mut cr = Replayer::new(&spec, log, ReplayConfig::default());
+    cr.verify_against(rec.final_digest);
+    let out = cr.run().unwrap();
+    assert_eq!(out.verified, Some(true), "JOP trapping must not perturb determinism");
+    assert!(!out.jop_cases.is_empty(), "JOP alarms expected");
+
+    let mut attacks = 0;
+    let mut false_positives = 0;
+    for case in &out.jop_cases {
+        match resolve_jop(&spec, case) {
+            JopVerdict::JopAttack => {
+                attacks += 1;
+                assert_eq!(case.target, plan.jop_target, "conviction names the landing pad");
+            }
+            JopVerdict::FalsePositive => {
+                false_positives += 1;
+                // Every cleared alarm was a legitimate dispatch to the
+                // uncommon handler.
+                assert_eq!(case.target, plan.handler_uncommon, "{case:?}");
+            }
+        }
+    }
+    assert!(attacks >= 1, "the mid-function dispatch must be convicted");
+    assert!(false_positives >= 1, "uncommon-handler dispatches must occur and be cleared");
+}
+
+#[test]
+fn benign_jop_server_raises_only_resolvable_alarms() {
+    let (mut spec, plan) = mount_jop(ATTACK_CYCLE);
+    spec.net.injections.clear(); // no attack packet
+    let rec = record(&spec, plan.hw_table_limit);
+    let log = Arc::new(rec.log.clone());
+    let out = Replayer::new(&spec, log, ReplayConfig::default()).run().unwrap();
+    for case in &out.jop_cases {
+        assert_eq!(resolve_jop(&spec, case), JopVerdict::FalsePositive, "{case:?}");
+    }
+}
+
+#[test]
+fn full_hardware_table_raises_no_benign_alarms() {
+    let (mut spec, _plan) = mount_jop(ATTACK_CYCLE);
+    spec.net.injections.clear();
+    let mut rc = RecordConfig::new(RecordMode::Rec, 42, RUN_INSNS);
+    rc.jop_common_functions = Some(usize::MAX); // perfect (expensive) hardware
+    let rec = Recorder::new(&spec, rc).unwrap().run();
+    assert!(rec.fault.is_none());
+    let log = Arc::new(rec.log.clone());
+    let out = Replayer::new(&spec, log, ReplayConfig::default()).run().unwrap();
+    assert!(out.jop_cases.is_empty(), "{:?}", out.jop_cases);
+}

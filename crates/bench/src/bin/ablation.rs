@@ -1,0 +1,64 @@
+//! Ablations behind the §4 design choices:
+//!
+//! 1. Detector precision: the §4.2 *basic* RAS ("suffers from many false
+//!    alarms") vs whitelist-only vs the full extension set.
+//! 2. RAS capacity: how the paper's 48-entry choice trades eviction traffic
+//!    against underflow alarms.
+
+use rnr_bench::{emit, run_insns, Table, SEED};
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_workloads::Workload;
+
+fn main() {
+    // --- Ablation 1: which extension kills which false alarms ------------
+    let mut t = Table::new(&[
+        "workload",
+        "basic RAS alarms/1M (§4.2)",
+        "+whitelist (§4.4)",
+        "+BackRAS too (§4.3)",
+    ]);
+    for w in Workload::ALL {
+        let spec = w.spec(false);
+        let mut rc = RecordConfig::new(RecordMode::Rec, SEED, run_insns());
+        rc.functional_ras_analysis = true;
+        let out = Recorder::new(&spec, rc).unwrap().run();
+        let fig8 = out.fig8.expect("functional analysis on");
+        // The lockstep twins expose the counterfactuals: every suppressed
+        // alarm would have fired on a lesser design.
+        let basic = fig8.whitelist_suppressed + fig8.backras_suppressed + fig8.passed();
+        let whitelist_only = fig8.backras_suppressed + fig8.passed();
+        let full = fig8.passed();
+        t.row(vec![
+            w.label().to_string(),
+            format!("{:.1}", fig8.per_million(basic)),
+            format!("{:.1}", fig8.per_million(whitelist_only)),
+            format!("{:.2}", fig8.per_million(full)),
+        ]);
+    }
+    emit("Ablation 1: false alarms per 1M instructions by RAS design point", &t);
+    println!("§4.2: \"this basic design does not miss an attack, but suffers from many false alarms\" —");
+    println!("each extension removes its class; the remainder goes to the replayers.\n");
+
+    // --- Ablation 2: RAS capacity ---------------------------------------
+    let mut t = Table::new(&["capacity", "evictions", "alarms (apache)", "alarms (make)"]);
+    for capacity in [8usize, 16, 32, 48, 64, 96] {
+        let run = |w: Workload| {
+            let spec = w.spec(false);
+            let mut rc = RecordConfig::new(RecordMode::Rec, SEED, run_insns() / 3);
+            rc.ras_capacity = capacity;
+            Recorder::new(&spec, rc).unwrap().run()
+        };
+        let apache = run(Workload::Apache);
+        let make = run(Workload::Make);
+        t.row(vec![
+            format!("{capacity}"),
+            format!("{}", apache.ras_counters.evictions + make.ras_counters.evictions),
+            format!("{}", apache.alarms),
+            format!("{}", make.alarms),
+        ]);
+    }
+    emit("Ablation 2: RAS capacity vs eviction/alarm traffic", &t);
+    println!("The paper simulates 48 entries (§7.5; POWER7/8 ship 32/64): deep call");
+    println!("chains stop underflowing well before that, so alarms plateau near zero");
+    println!("while smaller stacks flood the CR with evict/underflow pairs.");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: input log generation rate (a) and BackRAS save/restore
+//! bandwidth (b).
+
+use rnr_bench::{emit, mb_per_sec, record, workloads, Table};
+use rnr_hypervisor::RecordMode;
+
+fn main() {
+    let mut t = Table::new(&["workload", "log rate (MB/s)", "network share %", "BackRAS bw (MB/s)"]);
+    for w in workloads() {
+        let out = record(w, RecordMode::Rec);
+        let rate = mb_per_sec(out.log.total_bytes(), out.cycles);
+        let net = out.log.bytes_for(rnr_log::Category::Network);
+        let share = if out.log.total_bytes() == 0 { 0.0 } else { net as f64 * 100.0 / out.log.total_bytes() as f64 };
+        let backras = mb_per_sec(out.ras_counters.backras_bytes(), out.cycles);
+        t.row(vec![
+            w.label().to_string(),
+            format!("{rate:.3}"),
+            format!("{share:.1}"),
+            format!("{backras:.3}"),
+        ]);
+    }
+    emit("Figure 6: input log rate (a) and BackRAS bandwidth (b)", &t);
+    println!("paper: apache has the highest log rate (≈4 MB/s, network payloads); BackRAS bandwidth is small (<1 MB/s).");
+}

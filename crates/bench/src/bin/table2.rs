@@ -1,0 +1,12 @@
+//! Table 2: system configuration for the performance evaluation (paper vs
+//! simulator).
+
+use rnr_bench::{emit, Table};
+
+fn main() {
+    let mut t = Table::new(&["setting", "paper", "this reproduction"]);
+    for row in rnr_safe::table2::rows() {
+        t.row(vec![row.name.to_string(), row.paper.to_string(), row.repro]);
+    }
+    emit("Table 2: system configuration", &t);
+}

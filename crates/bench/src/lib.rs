@@ -1,0 +1,200 @@
+//! # rnr-bench: the evaluation harness
+//!
+//! One binary per table/figure of the paper's evaluation (§7–§8); each
+//! regenerates the corresponding rows/series on the simulator. See
+//! DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — ROP/JOP/DOS detector examples |
+//! | `table2` | Table 2 — system configuration |
+//! | `table3` | Table 3 — benchmarks and parameters |
+//! | `fig5` | Figure 5 — recording overhead + breakdown |
+//! | `fig6` | Figure 6 — log rate and BackRAS bandwidth |
+//! | `fig7` | Figure 7 — checkpointing replay overhead + breakdown |
+//! | `fig8` | Figure 8 — kernel false alarms (suppressed vs passed) |
+//! | `fig9` | Figure 9 — alarm replay slowdown |
+//! | `fig10` | Figure 10 / §6 — the mounted kernel ROP attack |
+//! | `sec84` | §8.4 — detection window, log size, checkpoints |
+//! | `all` | Everything above, writing `experiments.md` |
+//!
+//! Scale the run length with `RNR_BENCH_INSNS` (default 1,500,000 guest
+//! instructions per run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rnr_hypervisor::{RecordConfig, RecordMode, RecordOutcome, Recorder};
+use rnr_log::Category;
+use rnr_machine::CallRetTrap;
+use rnr_replay::{ReplayConfig, ReplayOutcome, Replayer, VIRTUAL_HZ};
+use rnr_workloads::Workload;
+
+/// Default guest instructions per measured run.
+pub const DEFAULT_INSNS: u64 = 1_500_000;
+
+/// The shared seed for all harness runs (results are deterministic).
+pub const SEED: u64 = 42;
+
+/// Run length, overridable via `RNR_BENCH_INSNS`.
+pub fn run_insns() -> u64 {
+    std::env::var("RNR_BENCH_INSNS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_INSNS)
+}
+
+/// Records `workload` in `mode` for the harness run length.
+///
+/// # Panics
+///
+/// Panics on recording failures (harness runs are expected to succeed).
+pub fn record(workload: Workload, mode: RecordMode) -> RecordOutcome {
+    record_insns(workload, mode, run_insns())
+}
+
+/// Records with an explicit instruction budget.
+///
+/// # Panics
+///
+/// Panics on recording failures.
+pub fn record_insns(workload: Workload, mode: RecordMode, insns: u64) -> RecordOutcome {
+    let spec = workload.spec(mode.is_pv());
+    let out = Recorder::new(&spec, RecordConfig::new(mode, SEED, insns)).expect("mode matches kernel").run();
+    assert!(out.fault.is_none(), "{}: guest fault {:?}", workload.label(), out.fault);
+    out
+}
+
+/// Replays a recording with the given checkpoint interval (cycles) and
+/// call/return trapping.
+///
+/// # Panics
+///
+/// Panics on replay divergence (the determinism guarantee).
+pub fn replay(
+    workload: Workload,
+    rec: &RecordOutcome,
+    interval: Option<u64>,
+    callret: CallRetTrap,
+) -> ReplayOutcome {
+    let spec = workload.spec(false);
+    let cfg = ReplayConfig {
+        checkpoint_interval: interval,
+        callret,
+        collect_cases: interval.is_some(),
+        ..ReplayConfig::default()
+    };
+    let mut r = Replayer::new(&spec, Arc::new(rec.log.clone()), cfg);
+    r.verify_against(rec.final_digest);
+    let out = r.run().unwrap_or_else(|e| panic!("{}: replay failed: {e}", workload.label()));
+    assert_eq!(out.verified, Some(true), "{}: digest mismatch", workload.label());
+    out
+}
+
+/// Converts virtual cycles to virtual seconds.
+pub fn secs(cycles: u64) -> f64 {
+    cycles as f64 / VIRTUAL_HZ as f64
+}
+
+/// Converts a byte count over a cycle span to MB/s of virtual time.
+pub fn mb_per_sec(bytes: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / (1024.0 * 1024.0)) / secs(cycles)
+}
+
+/// The per-class overhead categories of Figures 5(b)/7(b), in print order.
+pub const BREAKDOWN: [Category; 5] =
+    [Category::Rdtsc, Category::PioMmio, Category::Interrupt, Category::Network, Category::Ras];
+
+/// A minimal fixed-width table printer (the figures are tables of numbers).
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {c:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a section banner plus the table.
+pub fn emit(title: &str, table: &Table) {
+    println!("\n## {title}\n");
+    println!("{}", table.to_markdown());
+}
+
+/// All workloads in figure order.
+pub fn workloads() -> [Workload; 5] {
+    Workload::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| a"));
+        assert!(md.contains("| 1"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((secs(VIRTUAL_HZ) - 1.0).abs() < 1e-9);
+        assert!((mb_per_sec(1024 * 1024, VIRTUAL_HZ) - 1.0).abs() < 1e-9);
+        assert_eq!(mb_per_sec(100, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_arity_checked() {
+        Table::new(&["a"]).row(vec![]);
+    }
+}

@@ -1,0 +1,420 @@
+//! The full RnR-Safe pipeline: record → checkpointing replay → alarm replay.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
+use rnr_log::Category;
+use rnr_machine::CostModel;
+use rnr_ras::RasConfig;
+use rnr_replay::{AlarmReplayer, ReplayConfig, ReplayError, Replayer, Verdict, VIRTUAL_HZ};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Seed for all host non-determinism.
+    pub seed: u64,
+    /// Guest instructions to record.
+    pub duration_insns: u64,
+    /// RAS capacity.
+    pub ras_capacity: usize,
+    /// Checkpoint interval in virtual seconds (the paper's `RepChkN`
+    /// naming: 1.0 = RepChk1). `None` replays without periodic checkpoints.
+    pub checkpoint_interval_secs: Option<f64>,
+    /// Checkpoints retained (window + 2, §8.4).
+    pub retain: usize,
+    /// Cycle cost model shared by recorder and replayers.
+    pub costs: CostModel,
+    /// Stall the recorded VM at the first alarm (§3's risk-tolerance knob)
+    /// instead of letting it continue while the replayers investigate.
+    pub stall_on_alarm: bool,
+    /// Resolve escalated alarms on parallel alarm replayers ("our design
+    /// allows running multiple ARs concurrently", §6).
+    pub parallel_alarm_replay: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            seed: 42,
+            duration_insns: 1_000_000,
+            ras_capacity: RasConfig::DEFAULT_CAPACITY,
+            checkpoint_interval_secs: Some(1.0),
+            retain: 8,
+            costs: CostModel::default(),
+            stall_on_alarm: false,
+            parallel_alarm_replay: true,
+        }
+    }
+}
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The recorder rejected the spec/mode combination.
+    Record(RecordError),
+    /// The guest faulted during recording.
+    GuestFault(rnr_machine::FaultKind),
+    /// Replay failed or diverged.
+    Replay(ReplayError),
+    /// The replayed state did not match the recording.
+    VerificationFailed,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Record(e) => write!(f, "recording setup failed: {e}"),
+            PipelineError::GuestFault(k) => write!(f, "guest fault while recording: {k:?}"),
+            PipelineError::Replay(e) => write!(f, "replay failed: {e}"),
+            PipelineError::VerificationFailed => write!(f, "replayed state diverged from the recording"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<RecordError> for PipelineError {
+    fn from(e: RecordError) -> PipelineError {
+        PipelineError::Record(e)
+    }
+}
+
+impl From<ReplayError> for PipelineError {
+    fn from(e: ReplayError) -> PipelineError {
+        PipelineError::Replay(e)
+    }
+}
+
+/// Summary of the recording phase.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RecordSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Virtual cycles of the monitored recording.
+    pub cycles: u64,
+    /// Guest instructions retired.
+    pub retired: u64,
+    /// ROP alarms inserted into the log.
+    pub alarms: usize,
+    /// Input log size in bytes (uncompressed, exact).
+    pub log_bytes: u64,
+    /// Log bytes that are network payloads (Figure 6(a) dominant class).
+    pub network_log_bytes: u64,
+    /// BackRAS save/restore traffic in bytes (Figure 6(b)).
+    pub backras_bytes: u64,
+    /// Guest kernel context switches.
+    pub context_switches: u64,
+    /// True when the stall-on-alarm policy stopped the recorded VM.
+    pub stalled: bool,
+    /// Final guest privilege flag (non-zero = escalation happened).
+    pub priv_flag: u64,
+}
+
+/// Summary of the checkpointing-replay phase.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ReplaySummary {
+    /// Virtual cycles of the replay.
+    pub cycles: u64,
+    /// True when the final state digest matched the recording.
+    pub verified: bool,
+    /// Checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Maximum checkpoints retained at once.
+    pub checkpoints_live_max: usize,
+    /// Alarms seen in the log.
+    pub alarms_seen: u64,
+    /// Underflow alarms cancelled by evict matching (§4.6.2).
+    pub underflows_cancelled: u64,
+    /// Alarms escalated to alarm replayers.
+    pub alarms_escalated: usize,
+}
+
+/// A serializable verdict summary.
+#[derive(Debug, Clone, serde::Serialize)]
+pub enum VerdictSummary {
+    /// Benign, with the false-positive class.
+    FalsePositive {
+        /// `matched-evict`, `imperfect-nesting`, or `hardware-capacity`.
+        class: String,
+    },
+    /// A confirmed ROP attack.
+    RopAttack {
+        /// Symbol of the vulnerable procedure.
+        vulnerable: Option<String>,
+        /// First gadget address.
+        first_gadget: u64,
+        /// Number of payload words decoded from the stack.
+        chain_len: usize,
+        /// Thread that executed the hijacked return.
+        tid: u64,
+    },
+}
+
+/// One resolved alarm.
+#[derive(Debug)]
+pub struct AlarmResolution {
+    /// The recorded alarm.
+    pub at_insn: u64,
+    /// Cycle at which the recording logged it.
+    pub at_cycle: u64,
+    /// The serializable summary.
+    pub summary: VerdictSummary,
+    /// The full verdict (reports, gadget chains).
+    pub verdict: Verdict,
+    /// Alarm-replay cycles spent resolving it.
+    pub ar_cycles: u64,
+}
+
+/// The §8.4 detection-window analysis for the first confirmed attack.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DetectionWindow {
+    /// Virtual cycle when the recording logged the alarm.
+    pub alarm_at_cycle: u64,
+    /// Estimated window between the alarm and the AR's confirmation, in
+    /// virtual cycles: the CR's lag at the alarm plus the AR's resolution
+    /// time (recording and replay run concurrently on separate machines).
+    pub window_cycles: u64,
+    /// Same, in virtual seconds.
+    pub window_secs: f64,
+    /// Log bytes generated during the window (at the recording's log rate).
+    pub log_bytes_in_window: u64,
+    /// Checkpoints that must be retained to cover the window (+2, §8.4).
+    pub checkpoints_needed: u64,
+}
+
+/// The full pipeline report.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Recording summary.
+    pub record: RecordSummary,
+    /// Checkpointing-replay summary.
+    pub replay: ReplaySummary,
+    /// Per-alarm resolutions, in log order.
+    pub resolutions: Vec<AlarmResolution>,
+    /// Detection window of the first confirmed attack, if any.
+    pub detection: Option<DetectionWindow>,
+}
+
+impl PipelineReport {
+    /// Number of alarms confirmed as real attacks.
+    pub fn attacks_confirmed(&self) -> usize {
+        self.resolutions.iter().filter(|r| r.verdict.is_attack()).count()
+    }
+
+    /// Number of alarms resolved as false positives by the alarm replayer.
+    pub fn false_positives_resolved(&self) -> usize {
+        self.resolutions.len() - self.attacks_confirmed()
+    }
+
+    /// A machine-readable JSON summary (reports, EXPERIMENTS.md generation).
+    pub fn to_json(&self) -> String {
+        #[derive(serde::Serialize)]
+        struct Doc<'a> {
+            record: &'a RecordSummary,
+            replay: &'a ReplaySummary,
+            verdicts: Vec<&'a VerdictSummary>,
+            detection: &'a Option<DetectionWindow>,
+        }
+        serde_json::to_string_pretty(&Doc {
+            record: &self.record,
+            replay: &self.replay,
+            verdicts: self.resolutions.iter().map(|r| &r.summary).collect(),
+            detection: &self.detection,
+        })
+        .expect("report serializes")
+    }
+}
+
+/// The end-to-end RnR-Safe pipeline over one workload.
+#[derive(Debug)]
+pub struct Pipeline {
+    spec: VmSpec,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline over `spec`.
+    pub fn new(spec: VmSpec, config: PipelineConfig) -> Pipeline {
+        Pipeline { spec, config }
+    }
+
+    /// Records, replays with verification, and resolves every alarm.
+    ///
+    /// # Errors
+    ///
+    /// Fails on recording setup errors, guest faults, replay divergence, or
+    /// failed final-state verification.
+    pub fn run(&self) -> Result<PipelineReport, PipelineError> {
+        let cfg = &self.config;
+        // Phase 1: monitored recording.
+        let mut rc = RecordConfig::new(RecordMode::Rec, cfg.seed, cfg.duration_insns);
+        rc.ras_capacity = cfg.ras_capacity;
+        rc.costs = cfg.costs;
+        rc.stall_on_alarm = cfg.stall_on_alarm;
+        let rec = Recorder::new(&self.spec, rc)?.run();
+        if let Some(fault) = rec.fault {
+            return Err(PipelineError::GuestFault(fault));
+        }
+        // Phase 2: checkpointing replay.
+        let log = Arc::new(rec.log.clone());
+        let replay_cfg = ReplayConfig {
+            checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
+            retain: cfg.retain,
+            ras_capacity: cfg.ras_capacity,
+            costs: cfg.costs,
+            ..ReplayConfig::default()
+        };
+        let mut cr = Replayer::new(&self.spec, Arc::clone(&log), replay_cfg.clone());
+        cr.verify_against(rec.final_digest);
+        let cr_out = cr.run()?;
+        if cr_out.verified != Some(true) {
+            return Err(PipelineError::VerificationFailed);
+        }
+        // Phase 3: alarm replay for every escalated case — concurrently
+        // when configured ("multiple ARs… in parallel", §6). Resolution
+        // order (and therefore the report) stays deterministic.
+        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&log)).with_config(replay_cfg);
+        let resolve_one = |case: &rnr_replay::AlarmCase| -> Result<AlarmResolution, ReplayError> {
+            let (verdict, ar_out) = ar.resolve(case)?;
+            Ok(AlarmResolution {
+                at_insn: case.alarm.at_insn,
+                at_cycle: case.alarm.at_cycle,
+                summary: summarize(&verdict),
+                verdict,
+                ar_cycles: ar_out.cycles,
+            })
+        };
+        let resolutions: Vec<AlarmResolution> = if cfg.parallel_alarm_replay && cr_out.alarm_cases.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    cr_out.alarm_cases.iter().map(|case| scope.spawn(|| resolve_one(case))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("alarm replayer thread panicked"))
+                    .collect::<Result<Vec<_>, _>>()
+            })?
+        } else {
+            cr_out.alarm_cases.iter().map(resolve_one).collect::<Result<Vec<_>, _>>()?
+        };
+        let detection = detection_window(cfg, &rec, cr_out.cycles, &resolutions);
+        Ok(PipelineReport {
+            record: RecordSummary {
+                workload: self.spec.name.clone(),
+                cycles: rec.cycles,
+                retired: rec.retired,
+                alarms: rec.alarms,
+                log_bytes: rec.log.total_bytes(),
+                network_log_bytes: rec.log.bytes_for(Category::Network),
+                backras_bytes: rec.ras_counters.backras_bytes(),
+                context_switches: rec.context_switches,
+                stalled: rec.stalled,
+                priv_flag: rec.priv_flag,
+            },
+            replay: ReplaySummary {
+                cycles: cr_out.cycles,
+                verified: true,
+                checkpoints_taken: cr_out.checkpoints_taken,
+                checkpoints_live_max: cr_out.checkpoints_live_max,
+                alarms_seen: cr_out.alarms_seen,
+                underflows_cancelled: cr_out.underflows_cancelled,
+                alarms_escalated: cr_out.alarm_cases.len(),
+            },
+            resolutions,
+            detection,
+        })
+    }
+}
+
+fn summarize(verdict: &Verdict) -> VerdictSummary {
+    match verdict {
+        Verdict::FalsePositive(kind) => VerdictSummary::FalsePositive {
+            class: match kind {
+                rnr_replay::FalsePositiveKind::MatchedEvict => "matched-evict".to_string(),
+                rnr_replay::FalsePositiveKind::ImperfectNesting { .. } => "imperfect-nesting".to_string(),
+                rnr_replay::FalsePositiveKind::HardwareCapacity => "hardware-capacity".to_string(),
+            },
+        },
+        Verdict::RopAttack(report) => VerdictSummary::RopAttack {
+            vulnerable: report.vulnerable_symbol.clone(),
+            first_gadget: report.actual_target,
+            chain_len: report.gadget_chain.len(),
+            tid: report.tid.0,
+        },
+    }
+}
+
+fn detection_window(
+    cfg: &PipelineConfig,
+    rec: &RecordOutcome,
+    cr_cycles: u64,
+    resolutions: &[AlarmResolution],
+) -> Option<DetectionWindow> {
+    let first_attack = resolutions.iter().find(|r| r.verdict.is_attack())?;
+    // The CR runs concurrently with recording; its lag at the alarm point
+    // scales with its relative slowdown.
+    let ratio = cr_cycles as f64 / rec.cycles.max(1) as f64;
+    let cr_lag = (first_attack.at_cycle as f64 * (ratio - 1.0)).max(0.0) as u64;
+    let window_cycles = cr_lag + first_attack.ar_cycles;
+    let log_rate = rec.log.total_bytes() as f64 / rec.cycles.max(1) as f64;
+    let interval = cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64).unwrap_or(VIRTUAL_HZ);
+    Some(DetectionWindow {
+        alarm_at_cycle: first_attack.at_cycle,
+        window_cycles,
+        window_secs: window_cycles as f64 / VIRTUAL_HZ as f64,
+        log_bytes_in_window: (log_rate * window_cycles as f64) as u64,
+        checkpoints_needed: window_cycles.div_ceil(interval.max(1)) + 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_attacks::mount_kernel_rop;
+    use rnr_workloads::{Workload, WorkloadParams};
+
+    #[test]
+    fn benign_pipeline_verifies_and_clears_alarms() {
+        let spec = Workload::Mysql.spec(false);
+        let cfg = PipelineConfig { duration_insns: 250_000, ..PipelineConfig::default() };
+        let report = Pipeline::new(spec, cfg).run().unwrap();
+        assert!(report.replay.verified);
+        assert_eq!(report.attacks_confirmed(), 0);
+        assert_eq!(report.record.priv_flag, 0);
+        assert!(report.detection.is_none());
+        // The JSON report round-trips through serde.
+        let json = report.to_json();
+        assert!(json.contains("\"workload\""));
+    }
+
+    #[test]
+    fn attack_pipeline_confirms_rop_and_measures_window() {
+        let (spec, plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
+        let cfg = PipelineConfig {
+            duration_insns: 900_000,
+            checkpoint_interval_secs: Some(0.125),
+            ..PipelineConfig::default()
+        };
+        let report = Pipeline::new(spec, cfg).run().unwrap();
+        assert!(report.attacks_confirmed() >= 1, "{:?}", report.replay);
+        let attack = report.resolutions.iter().find(|r| r.verdict.is_attack()).unwrap();
+        match &attack.summary {
+            VerdictSummary::RopAttack { vulnerable, first_gadget, .. } => {
+                assert_eq!(vulnerable.as_deref(), Some("proc_msg"));
+                assert_eq!(*first_gadget, plan.g1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let window = report.detection.expect("attack implies a detection window");
+        assert!(window.window_cycles > 0);
+        assert!(window.checkpoints_needed >= 2);
+        // The recorded run escalated privilege (continue policy)...
+        assert_eq!(report.record.priv_flag, 0x1337);
+    }
+
+    #[test]
+    fn pipeline_error_display() {
+        let e = PipelineError::VerificationFailed;
+        assert!(e.to_string().contains("diverged"));
+    }
+}

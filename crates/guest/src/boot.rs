@@ -1,0 +1,147 @@
+//! The boot table: initial threads and workload parameters.
+
+use std::collections::BTreeMap;
+
+use rnr_isa::{Addr, Image};
+
+use crate::layout;
+
+/// Kind of a guest thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ThreadKind {
+    /// Runs in user mode (entered via `ret_from_fork` + `sysret`).
+    User,
+    /// Runs in kernel mode (entered via `ret_from_kthread`).
+    Kernel,
+}
+
+impl ThreadKind {
+    fn to_word(self) -> u64 {
+        match self {
+            ThreadKind::User => 0,
+            ThreadKind::Kernel => 1,
+        }
+    }
+}
+
+/// One initial thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BootEntry {
+    /// Entry point of the thread.
+    pub entry: Addr,
+    /// Privilege kind.
+    pub kind: ThreadKind,
+}
+
+/// The boot table the kernel walks at startup, plus the workload parameter
+/// block user programs read from [`layout::PARAMS_BASE`].
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct BootTable {
+    entries: Vec<BootEntry>,
+    params: Vec<u64>,
+}
+
+impl BootTable {
+    /// An empty table.
+    pub fn new() -> BootTable {
+        BootTable::default()
+    }
+
+    /// Adds an initial user thread at `entry`.
+    pub fn user_thread(&mut self, entry: Addr) -> &mut BootTable {
+        self.entries.push(BootEntry { entry, kind: ThreadKind::User });
+        self
+    }
+
+    /// Adds an initial kernel thread at `entry`.
+    pub fn kernel_thread(&mut self, entry: Addr) -> &mut BootTable {
+        self.entries.push(BootEntry { entry, kind: ThreadKind::Kernel });
+        self
+    }
+
+    /// Sets workload parameter `index` (readable by guest programs at
+    /// `PARAMS_BASE + 8 * index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn set_param(&mut self, index: usize, value: u64) -> &mut BootTable {
+        assert!(index < 16, "parameter block holds 16 values");
+        if self.params.len() <= index {
+            self.params.resize(index + 1, 0);
+        }
+        self.params[index] = value;
+        self
+    }
+
+    /// The configured entries.
+    pub fn entries(&self) -> &[BootEntry] {
+        &self.entries
+    }
+
+    /// Serializes the table (and parameter block) into a guest image at
+    /// [`layout::BOOT_TABLE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads are configured than the kernel supports.
+    pub fn to_image(&self) -> Image {
+        assert!(
+            self.entries.len() < layout::MAX_THREADS,
+            "at most {} boot threads (slot 0 is the idle thread)",
+            layout::MAX_THREADS - 1
+        );
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            bytes.extend_from_slice(&e.entry.to_le_bytes());
+            bytes.extend_from_slice(&e.kind.to_word().to_le_bytes());
+        }
+        // Pad to the parameter block, then append it.
+        let pad = (layout::PARAMS_BASE - layout::BOOT_TABLE) as usize - bytes.len();
+        bytes.resize(bytes.len() + pad, 0);
+        for p in &self.params {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        Image::from_parts(layout::BOOT_TABLE, bytes, BTreeMap::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_layout_matches_kernel_expectations() {
+        let mut bt = BootTable::new();
+        bt.user_thread(0x20_0000).kernel_thread(0x20_1000).set_param(2, 77);
+        let img = bt.to_image();
+        assert_eq!(img.base(), layout::BOOT_TABLE);
+        let w = |addr: Addr| {
+            let off = (addr - img.base()) as usize;
+            u64::from_le_bytes(img.bytes()[off..off + 8].try_into().unwrap())
+        };
+        assert_eq!(w(layout::BOOT_TABLE), 2); // count
+        assert_eq!(w(layout::BOOT_TABLE + 8), 0x20_0000);
+        assert_eq!(w(layout::BOOT_TABLE + 16), 0); // user
+        assert_eq!(w(layout::BOOT_TABLE + 24), 0x20_1000);
+        assert_eq!(w(layout::BOOT_TABLE + 32), 1); // kernel
+        assert_eq!(w(layout::PARAMS_BASE + 16), 77);
+    }
+
+    #[test]
+    #[should_panic(expected = "boot threads")]
+    fn too_many_threads_rejected() {
+        let mut bt = BootTable::new();
+        for _ in 0..layout::MAX_THREADS {
+            bt.user_thread(0x20_0000);
+        }
+        bt.to_image();
+    }
+
+    #[test]
+    #[should_panic(expected = "16 values")]
+    fn param_index_bounds() {
+        BootTable::new().set_param(16, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Guest memory layout and kernel ABI constants.
+
+use rnr_isa::Addr;
+
+/// Load address of the kernel image.
+pub const KERNEL_BASE: Addr = 0x1000;
+
+/// Boot table: `[count, (entry, kind) * count]`, written by the workload
+/// builder, read by the kernel at boot.
+pub const BOOT_TABLE: Addr = 0x800;
+
+/// Workload parameter block: up to 16 `u64`s readable by user programs.
+pub const PARAMS_BASE: Addr = 0xA00;
+
+/// The NIC's single-slot receive mailbox: the device DMAs one frame here
+/// (located above the kernel image, below the thread stacks).
+pub const NIC_RX_BUF: Addr = 0xF_0000;
+
+/// Maximum frame size the NIC mailbox holds.
+pub const NIC_MTU: usize = 2048;
+
+/// Base of the per-thread kernel stacks.
+pub const STACKS_BASE: Addr = 0x10_0000;
+
+/// Size of one thread stack slot.
+pub const STACK_SIZE: u64 = 16 * 1024;
+
+/// Maximum number of threads (stack slots / task structs).
+pub const MAX_THREADS: usize = 16;
+
+/// Load address of user workload images.
+pub const USER_BASE: Addr = 0x20_0000;
+
+/// Scratch heap available to user programs.
+pub const USER_HEAP: Addr = 0x30_0000;
+
+/// Per-thread completed-operation counters (`OPS_BASE + tid * 8`): the
+/// work measure used to compare execution time across recording modes.
+pub const OPS_BASE: Addr = 0x3F_0000;
+
+/// Size of the task_struct array stride in bytes.
+pub const TCB_STRIDE: u64 = 64;
+
+/// `task_struct` field offsets (the introspection contract of §5.2.1: the
+/// hypervisor reads these fields directly from guest memory).
+pub mod tcb {
+    /// Thread state: 0 free, 1 runnable, 2 blocked.
+    pub const STATE: i32 = 0;
+    /// Thread ID (reused when a slot is reallocated).
+    pub const TID: i32 = 8;
+    /// Saved stack pointer while switched out.
+    pub const SP: i32 = 16;
+    /// Initial entry point.
+    pub const ENTRY: i32 = 24;
+    /// Thread kind: 0 user, 1 kernel.
+    pub const KIND: i32 = 32;
+    /// Wait reason while blocked: see [`super::wait`].
+    pub const WAIT: i32 = 40;
+}
+
+/// Wait reasons stored in `tcb::WAIT`.
+pub mod wait {
+    /// Not waiting.
+    pub const NONE: u64 = 0;
+    /// Waiting for a disk completion.
+    pub const DISK: u64 = 1;
+    /// Waiting for network data.
+    pub const NET: u64 = 2;
+}
+
+/// Thread states stored in `tcb::STATE`.
+pub mod state {
+    /// Slot unused.
+    pub const FREE: u64 = 0;
+    /// Ready to run (or running).
+    pub const RUNNABLE: u64 = 1;
+    /// Waiting for disk or network.
+    pub const BLOCKED: u64 = 2;
+}
+
+/// System call numbers.
+pub mod sys {
+    /// Terminate the current thread.
+    pub const EXIT: u32 = 0;
+    /// Yield the CPU.
+    pub const YIELD: u32 = 1;
+    /// Read sectors from disk: `r1` = sector, `r2` = buffer, `r3` = count.
+    pub const READ: u32 = 2;
+    /// Write sectors to disk: same arguments as `READ`.
+    pub const WRITE: u32 = 3;
+    /// Receive a network frame into `r1`; returns its length.
+    pub const NETRECV: u32 = 4;
+    /// Transmit a frame: `r1` = buffer, `r2` = length.
+    pub const NETTX: u32 = 5;
+    /// Read the time-stamp counter.
+    pub const GETTIME: u32 = 6;
+    /// Spawn a thread: `r1` = entry, `r2` = kind; returns tid or `-1`.
+    pub const SPAWN: u32 = 7;
+    /// Write one byte (`r1`) to the console.
+    pub const LOG: u32 = 8;
+    /// Read the hardware random source.
+    pub const RAND: u32 = 9;
+    /// Current thread ID.
+    pub const GETPID: u32 = 10;
+    /// Process a message (the **vulnerable** path of §6: unbounded copy
+    /// into a 128-byte kernel stack buffer).
+    pub const PROCMSG: u32 = 11;
+    /// Trigger the kernel bug-recovery path (kills the current thread,
+    /// orphaning its RAS entries) — used by tests and ablations.
+    pub const OOPS: u32 = 12;
+    /// Number of syscalls.
+    pub const COUNT: u32 = 13;
+}
+
+/// Paravirtual hypercall operation codes (`vmcall`, `r1` = op).
+pub mod pv {
+    /// Disk read: `r2` = sector, `r3` = buffer, `r4` = count.
+    pub const DISK_READ: u64 = 1;
+    /// Disk write: same arguments.
+    pub const DISK_WRITE: u64 = 2;
+    /// Poll/dequeue one received frame into `r2`; returns length or `-1`.
+    pub const NET_RECV: u64 = 3;
+    /// Transmit: `r2` = buffer, `r3` = length.
+    pub const NET_TX: u64 = 4;
+}
+
+/// Computes the top of thread slot `i`'s stack.
+pub fn stack_top(slot: usize) -> Addr {
+    STACKS_BASE + (slot as u64 + 1) * STACK_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fits_default_memory() {
+        let end = stack_top(MAX_THREADS - 1);
+        let mem = rnr_isa::Addr::from(4u32 << 20);
+        assert!(end <= USER_BASE);
+        const { assert!(USER_HEAP < OPS_BASE) };
+        assert!(OPS_BASE + 8 * (MAX_THREADS as u64 + 1) <= mem);
+        assert!(BOOT_TABLE + 8 + 16 * MAX_THREADS as u64 <= PARAMS_BASE + 0x700);
+    }
+
+    #[test]
+    fn stack_slots_disjoint() {
+        assert_eq!(stack_top(0), STACKS_BASE + STACK_SIZE);
+        assert_eq!(stack_top(1) - stack_top(0), STACK_SIZE);
+    }
+}

@@ -1,0 +1,44 @@
+//! # rnr-guest: the guest microkernel and user runtime
+//!
+//! The paper's evaluation runs Linux guests; this crate provides the
+//! substituted guest software stack (see DESIGN.md §2): a small
+//! multithreaded kernel written in the `rnr-isa` assembly, deliberately
+//! shaped so that **every false-positive source the paper enumerates arises
+//! organically**:
+//!
+//! * A Linux-style `context_switch` that saves callee-saved registers,
+//!   switches stack pointers at a single instruction
+//!   ([`KernelImage::switch_sp_trap`], the hypervisor's interposition point,
+//!   §5.2.1) and finishes with a **non-procedural return**
+//!   ([`KernelImage::nonproc_ret`]) to one of three well-defined targets —
+//!   resume, `ret_from_fork`, `ret_from_kthread` — the §4.4 whitelist case.
+//! * Preemptive round-robin scheduling off a timer interrupt, blocking disk
+//!   and network I/O, thread creation/kill **with ID reuse** (§5.2.2).
+//! * A network driver whose packet copy is recursive
+//!   (`pkt_copy_rec`), so large packets under load drive the RAS past its
+//!   capacity — the *underflow* false positives Figure 8 reports for apache.
+//! * A `setjmp`/`longjmp` pair in the user runtime (imperfect nesting,
+//!   §4.5) and a kernel bug-recovery path that terminates the current
+//!   thread, orphaning its RAS entries.
+//! * A **vulnerable syscall** (`SYS_PROCMSG`) whose word-`strcpy` into a
+//!   128-byte stack buffer has no bounds check — the §6/Figure 10 ROP
+//!   attack surface — plus genuine utility functions whose epilogues supply
+//!   the `pop r1; ret` / `ld r2,[r1]; ret` / `callr r2` gadgets.
+//!
+//! [`KernelBuilder`] assembles the kernel (optionally in paravirtual mode
+//! for the `NoRecPV` baseline of Figure 5); [`KernelImage`] carries the
+//! symbol contract the hypervisor needs (trap points, whitelist addresses,
+//! introspection offsets). [`runtime`] emits the user-mode runtime
+//! (syscall wrappers, `setjmp`/`longjmp`, compute kernels) into workload
+//! images, and [`BootTable`] describes the initial thread set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boot;
+mod kernel;
+pub mod layout;
+pub mod runtime;
+
+pub use boot::{BootEntry, BootTable, ThreadKind};
+pub use kernel::{KernelBuilder, KernelImage};

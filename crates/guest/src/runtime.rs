@@ -1,0 +1,322 @@
+//! The user-mode runtime linked into every workload image.
+//!
+//! [`emit_runtime`] appends syscall wrappers, `setjmp`/`longjmp` (the §4.5
+//! imperfect-nesting source), and a small library of compute kernels used by
+//! the workload programs. All labels are prefixed `u_`.
+
+use rnr_isa::{Assembler, Reg};
+
+use crate::layout::{self, sys};
+
+use Reg::{R1, R2, R3, R5, R6, R7, R8};
+
+const SP: Reg = Reg::SP;
+
+/// Emits the runtime into `a`. Call exactly once per workload image.
+pub fn emit_runtime(a: &mut Assembler) {
+    emit_syscall_wrappers(a);
+    emit_setjmp(a);
+    emit_compute(a);
+}
+
+fn wrapper(a: &mut Assembler, name: &str, nr: u32) {
+    a.label(name);
+    a.syscall(nr);
+    a.ret();
+}
+
+fn emit_syscall_wrappers(a: &mut Assembler) {
+    wrapper(a, "u_exit", sys::EXIT);
+    wrapper(a, "u_yield", sys::YIELD);
+    wrapper(a, "u_read", sys::READ);
+    wrapper(a, "u_write", sys::WRITE);
+    wrapper(a, "u_netrecv", sys::NETRECV);
+    wrapper(a, "u_nettx", sys::NETTX);
+    wrapper(a, "u_gettime", sys::GETTIME);
+    wrapper(a, "u_spawn", sys::SPAWN);
+    wrapper(a, "u_log", sys::LOG);
+    wrapper(a, "u_rand", sys::RAND);
+    wrapper(a, "u_getpid", sys::GETPID);
+    wrapper(a, "u_procmsg", sys::PROCMSG);
+    wrapper(a, "u_oops", sys::OOPS);
+
+    // u_op_done: bump this thread's completed-operation counter (the
+    // fixed-work measure the evaluation harness normalizes by).
+    a.label("u_op_done");
+    a.call("u_getpid");
+    a.muli(R5, R1, 8);
+    a.movi(R6, layout::OPS_BASE as i32);
+    a.add(R5, R5, R6);
+    a.ld(R6, R5, 0);
+    a.addi(R6, R6, 1);
+    a.st(R5, 0, R6);
+    a.ret();
+
+    // u_param(r1 = index) -> r1: read the workload parameter block.
+    a.label("u_param");
+    a.muli(R5, R1, 8);
+    a.movi(R6, layout::PARAMS_BASE as i32);
+    a.add(R5, R5, R6);
+    a.ld(R1, R5, 0);
+    a.ret();
+}
+
+fn emit_setjmp(a: &mut Assembler) {
+    // u_setjmp(r1 = buf[6 words]) -> 0.
+    // Buffer: [return target, post-return sp, r10, r11, r12, r13].
+    a.label("u_setjmp");
+    a.ld(R5, SP, 0); // our return address
+    a.st(R1, 0, R5);
+    a.addi(R5, SP, 8); // caller sp after our return
+    a.st(R1, 8, R5);
+    a.st(R1, 16, Reg::R10);
+    a.st(R1, 24, Reg::R11);
+    a.st(R1, 32, Reg::R12);
+    a.st(R1, 40, Reg::R13);
+    a.movi(R1, 0);
+    a.ret();
+
+    // u_longjmp(r1 = buf, r2 = value): unwind to the matching u_setjmp.
+    // The final `ret` targets a frame the RAS no longer predicts —
+    // a guaranteed benign TargetMismatch alarm (imperfect nesting, §4.5).
+    a.label("u_longjmp");
+    a.ld(Reg::R10, R1, 16);
+    a.ld(Reg::R11, R1, 24);
+    a.ld(Reg::R12, R1, 32);
+    a.ld(Reg::R13, R1, 40);
+    a.ld(R5, R1, 8);
+    a.mov(SP, R5); // discard the nested frames
+    a.ld(R5, R1, 0);
+    a.mov(R1, R2); // setjmp "returns" the longjmp value
+    a.push(R5);
+    a.ret();
+}
+
+fn emit_compute(a: &mut Assembler) {
+    // u_checksum(r1 = buf, r2 = len) -> r1: word-mix over a buffer.
+    a.label("u_checksum");
+    a.movi(R5, 0); // acc
+    a.movi(R6, 0); // off
+    a.label("uc_loop");
+    a.bgeu(R6, R2, "uc_done");
+    a.add(R7, R1, R6);
+    a.ld(R8, R7, 0);
+    a.xor(R5, R5, R8);
+    a.muli(R5, R5, 0x01000193);
+    a.addi(R6, R6, 8);
+    a.jmp("uc_loop");
+    a.label("uc_done");
+    a.mov(R1, R5);
+    a.ret();
+
+    // u_compute(r1 = iterations) -> r1: xorshift hash loop (pure CPU work).
+    a.label("u_compute");
+    a.movi(R5, 0x12345); // state
+    a.movi(R6, 0); // i
+    a.label("ucp_loop");
+    a.bgeu(R6, R1, "ucp_done");
+    a.shli(R7, R5, 13);
+    a.xor(R5, R5, R7);
+    a.shri(R7, R5, 7);
+    a.xor(R5, R5, R7);
+    a.shli(R7, R5, 17);
+    a.xor(R5, R5, R7);
+    a.addi(R6, R6, 1);
+    a.jmp("ucp_loop");
+    a.label("ucp_done");
+    a.mov(R1, R5);
+    a.ret();
+
+    // u_recurse(r1 = depth) -> r1: self-recursive call chain; with depth
+    // beyond the RAS capacity this drives user-mode evictions/underflows.
+    a.label("u_recurse");
+    a.movi(R5, 0);
+    a.bne(R1, R5, "ur_deeper");
+    a.movi(R1, 1);
+    a.ret();
+    a.label("ur_deeper");
+    a.push(R1);
+    a.addi(R1, R1, -1);
+    a.call("u_recurse");
+    a.pop(R5);
+    a.add(R1, R1, R5);
+    a.ret();
+
+    // u_parse(r1 = buf, r2 = len) -> r1: recursive-descent-style walk,
+    // 64 bytes per frame with a helper call per chunk (call-tree density).
+    a.label("u_parse");
+    a.movi(R5, 64);
+    a.bgeu(R2, R5, "up_chunk");
+    a.call("u_checksum");
+    a.ret();
+    a.label("up_chunk");
+    a.push(Reg::R10);
+    a.push(Reg::R11);
+    a.mov(Reg::R10, R1);
+    a.mov(Reg::R11, R2);
+    a.movi(R2, 64);
+    a.call("u_checksum"); // digest this chunk
+    a.addi(R1, Reg::R10, 64);
+    a.addi(R2, Reg::R11, -64);
+    a.call("u_parse"); // recurse over the rest
+    a.pop(Reg::R11);
+    a.pop(Reg::R10);
+    a.ret();
+
+    // u_btree_build(r1 = node count): perfect-ish BST in the user heap.
+    // Node: [key, left, right], 24 bytes, slot i at HEAP + 24 * i.
+    // Children of i are 2i+1, 2i+2 (heap order: an implicit search tree
+    // over shuffled keys is fine for lookup traffic).
+    a.label("u_btree_build");
+    a.push(Reg::R10);
+    a.movi(Reg::R10, 0); // i
+    a.label("ub_loop");
+    a.bgeu(Reg::R10, R1, "ub_done");
+    a.muli(R5, Reg::R10, 24);
+    a.movi(R6, layout::USER_HEAP as i32);
+    a.add(R5, R5, R6); // &node[i]
+    // key = i * 2654435761 mod 2^32 (a scrambled but deterministic key)
+    a.muli(R7, Reg::R10, 0x9E3779B1u32 as i32);
+    a.movi(R8, -1);
+    a.shri(R8, R8, 32);
+    a.and(R7, R7, R8);
+    a.st(R5, 0, R7);
+    // left = 2i+1, right = 2i+2 (as addresses; 0 if out of range)
+    a.muli(R7, Reg::R10, 2);
+    a.addi(R7, R7, 1);
+    a.bgeu(R7, R1, "ub_noleft");
+    a.muli(R8, R7, 24);
+    a.add(R8, R8, R6);
+    a.st(R5, 8, R8);
+    a.label("ub_noleft");
+    a.addi(R7, R7, 1);
+    a.bgeu(R7, R1, "ub_noright");
+    a.muli(R8, R7, 24);
+    a.add(R8, R8, R6);
+    a.st(R5, 16, R8);
+    a.label("ub_noright");
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.jmp("ub_loop");
+    a.label("ub_done");
+    a.pop(Reg::R10);
+    a.ret();
+
+    // u_btree_lookup(r1 = key) -> r1: walk from the root comparing keys;
+    // one helper call per visited node (kernel-free pointer chasing).
+    a.label("u_btree_lookup");
+    a.movi(R5, layout::USER_HEAP as i32); // node
+    a.label("ubl_loop");
+    a.movi(R6, 0);
+    a.beq(R5, R6, "ubl_miss");
+    a.push(R1);
+    a.push(R5);
+    a.mov(R1, R5);
+    a.call("u_node_key"); // r1 = key of node
+    a.mov(R7, R1);
+    a.pop(R5);
+    a.pop(R1);
+    a.beq(R7, R1, "ubl_hit");
+    a.bltu(R1, R7, "ubl_left");
+    a.ld(R5, R5, 16); // right
+    a.jmp("ubl_loop");
+    a.label("ubl_left");
+    a.ld(R5, R5, 8); // left
+    a.jmp("ubl_loop");
+    a.label("ubl_hit");
+    a.mov(R1, R5);
+    a.ret();
+    a.label("ubl_miss");
+    a.movi(R1, 0);
+    a.ret();
+
+    a.label("u_node_key");
+    a.ld(R1, R1, 0);
+    a.ret();
+
+    // u_memtouch(r1 = base, r2 = bytes, r3 = stride): dirty pages — drives
+    // the checkpoint copy-on-write costs of Figure 7.
+    a.label("u_memtouch");
+    a.movi(R5, 0);
+    a.label("umt_loop");
+    a.bgeu(R5, R2, "umt_done");
+    a.add(R6, R1, R5);
+    a.st(R6, 0, R5);
+    a.add(R5, R5, R3);
+    a.jmp("umt_loop");
+    a.label("umt_done");
+    a.ret();
+
+    // u_wordcopy(r1 = dst, r2 = src): word-at-a-time copy, stops after the
+    // first zero word. NO BOUNDS CHECK — the user-level sibling of the
+    // kernel's vulnerable kstrcpy (used by the JOP scenario).
+    a.label("u_wordcopy");
+    a.movi(R6, 0);
+    a.label("uwc_loop");
+    a.ld(R5, R2, 0);
+    a.st(R1, 0, R5);
+    a.beq(R5, R6, "uwc_done");
+    a.addi(R1, R1, 8);
+    a.addi(R2, R2, 8);
+    a.jmp("uwc_loop");
+    a.label("uwc_done");
+    a.ret();
+
+    // u_fill(r1 = dst, r2 = len, r3 = seed): deterministic buffer fill.
+    a.label("u_fill");
+    a.movi(R5, 0);
+    a.label("uf_loop");
+    a.bgeu(R5, R2, "uf_done");
+    a.add(R6, R1, R5);
+    a.add(R7, R3, R5);
+    a.muli(R7, R7, 0x5DEECE66Du64 as u32 as i32);
+    a.ori(R7, R7, 1); // never a zero word (kstrcpy-safe)
+    a.st(R6, 0, R7);
+    a.addi(R5, R5, 8);
+    a.jmp("uf_loop");
+    a.label("uf_done");
+    a.ret();
+
+    a.label("u_runtime_end");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_isa::Opcode;
+
+    #[test]
+    fn runtime_assembles() {
+        let mut a = Assembler::new(layout::USER_BASE);
+        emit_runtime(&mut a);
+        let img = a.assemble().unwrap();
+        for sym in ["u_gettime", "u_setjmp", "u_longjmp", "u_recurse", "u_btree_lookup", "u_parse"] {
+            assert!(img.symbol(sym).is_some(), "missing {sym}");
+        }
+    }
+
+    #[test]
+    fn wrappers_are_syscall_ret_pairs() {
+        let mut a = Assembler::new(layout::USER_BASE);
+        emit_runtime(&mut a);
+        let img = a.assemble().unwrap();
+        let addr = img.require_symbol("u_gettime");
+        let first = img.decode_at(addr).unwrap();
+        assert_eq!(first.op, Opcode::Syscall);
+        assert_eq!(first.imm as u32, sys::GETTIME);
+        assert_eq!(img.decode_at(addr + 8).unwrap().op, Opcode::Ret);
+    }
+
+    #[test]
+    fn longjmp_ends_with_push_ret() {
+        let mut a = Assembler::new(layout::USER_BASE);
+        emit_runtime(&mut a);
+        let img = a.assemble().unwrap();
+        let lj = img.require_symbol("u_longjmp");
+        // Find the terminating ret: the instruction before it is a push.
+        let mut addr = lj;
+        while img.decode_at(addr).unwrap().op != Opcode::Ret {
+            addr += 8;
+        }
+        assert_eq!(img.decode_at(addr - 8).unwrap().op, Opcode::Push);
+    }
+}

@@ -1,0 +1,87 @@
+//! Per-category cycle attribution (Figures 5(b) and 7(b)).
+
+use std::collections::HashMap;
+
+use rnr_log::Category;
+
+/// Extra attribution bucket for checkpoint creation (`Chk` in Figure 7(b)).
+/// Checkpointing is not a log category, so it is tracked separately.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleAttribution {
+    by_category: HashMap<Category, u64>,
+    checkpoint: u64,
+}
+
+impl CycleAttribution {
+    /// An empty attribution.
+    pub fn new() -> CycleAttribution {
+        CycleAttribution::default()
+    }
+
+    /// Charges `cycles` to `category`.
+    pub fn charge(&mut self, category: Category, cycles: u64) {
+        *self.by_category.entry(category).or_insert(0) += cycles;
+    }
+
+    /// Charges checkpoint-creation cycles (the `Chk` bucket of Figure 7(b)).
+    pub fn charge_checkpoint(&mut self, cycles: u64) {
+        self.checkpoint += cycles;
+    }
+
+    /// Cycles charged to one category.
+    pub fn for_category(&self, category: Category) -> u64 {
+        self.by_category.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Checkpoint-creation cycles.
+    pub fn checkpoint(&self) -> u64 {
+        self.checkpoint
+    }
+
+    /// Total overhead cycles across all buckets.
+    pub fn total(&self) -> u64 {
+        self.by_category.values().sum::<u64>() + self.checkpoint
+    }
+
+    /// Per-category difference against a baseline run (e.g. `Rec − NoRec`
+    /// for Figure 5(b)), clamped at zero.
+    pub fn overhead_vs(&self, baseline: &CycleAttribution) -> CycleAttribution {
+        let mut out = CycleAttribution::new();
+        for c in Category::ALL {
+            let d = self.for_category(c).saturating_sub(baseline.for_category(c));
+            if d > 0 {
+                out.charge(c, d);
+            }
+        }
+        out.checkpoint = self.checkpoint.saturating_sub(baseline.checkpoint);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut a = CycleAttribution::new();
+        a.charge(Category::Rdtsc, 100);
+        a.charge(Category::Rdtsc, 50);
+        a.charge_checkpoint(10);
+        assert_eq!(a.for_category(Category::Rdtsc), 150);
+        assert_eq!(a.total(), 160);
+    }
+
+    #[test]
+    fn overhead_vs_subtracts_and_clamps() {
+        let mut rec = CycleAttribution::new();
+        rec.charge(Category::Interrupt, 1000);
+        rec.charge(Category::PioMmio, 100);
+        let mut norec = CycleAttribution::new();
+        norec.charge(Category::Interrupt, 200);
+        norec.charge(Category::PioMmio, 150);
+        let d = rec.overhead_vs(&norec);
+        assert_eq!(d.for_category(Category::Interrupt), 800);
+        assert_eq!(d.for_category(Category::PioMmio), 0);
+    }
+}

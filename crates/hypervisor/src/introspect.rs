@@ -1,0 +1,176 @@
+//! Guest-kernel introspection (§5.2.1).
+
+use rnr_guest::{layout, KernelImage};
+use rnr_isa::{Addr, Reg};
+use rnr_machine::GuestVm;
+use rnr_ras::ThreadId;
+
+/// Reads guest kernel state without guest cooperation.
+///
+/// The hypervisor "can introspect the state of the guest kernel to identify
+/// the next thread to be scheduled. In Linux, a thread's descriptor
+/// (`task_struct`) can be easily found if the thread's stack pointer is
+/// known" (§5.2.1). Our guest mirrors this: per-thread kernel stacks live in
+/// fixed slots, so a stack pointer names its `task_struct` slot, and the
+/// thread ID is read from guest memory.
+#[derive(Debug, Clone)]
+pub struct Introspector {
+    task_structs: Addr,
+    current: Addr,
+    priv_flag: Addr,
+    oops_count: Addr,
+    switch_sp_trap: Addr,
+    thread_create_trap: Addr,
+    thread_exit_trap: Addr,
+}
+
+impl Introspector {
+    /// Builds an introspector from the kernel's symbol contract, obtained
+    /// "by analyzing the binary image of the guest kernel" (§4.4).
+    pub fn new(kernel: &KernelImage) -> Introspector {
+        Introspector {
+            task_structs: kernel.task_structs(),
+            current: kernel.current_ptr(),
+            priv_flag: kernel.priv_flag(),
+            oops_count: kernel.oops_count(),
+            switch_sp_trap: kernel.switch_sp_trap(),
+            thread_create_trap: kernel.thread_create_trap(),
+            thread_exit_trap: kernel.thread_exit_trap(),
+        }
+    }
+
+    /// PC of the context-switch (stack-switch) trap.
+    pub fn switch_sp_trap(&self) -> Addr {
+        self.switch_sp_trap
+    }
+
+    /// PC of the thread-creation trap.
+    pub fn thread_create_trap(&self) -> Addr {
+        self.thread_create_trap
+    }
+
+    /// PC of the thread-exit trap.
+    pub fn thread_exit_trap(&self) -> Addr {
+        self.thread_exit_trap
+    }
+
+    /// At the stack-switch trap, the next thread's stack pointer sits in
+    /// `r15` ("we can find the next thread's stack pointer by examining the
+    /// register content of the VM — available in the VMCS after a VMExit").
+    pub fn next_thread_at_switch(&self, vm: &GuestVm) -> Option<ThreadId> {
+        let sp = vm.cpu().reg(Reg::R15);
+        self.thread_from_sp(vm, sp)
+    }
+
+    /// Maps a stack pointer to the owning thread via its `task_struct`.
+    pub fn thread_from_sp(&self, vm: &GuestVm, sp: Addr) -> Option<ThreadId> {
+        if sp < layout::STACKS_BASE {
+            return None;
+        }
+        let slot = ((sp - 1 - layout::STACKS_BASE) / layout::STACK_SIZE) as usize;
+        if slot >= layout::MAX_THREADS {
+            return None;
+        }
+        let tcb = self.task_structs + slot as u64 * layout::TCB_STRIDE;
+        let tid = vm.mem().read_u64(tcb + layout::tcb::TID as u64).ok()?;
+        Some(ThreadId(tid))
+    }
+
+    /// At the create/exit traps, the affected thread's ID is in `r1`.
+    pub fn thread_at_commit(&self, vm: &GuestVm) -> ThreadId {
+        ThreadId(vm.cpu().reg(Reg::R1))
+    }
+
+    /// The currently scheduled thread, via the kernel's `current` pointer.
+    pub fn current_thread(&self, vm: &GuestVm) -> Option<ThreadId> {
+        let tcb = vm.mem().read_u64(self.current).ok()?;
+        if tcb == 0 {
+            return None;
+        }
+        let tid = vm.mem().read_u64(tcb + layout::tcb::TID as u64).ok()?;
+        Some(ThreadId(tid))
+    }
+
+    /// The guest's privilege flag — non-zero after a successful `grant_root`
+    /// (used by attack forensics, §6).
+    pub fn priv_flag(&self, vm: &GuestVm) -> u64 {
+        vm.mem().read_u64(self.priv_flag).unwrap_or(0)
+    }
+
+    /// Kernel oops counter (bug-recovery events).
+    pub fn oops_count(&self, vm: &GuestVm) -> u64 {
+        vm.mem().read_u64(self.oops_count).unwrap_or(0)
+    }
+
+    /// The state of every `task_struct` slot: `(tid, state)` pairs, for
+    /// post-attack analysis ("who attacked the machine?", §6).
+    pub fn thread_table(&self, vm: &GuestVm) -> Vec<(ThreadId, u64)> {
+        (0..layout::MAX_THREADS)
+            .filter_map(|slot| {
+                let tcb = self.task_structs + slot as u64 * layout::TCB_STRIDE;
+                let state = vm.mem().read_u64(tcb + layout::tcb::STATE as u64).ok()?;
+                let tid = vm.mem().read_u64(tcb + layout::tcb::TID as u64).ok()?;
+                (state != 0).then_some((ThreadId(tid), state))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_guest::KernelBuilder;
+    use rnr_machine::MachineConfig;
+
+    fn setup() -> (Introspector, GuestVm) {
+        let kernel = KernelBuilder::new().build();
+        let vm = GuestVm::new(MachineConfig::default(), &[kernel.image()]);
+        (Introspector::new(&kernel), vm)
+    }
+
+    #[test]
+    fn sp_maps_to_slot_and_tid() {
+        let (intro, mut vm) = setup();
+        // Fake task_structs[2].tid = 42.
+        let tcb = intro.task_structs + 2 * layout::TCB_STRIDE;
+        vm.mem_mut().write_u64(tcb + layout::tcb::TID as u64, 42).unwrap();
+        // Any sp within slot 2's stack maps there, including the stack top.
+        let sp_mid = layout::STACKS_BASE + 2 * layout::STACK_SIZE + 100;
+        assert_eq!(intro.thread_from_sp(&vm, sp_mid), Some(ThreadId(42)));
+        let sp_top = layout::stack_top(2);
+        assert_eq!(intro.thread_from_sp(&vm, sp_top), Some(ThreadId(42)));
+    }
+
+    #[test]
+    fn out_of_range_sp_is_none() {
+        let (intro, vm) = setup();
+        assert_eq!(intro.thread_from_sp(&vm, 0x100), None);
+        assert_eq!(intro.thread_from_sp(&vm, layout::stack_top(layout::MAX_THREADS - 1) + layout::STACK_SIZE), None);
+    }
+
+    #[test]
+    fn current_thread_follows_pointer() {
+        let (intro, mut vm) = setup();
+        let tcb = intro.task_structs + 3 * layout::TCB_STRIDE;
+        vm.mem_mut().write_u64(tcb + layout::tcb::TID as u64, 4).unwrap();
+        vm.mem_mut().write_u64(intro.current, tcb).unwrap();
+        assert_eq!(intro.current_thread(&vm), Some(ThreadId(4)));
+    }
+
+    #[test]
+    fn priv_flag_reads_guest_memory() {
+        let (intro, mut vm) = setup();
+        assert_eq!(intro.priv_flag(&vm), 0);
+        vm.mem_mut().write_u64(intro.priv_flag, 0x1337).unwrap();
+        assert_eq!(intro.priv_flag(&vm), 0x1337);
+    }
+
+    #[test]
+    fn thread_table_lists_live_slots() {
+        let (intro, mut vm) = setup();
+        let tcb = intro.task_structs;
+        vm.mem_mut().write_u64(tcb, 1).unwrap(); // state
+        vm.mem_mut().write_u64(tcb + 8, 1).unwrap(); // tid
+        assert_eq!(intro.thread_table(&vm), vec![(ThreadId(1), 1)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Models of host non-determinism (seeded, so experiments are repeatable).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A crafted packet delivered at a specific virtual time (used to mount the
+/// §6 network-borne ROP attack).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PacketInjection {
+    /// Virtual cycle at which the packet arrives.
+    pub at_cycle: u64,
+    /// Raw payload (padded to the NIC's 32-byte granule on delivery).
+    pub payload: Vec<u8>,
+}
+
+/// The workload's network-traffic profile.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct NetProfile {
+    /// Mean cycles between packet arrivals (`None` = no traffic).
+    pub mean_interarrival: Option<u64>,
+    /// Benign frame size range in bytes.
+    pub size_range: (usize, usize),
+    /// Every `n`-th packet is an MTU-sized burst frame (drives the deep
+    /// recursive driver copies behind apache's Figure 8 underflows).
+    pub large_every: Option<u64>,
+    /// Crafted packets (attack payloads) delivered at fixed cycles.
+    pub injections: Vec<PacketInjection>,
+}
+
+impl NetProfile {
+    /// No network traffic at all.
+    pub fn quiet() -> NetProfile {
+        NetProfile::default()
+    }
+
+    /// True if any benign traffic is generated.
+    pub fn has_traffic(&self) -> bool {
+        self.mean_interarrival.is_some()
+    }
+}
+
+/// Seeded source for every non-deterministic input the recorder logs.
+///
+/// Replay never touches this: the whole point of the input log is that the
+/// replayers reproduce these values without re-sampling them.
+#[derive(Debug)]
+pub struct NondetSource {
+    rng: StdRng,
+    packet_counter: u64,
+}
+
+impl NondetSource {
+    /// A source with the given seed.
+    pub fn new(seed: u64) -> NondetSource {
+        NondetSource { rng: StdRng::seed_from_u64(seed), packet_counter: 0 }
+    }
+
+    /// Host-induced jitter added to the time-stamp counter value.
+    pub fn tsc_jitter(&mut self) -> u64 {
+        self.rng.gen_range(0..64)
+    }
+
+    /// Jitter applied to the timer period.
+    pub fn timer_jitter(&mut self, period: u64) -> u64 {
+        let j = (period / 20).max(1);
+        self.rng.gen_range(0..j)
+    }
+
+    /// Virtual-disk latency for `sectors` sectors.
+    pub fn disk_latency(&mut self, sectors: u64, base: u64, per_sector: u64) -> u64 {
+        let nominal = base + per_sector * sectors;
+        nominal + self.rng.gen_range(0..nominal / 4 + 1)
+    }
+
+    /// A value for the hardware random-number port.
+    pub fn rng_port(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Interarrival gap until the next packet (exponential-ish around the
+    /// mean).
+    pub fn packet_gap(&mut self, mean: u64) -> u64 {
+        self.rng.gen_range(mean / 2..=mean + mean / 2).max(1)
+    }
+
+    /// A benign packet for `profile`: pseudo-text content with a
+    /// terminating zero word within the first 120 bytes, so the guest's
+    /// word-`strcpy` message path stays in bounds on benign traffic.
+    pub fn benign_packet(&mut self, profile: &NetProfile) -> Vec<u8> {
+        self.packet_counter += 1;
+        let large = profile.large_every.is_some_and(|n| n > 0 && self.packet_counter.is_multiple_of(n));
+        let (lo, hi) = profile.size_range;
+        let len =
+            if large { rnr_guest::layout::NIC_MTU } else { self.rng.gen_range(lo.max(40)..=hi.max(lo.max(40))) };
+        let mut p = vec![0u8; len];
+        for b in p.iter_mut() {
+            *b = self.rng.gen_range(0x20..0x7f); // printable, never 0
+        }
+        // Zero word at offset 56: the in-kernel copy stops well inside the
+        // 128-byte message buffer.
+        for b in &mut p[56..64] {
+            *b = 0;
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> NetProfile {
+        NetProfile {
+            mean_interarrival: Some(10_000),
+            size_range: (64, 256),
+            large_every: Some(4),
+            injections: vec![],
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = NondetSource::new(7);
+        let mut b = NondetSource::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.tsc_jitter(), b.tsc_jitter());
+            assert_eq!(a.rng_port(), b.rng_port());
+            assert_eq!(a.packet_gap(1000), b.packet_gap(1000));
+        }
+    }
+
+    #[test]
+    fn benign_packets_have_early_zero_word() {
+        let mut s = NondetSource::new(1);
+        let p = s.benign_packet(&profile());
+        assert!(p.len() >= 64);
+        assert!(p[56..64].iter().all(|&b| b == 0));
+        assert!(p[..56].iter().all(|&b| b != 0));
+    }
+
+    #[test]
+    fn large_every_produces_mtu_frames() {
+        let mut s = NondetSource::new(1);
+        let prof = profile();
+        let sizes: Vec<usize> = (0..8).map(|_| s.benign_packet(&prof).len()).collect();
+        assert_eq!(sizes[3], rnr_guest::layout::NIC_MTU);
+        assert_eq!(sizes[7], rnr_guest::layout::NIC_MTU);
+        assert!(sizes[0] < 1024);
+    }
+
+    #[test]
+    fn disk_latency_scales_with_sectors() {
+        let mut s = NondetSource::new(1);
+        let small = s.disk_latency(1, 1000, 100);
+        let big = s.disk_latency(100, 1000, 100);
+        assert!(big > small);
+        assert!(small >= 1100);
+    }
+}

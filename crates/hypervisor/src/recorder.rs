@@ -1,0 +1,779 @@
+//! The monitored-recording event loop (§3.1, §7).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rnr_guest::layout;
+use rnr_isa::Reg;
+use rnr_log::{AlarmInfo, Category, InputLog, Record};
+use rnr_machine::{
+    CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
+    MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING, MMIO_NIC_RX_POP, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD,
+    PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG, IRQ_DISK,
+    IRQ_NIC, IRQ_TIMER,
+};
+use rnr_ras::{AttributionReport, BackRasTable, RasAttribution, RasConfig, RasCounters, ThreadId};
+
+use crate::{CycleAttribution, DiskDevice, Introspector, NicDevice, NondetSource, PacketInjection, VmSpec};
+
+/// The four recording setups of Figure 5(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RecordMode {
+    /// No recording, paravirtual drivers (`NoRecPV`).
+    NoRecPv,
+    /// No recording, emulated (hypervisor-mediated) I/O (`NoRec`).
+    NoRec,
+    /// Recording without RAS save/restore at context switches (`RecNoRAS`).
+    RecNoRas,
+    /// Full monitored recording (`Rec`).
+    Rec,
+}
+
+impl RecordMode {
+    /// True if the input log is produced.
+    pub fn is_recording(self) -> bool {
+        matches!(self, RecordMode::RecNoRas | RecordMode::Rec)
+    }
+
+    /// True if the BackRAS extension (context-switch save/restore + the
+    /// whitelists + alarms) is active.
+    pub fn has_ras_extension(self) -> bool {
+        self == RecordMode::Rec
+    }
+
+    /// True if the guest must be a paravirtual kernel.
+    pub fn is_pv(self) -> bool {
+        self == RecordMode::NoRecPv
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordMode::NoRecPv => "NoRecPV",
+            RecordMode::NoRec => "NoRec",
+            RecordMode::RecNoRas => "RecNoRAS",
+            RecordMode::Rec => "Rec",
+        }
+    }
+}
+
+/// Recorder configuration.
+#[derive(Debug, Clone)]
+pub struct RecordConfig {
+    /// Recording setup.
+    pub mode: RecordMode,
+    /// Seed for all host non-determinism.
+    pub seed: u64,
+    /// Stop after this many retired guest instructions.
+    pub until_retired: u64,
+    /// Trap every call/return and run the lockstep counterfactual RAS
+    /// analysis of Figure 8 (the paper's QEMU-emulation functional
+    /// environment, §7.2). Only meaningful with [`RecordMode::Rec`].
+    pub functional_ras_analysis: bool,
+    /// RAS capacity (the paper simulates 48).
+    pub ras_capacity: usize,
+    /// Cycle cost model.
+    pub costs: CostModel,
+    /// Keep a debug ring buffer of the last `n` executed PCs.
+    pub trace: usize,
+    /// Program the hardware JOP table (Table 1, row 2) with the `n` most
+    /// common functions of the guest images (`None` disables JOP alarms).
+    /// `Some(usize::MAX)` tracks every function.
+    pub jop_common_functions: Option<usize>,
+    /// Stall the recorded VM at the first alarm instead of continuing
+    /// ("depending on the risk tolerance of the workload, the recorded VM
+    /// may be stopped until the alarm is analyzed, or allowed to continue",
+    /// §3). With the §6 attack this halts the guest *before* any gadget
+    /// executes.
+    pub stall_on_alarm: bool,
+}
+
+impl RecordConfig {
+    /// Full recording with default costs.
+    pub fn new(mode: RecordMode, seed: u64, until_retired: u64) -> RecordConfig {
+        RecordConfig {
+            mode,
+            seed,
+            until_retired,
+            functional_ras_analysis: false,
+            ras_capacity: RasConfig::DEFAULT_CAPACITY,
+            costs: CostModel::default(),
+            trace: 0,
+            jop_common_functions: None,
+            stall_on_alarm: false,
+        }
+    }
+}
+
+/// Errors before or during recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The spec's kernel flavour does not match the mode (PV vs emulated).
+    KernelModeMismatch {
+        /// Whether the mode wants a PV kernel.
+        want_pv: bool,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::KernelModeMismatch { want_pv } => {
+                write!(f, "recording mode requires a {} kernel", if *want_pv { "paravirtual" } else { "standard" })
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Results of a recorded (or baseline) run.
+#[derive(Debug, Clone)]
+pub struct RecordOutcome {
+    /// The input log (empty for non-recording modes).
+    pub log: InputLog,
+    /// Total virtual cycles — the execution-time measure of every figure.
+    pub cycles: u64,
+    /// Retired guest instructions (the work measure held constant across
+    /// modes).
+    pub retired: u64,
+    /// Digest of the final architectural state (VM + disk), for replay
+    /// verification.
+    pub final_digest: Digest,
+    /// Overhead cycles attributed per event class (Figure 5(b)).
+    pub attribution: CycleAttribution,
+    /// RAS hardware counters (Figure 6(b) bandwidth, Figure 8 inputs).
+    pub ras_counters: RasCounters,
+    /// Number of ROP alarms inserted into the log.
+    pub alarms: usize,
+    /// Console output captured from the guest.
+    pub console: Vec<u8>,
+    /// Frames the guest transmitted.
+    pub tx_frames: usize,
+    /// The counterfactual false-alarm attribution (Figure 8), when
+    /// `functional_ras_analysis` was on.
+    pub fig8: Option<AttributionReport>,
+    /// Guest fault that ended the run early, if any.
+    pub fault: Option<FaultKind>,
+    /// PC of the faulting instruction, when a fault occurred.
+    pub fault_pc: Option<rnr_isa::Addr>,
+    /// Register file at the fault, for diagnostics.
+    pub fault_regs: Option<[u64; 16]>,
+    /// Recently executed PCs before a fault (only when tracing was enabled
+    /// via [`RecordConfig::trace`]).
+    pub fault_trace: Vec<rnr_isa::Addr>,
+    /// IVT contents at the fault, for diagnostics.
+    pub fault_ivt: Option<[u64; 3]>,
+    /// Every disk operation started (only when tracing is enabled).
+    pub disk_ops: Vec<crate::devices::DiskOp>,
+    /// Final value of the guest's privilege flag (non-zero = the §6 attack
+    /// escalated before detection/response).
+    pub priv_flag: u64,
+    /// Completed guest operations (sum of the per-thread counters at
+    /// `layout::OPS_BASE`) — the fixed-work measure for mode comparisons.
+    pub ops: u64,
+    /// True when the run was stopped by the stall-on-alarm policy.
+    pub stalled: bool,
+    /// Guest kernel context switches observed at the interposition trap.
+    pub context_switches: u64,
+    /// Cycle timestamps of context switches (only when tracing is enabled;
+    /// feeds the Table 1 DOS watchdog).
+    pub switch_trace: Vec<u64>,
+    /// Store-watchpoint hits `(pc, addr, value, retired)` (debugging).
+    pub watch_hits: Vec<(u64, u64, u64, u64)>,
+}
+
+impl RecordOutcome {
+    /// Log bytes per million cycles — scaled to MB/s in the Figure 6(a)
+    /// harness via the virtual clock frequency.
+    pub fn log_bytes(&self) -> u64 {
+        self.log.total_bytes()
+    }
+}
+
+/// The recording hypervisor: drives one guest VM to an instruction budget,
+/// emulating devices, injecting interrupts, and (in recording modes)
+/// producing the input log.
+#[derive(Debug)]
+pub struct Recorder {
+    vm: GuestVm,
+    config: RecordConfig,
+    nondet: NondetSource,
+    disk: DiskDevice,
+    nic: NicDevice,
+    console: Vec<u8>,
+    log: InputLog,
+    attribution: CycleAttribution,
+    intro: Introspector,
+    current_tid: ThreadId,
+    dying: Option<ThreadId>,
+    backras: BackRasTable,
+    pending_irqs: VecDeque<u8>,
+    next_timer: u64,
+    timer_period: u64,
+    next_packet: Option<u64>,
+    net: crate::NetProfile,
+    injections: VecDeque<PacketInjection>,
+    watch_last: u64,
+    fig8: Option<RasAttribution>,
+    alarms: usize,
+    fault: Option<FaultKind>,
+    stalled: bool,
+    context_switches: u64,
+    disk_ops: Vec<crate::devices::DiskOp>,
+    switch_trace: Vec<u64>,
+}
+
+impl Recorder {
+    /// Prepares a recorder for `spec` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spec's kernel flavour (PV vs emulated I/O) does not
+    /// match the mode.
+    pub fn new(spec: &VmSpec, config: RecordConfig) -> Result<Recorder, RecordError> {
+        if spec.kernel.is_paravirtual() != config.mode.is_pv() {
+            return Err(RecordError::KernelModeMismatch { want_pv: config.mode.is_pv() });
+        }
+        let mode = config.mode;
+        let ras = if mode.has_ras_extension() {
+            RasConfig::extended(config.ras_capacity)
+        } else {
+            // Baselines and the RecNoRAS ablation: no BackRAS, no alarms.
+            let mut r = RasConfig::replay(config.ras_capacity);
+            r.backras_enabled = false;
+            r
+        };
+        let exits = ExitControls {
+            rdtsc_exiting: mode.is_recording(),
+            evict_exiting: mode.has_ras_extension(),
+            callret_trap: if config.functional_ras_analysis { CallRetTrap::All } else { CallRetTrap::None },
+        };
+        let jop_table = config.jop_common_functions.map(|limit| {
+            crate::jop_table_from_spec(spec, limit)
+        });
+        let machine = MachineConfig {
+            syscall_entry: spec.kernel.syscall_entry(),
+            ras,
+            exits,
+            jop_table,
+            costs: config.costs,
+            ..MachineConfig::default()
+        };
+        let mut images = vec![spec.kernel.image().clone()];
+        images.extend(spec.extra_images.iter().cloned());
+        images.push(spec.boot.to_image());
+        let image_refs: Vec<&rnr_isa::Image> = images.iter().collect();
+        let mut vm = GuestVm::new(machine, &image_refs);
+        if config.trace > 0 {
+            vm.enable_trace(config.trace);
+        }
+        if let Some(w) = std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok()) {
+            vm.set_watchpoint(w);
+        }
+        vm.set_entry(spec.kernel.entry());
+        vm.cpu_mut().ras.set_whitelists(spec.kernel.whitelists());
+        if config.functional_ras_analysis {
+            // The functional environment wants every return visible as a
+            // RetTrap; alarms come from the lockstep analyzer instead.
+        }
+        let intro = Introspector::new(&spec.kernel);
+        if mode.has_ras_extension() {
+            vm.add_breakpoint(intro.switch_sp_trap());
+            vm.add_breakpoint(intro.thread_create_trap());
+            vm.add_breakpoint(intro.thread_exit_trap());
+        }
+        let fig8 = config
+            .functional_ras_analysis
+            .then(|| RasAttribution::new(config.ras_capacity, spec.kernel.whitelists(), ThreadId(1)));
+        let mut nondet = NondetSource::new(config.seed);
+        let next_timer = spec.timer_period + nondet.timer_jitter(spec.timer_period);
+        let next_packet = spec.net.mean_interarrival.map(|m| nondet.packet_gap(m));
+        Ok(Recorder {
+            watch_last: 0,
+            vm,
+            nondet,
+            disk: DiskDevice::new(spec.disk_bytes, spec.disk_seed),
+            nic: NicDevice::new(),
+            console: Vec::new(),
+            log: InputLog::new(),
+            attribution: CycleAttribution::new(),
+            intro,
+            current_tid: ThreadId(1),
+            dying: None,
+            backras: BackRasTable::new(),
+            pending_irqs: VecDeque::new(),
+            next_timer,
+            timer_period: spec.timer_period,
+            next_packet,
+            net: spec.net.clone(),
+            injections: spec.net.injections.iter().cloned().collect(),
+            fig8,
+            alarms: 0,
+            fault: None,
+            stalled: false,
+            context_switches: 0,
+            disk_ops: Vec::new(),
+            switch_trace: Vec::new(),
+            config,
+        })
+    }
+
+    /// Runs to the instruction budget and returns the outcome.
+    pub fn run(mut self) -> RecordOutcome {
+        let until = self.config.until_retired;
+        loop {
+            self.service_due_events();
+            self.try_inject_pending();
+            if self.vm.retired() >= until || self.fault.is_some() || self.stalled {
+                break;
+            }
+            let deadline = self.next_event_cycle();
+            let exit = self
+                .vm
+                .run(rnr_machine::RunBudget { until_retired: Some(until), until_cycles: Some(deadline) });
+            if let Some(watch) = std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok()) {
+                let val = self.vm.mem().read_u64(watch).unwrap_or(0);
+                if val != self.watch_last {
+                    eprintln!(
+                        "WATCH {:#x}: {} -> {} at insn {} pc {:#x} exit {:?}",
+                        watch, self.watch_last, val, self.vm.retired(), self.vm.cpu().pc, exit
+                    );
+                    self.watch_last = val;
+                }
+            }
+            self.handle_exit(exit);
+        }
+        if self.config.mode.is_recording() {
+            self.log.push(Record::End { at_insn: self.vm.retired(), at_cycle: self.vm.cycles() });
+        }
+        if let Some(f) = self.fig8.as_mut() {
+            f.add_instructions(self.vm.retired());
+        }
+        let final_digest = combined_digest(&self.vm, &self.disk);
+        RecordOutcome {
+            cycles: self.vm.cycles(),
+            retired: self.vm.retired(),
+            final_digest,
+            ras_counters: *self.vm.cpu().ras.counters(),
+            alarms: self.alarms,
+            tx_frames: self.nic.tx_frames().len(),
+            fig8: self.fig8.as_ref().map(RasAttribution::report),
+            fault: self.fault,
+            stalled: self.stalled,
+            fault_pc: self.fault.map(|_| self.vm.cpu().pc),
+            fault_trace: if self.fault.is_some() { self.vm.trace().collect() } else { Vec::new() },
+            disk_ops: self.disk_ops,
+            fault_ivt: self.fault.map(|_| {
+                let ivt = self.vm.config().ivt_base;
+                [
+                    self.vm.mem().read_u64(ivt).unwrap_or(0),
+                    self.vm.mem().read_u64(ivt + 8).unwrap_or(0),
+                    self.vm.mem().read_u64(ivt + 16).unwrap_or(0),
+                ]
+            }),
+            fault_regs: self.fault.map(|_| {
+                let mut regs = [0u64; 16];
+                for r in rnr_isa::Reg::ALL {
+                    regs[r.index()] = self.vm.cpu().reg(r);
+                }
+                regs
+            }),
+            priv_flag: self.intro.priv_flag(&self.vm),
+            ops: (0..rnr_guest::layout::MAX_THREADS as u64)
+                .map(|slot| {
+                    self.vm.mem().read_u64(rnr_guest::layout::OPS_BASE + (slot + 1) * 8).unwrap_or(0)
+                })
+                .sum(),
+            context_switches: self.context_switches,
+            watch_hits: self.vm.watch_hits().to_vec(),
+            switch_trace: self.switch_trace,
+            console: self.console,
+            log: self.log,
+            attribution: self.attribution,
+        }
+    }
+
+    fn next_event_cycle(&self) -> u64 {
+        let mut next = self.next_timer;
+        if let Some(op) = self.disk.in_flight() {
+            next = next.min(op.complete_at);
+        }
+        if let Some(p) = self.next_packet {
+            next = next.min(p);
+        }
+        if let Some(inj) = self.injections.front() {
+            next = next.min(inj.at_cycle);
+        }
+        next
+    }
+
+    fn service_due_events(&mut self) {
+        let now = self.vm.cycles();
+        // Timer.
+        while self.next_timer <= now {
+            self.pending_irqs.push_back(IRQ_TIMER);
+            self.next_timer += self.timer_period + self.nondet.timer_jitter(self.timer_period);
+        }
+        // Disk completion.
+        if let Some(op) = self.disk.in_flight() {
+            if op.complete_at <= now {
+                self.disk.complete(&mut self.vm);
+                self.pending_irqs.push_back(IRQ_DISK);
+            }
+        }
+        // Benign packet arrivals.
+        while let Some(at) = self.next_packet {
+            if at > now {
+                break;
+            }
+            let payload = self.nondet.benign_packet(&self.net);
+            self.nic.enqueue_rx(payload);
+            self.next_packet =
+                self.net.mean_interarrival.map(|m| at + self.nondet.packet_gap(m));
+        }
+        // Crafted injections.
+        while self.injections.front().is_some_and(|i| i.at_cycle <= now) {
+            let inj = self.injections.pop_front().expect("front checked");
+            self.nic.enqueue_rx(inj.payload);
+        }
+        self.try_deliver_nic();
+    }
+
+    fn try_deliver_nic(&mut self) {
+        if let Some(frame) = self.nic.deliver(&mut self.vm) {
+            if self.config.mode.is_recording() {
+                let rec = Record::Dma {
+                    source: rnr_log::DmaSource::Nic,
+                    addr: layout::NIC_RX_BUF,
+                    data: frame,
+                    at_insn: self.vm.retired(),
+                };
+                self.charge(Category::Network, self.config.costs.log_append(rec.encoded_len()));
+                self.log.push(rec);
+            }
+            self.pending_irqs.push_back(IRQ_NIC);
+        }
+    }
+
+    fn try_inject_pending(&mut self) {
+        while let Some(&irq) = self.pending_irqs.front() {
+            if !self.vm.can_inject() {
+                self.vm.request_interrupt_window();
+                return;
+            }
+            match self.vm.inject_interrupt(irq) {
+                Ok(()) => {
+                    self.pending_irqs.pop_front();
+                    if self.config.mode.is_recording() {
+                        let rec = Record::Interrupt { irq, at_insn: self.vm.retired() };
+                        self.charge(
+                            Category::Interrupt,
+                            self.config.costs.vmexit + self.config.costs.log_append(rec.encoded_len()),
+                        );
+                        self.log.push(rec);
+                    } else {
+                        self.charge(Category::Interrupt, self.config.costs.irq_virtualized);
+                    }
+                }
+                Err(rnr_machine::InjectError::BadVector(_)) => {
+                    // Before the guest installs its IVT (early boot): drop.
+                    self.pending_irqs.pop_front();
+                }
+                Err(_) => {
+                    self.vm.request_interrupt_window();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn charge(&mut self, category: Category, cycles: u64) {
+        self.vm.add_cycles(cycles);
+        self.attribution.charge(category, cycles);
+    }
+
+    fn handle_exit(&mut self, exit: Exit) {
+        let costs = self.config.costs;
+        let recording = self.config.mode.is_recording();
+        match exit {
+            Exit::BudgetExhausted | Exit::InterruptWindow => {}
+            Exit::Halt => {
+                // Idle guest: fast-forward virtual time to the next event.
+                let next = self.next_event_cycle().max(self.vm.cycles() + 1);
+                let now = self.vm.cycles();
+                self.vm.add_cycles(next - now);
+            }
+            Exit::Rdtsc { rd } => {
+                let value = self.vm.cycles() + self.nondet.tsc_jitter();
+                self.charge(Category::Rdtsc, costs.vmexit);
+                if recording {
+                    let rec = Record::Rdtsc { value };
+                    self.charge(Category::Rdtsc, costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+                self.vm.finish_io(FinishIo::Read { rd, value });
+            }
+            Exit::PioIn { rd, port } => {
+                let value = match port {
+                    PORT_RNG => self.nondet.rng_port(),
+                    _ => 0,
+                };
+                self.charge(Category::PioMmio, costs.vmexit);
+                if recording {
+                    let rec = Record::PioIn { port, value };
+                    self.charge(Category::PioMmio, costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+                self.vm.finish_io(FinishIo::Read { rd, value });
+            }
+            Exit::PioOut { port, value } => {
+                self.charge(Category::PioMmio, costs.vmexit);
+                match port {
+                    PORT_DISK_SECTOR | PORT_DISK_ADDR | PORT_DISK_COUNT | PORT_DISK_CMD
+                        if self.disk.handle_out(port, value, 0) =>
+                    {
+                        // A command write started an operation; latch writes
+                        // fall through to the arm below.
+                        let op = self.disk.in_flight().expect("just started");
+                        if self.config.trace > 0 {
+                            self.disk_ops.push(op);
+                        }
+                        let latency = self.nondet.disk_latency(
+                            op.count.max(1),
+                            costs.disk_latency_base,
+                            costs.disk_latency_per_sector,
+                        );
+                        self.disk.set_complete_at(self.vm.cycles() + latency);
+                    }
+                    PORT_NIC_TX_ADDR | PORT_NIC_TX_LEN | PORT_NIC_TX_CMD => {
+                        self.nic.handle_out(port, value, &self.vm);
+                    }
+                    PORT_CONSOLE => self.console.push(value as u8),
+                    _ => {}
+                }
+                self.vm.finish_io(FinishIo::Write);
+            }
+            Exit::MmioRead { rd, addr } => {
+                let value = match addr {
+                    MMIO_NIC_RX_PENDING => self.nic.rx_pending() as u64 + (self.nic.mailbox_len() > 0) as u64,
+                    MMIO_NIC_RX_LEN => self.nic.mailbox_len(),
+                    _ => 0,
+                };
+                self.charge(Category::PioMmio, costs.vmexit);
+                if recording {
+                    let rec = Record::MmioRead { addr, value };
+                    self.charge(Category::PioMmio, costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+                self.vm.finish_io(FinishIo::Read { rd, value });
+            }
+            Exit::MmioWrite { addr, value: _ } => {
+                self.charge(Category::PioMmio, costs.vmexit);
+                if addr == MMIO_NIC_RX_POP {
+                    self.nic.pop_mailbox();
+                }
+                self.vm.finish_io(FinishIo::Write);
+                if addr == MMIO_NIC_RX_POP {
+                    self.try_deliver_nic();
+                }
+            }
+            Exit::Vmcall => self.handle_vmcall(),
+            Exit::Breakpoint { pc } => self.handle_breakpoint(pc),
+            Exit::RasEvict { evicted, ret_addr } => {
+                if let Some(f) = self.fig8.as_mut() {
+                    f.on_call(ret_addr);
+                }
+                if recording {
+                    let rec = Record::Evict { tid: self.current_tid, addr: evicted };
+                    self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+            }
+            Exit::JopAlarm { branch_pc, target } => {
+                self.alarms += 1;
+                if self.config.stall_on_alarm {
+                    self.stalled = true;
+                }
+                if recording {
+                    let rec = Record::JopAlarm {
+                        tid: self.current_tid,
+                        branch_pc,
+                        target,
+                        at_insn: self.vm.retired(),
+                        at_cycle: self.vm.cycles(),
+                    };
+                    self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+            }
+            Exit::RasMispredict(m) => {
+                self.alarms += 1;
+                if self.config.stall_on_alarm {
+                    self.stalled = true;
+                }
+                if let Some(f) = self.fig8.as_mut() {
+                    f.on_ret(m.ret_pc, m.actual);
+                }
+                if recording {
+                    let rec = Record::Alarm(AlarmInfo {
+                        tid: self.current_tid,
+                        mispredict: m,
+                        at_insn: self.vm.retired(),
+                        at_cycle: self.vm.cycles(),
+                    });
+                    self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
+                    self.log.push(rec);
+                }
+            }
+            Exit::CallTrap { ret_addr, .. } => {
+                if let Some(f) = self.fig8.as_mut() {
+                    f.on_call(ret_addr);
+                }
+            }
+            Exit::RetTrap { ret_pc, target } => {
+                if let Some(f) = self.fig8.as_mut() {
+                    f.on_ret(ret_pc, target);
+                }
+            }
+            Exit::Fault(kind) => {
+                self.fault = Some(kind);
+            }
+        }
+    }
+
+    fn handle_vmcall(&mut self) {
+        let costs = self.config.costs;
+        let op = self.vm.cpu().reg(Reg::R1);
+        let a2 = self.vm.cpu().reg(Reg::R2);
+        let a3 = self.vm.cpu().reg(Reg::R3);
+        let a4 = self.vm.cpu().reg(Reg::R4);
+        self.charge(Category::PioMmio, costs.pv_hypercall);
+        let result = match op {
+            layout::pv::DISK_READ | layout::pv::DISK_WRITE => {
+                let cmd = if op == layout::pv::DISK_READ {
+                    rnr_machine::DISK_CMD_READ
+                } else {
+                    rnr_machine::DISK_CMD_WRITE
+                };
+                self.disk.handle_out(PORT_DISK_SECTOR, a2, 0);
+                self.disk.handle_out(PORT_DISK_ADDR, a3, 0);
+                self.disk.handle_out(PORT_DISK_COUNT, a4, 0);
+                self.disk.handle_out(PORT_DISK_CMD, cmd, 0);
+                self.disk.complete(&mut self.vm);
+                // PV avoids the per-access exits and overlaps/merges
+                // requests (virtio-style queueing): model as half the
+                // effective device latency, still far from free.
+                let latency = self.nondet.disk_latency(
+                    a4.max(1),
+                    costs.disk_latency_base,
+                    costs.disk_latency_per_sector,
+                );
+                self.vm.add_cycles(latency / 2);
+                0
+            }
+            layout::pv::NET_RECV => {
+                // Blocking poll: fast-forward to the next arrival if idle.
+                if self.nic.rx_pending() == 0 {
+                    if let Some(at) = self.next_arrival_cycle() {
+                        let now = self.vm.cycles();
+                        if at > now {
+                            self.vm.add_cycles(at - now);
+                        }
+                        self.service_net_arrivals();
+                    }
+                }
+                match self.nic.take_rx() {
+                    Some(mut frame) => {
+                        let padded = frame.len().div_ceil(32) * 32;
+                        frame.resize(padded.min(layout::NIC_MTU), 0);
+                        let len = frame.len() as u64;
+                        let _ = self.vm.mem_mut().write_bytes(a2, &frame);
+                        len
+                    }
+                    None => u64::MAX,
+                }
+            }
+            layout::pv::NET_TX => {
+                self.nic.handle_out(PORT_NIC_TX_ADDR, a2, &self.vm);
+                self.nic.handle_out(PORT_NIC_TX_LEN, a3, &self.vm);
+                self.nic.handle_out(PORT_NIC_TX_CMD, 1, &self.vm);
+                0
+            }
+            _ => u64::MAX,
+        };
+        self.vm.finish_io(FinishIo::Read { rd: Reg::R1, value: result });
+    }
+
+    fn next_arrival_cycle(&self) -> Option<u64> {
+        match (self.next_packet, self.injections.front().map(|i| i.at_cycle)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn service_net_arrivals(&mut self) {
+        let now = self.vm.cycles();
+        while let Some(at) = self.next_packet {
+            if at > now {
+                break;
+            }
+            let payload = self.nondet.benign_packet(&self.net);
+            self.nic.enqueue_rx(payload);
+            self.next_packet = self.net.mean_interarrival.map(|m| at + self.nondet.packet_gap(m));
+        }
+        while self.injections.front().is_some_and(|i| i.at_cycle <= now) {
+            let inj = self.injections.pop_front().expect("front checked");
+            self.nic.enqueue_rx(inj.payload);
+        }
+    }
+
+    fn handle_breakpoint(&mut self, pc: rnr_isa::Addr) {
+        let costs = self.config.costs;
+        if pc == self.intro.switch_sp_trap() {
+            self.context_switches += 1;
+            if self.config.trace > 0 {
+                self.switch_trace.push(self.vm.cycles());
+            }
+            let next = self.intro.next_thread_at_switch(&self.vm).unwrap_or(self.current_tid);
+            let prev = self.current_tid;
+            if let Some(saved) = self.vm.cpu_mut().ras.save_backras() {
+                if self.dying == Some(prev) {
+                    self.backras.remove(prev);
+                    self.dying = None;
+                } else {
+                    self.backras.save(prev, saved);
+                }
+            }
+            let entry = self.backras.load(next);
+            self.vm.cpu_mut().ras.restore_backras(&entry);
+            self.charge(Category::Ras, costs.vmexit + costs.ras_save + costs.ras_restore);
+            if let Some(f) = self.fig8.as_mut() {
+                f.on_context_switch(next);
+            }
+            self.current_tid = next;
+        } else if pc == self.intro.thread_create_trap() {
+            let tid = self.intro.thread_at_commit(&self.vm);
+            self.backras.allocate(tid);
+            self.charge(Category::Ras, costs.vmexit);
+        } else if pc == self.intro.thread_exit_trap() {
+            let tid = self.intro.thread_at_commit(&self.vm);
+            self.dying = Some(tid);
+            if let Some(f) = self.fig8.as_mut() {
+                f.on_thread_exit(tid);
+            }
+            self.charge(Category::Ras, costs.vmexit);
+        }
+        self.vm.skip_breakpoint_once();
+    }
+}
+
+/// Combines the VM and disk digests into one verification digest.
+pub(crate) fn combined_digest(vm: &GuestVm, disk: &DiskDevice) -> Digest {
+    let mut h = Fnv1a::new();
+    h.update_u64(vm.digest().0);
+    h.update_u64(disk.store().digest().0);
+    h.finish()
+}

@@ -1,0 +1,552 @@
+//! A programmatic assembler with labels, fixups, and data directives.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Addr, Image, Instruction, Opcode, Reg};
+
+/// Errors reported by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A label address does not fit the 32-bit immediate field.
+    TargetOutOfRange {
+        /// The offending label.
+        label: String,
+        /// Its resolved address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::TargetOutOfRange { label, addr } => {
+                write!(f, "label `{label}` at {addr:#x} does not fit in a 32-bit immediate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A target operand: either a resolved absolute address or a label name.
+///
+/// Every direct-control-flow emitter accepts `impl Into<Target>`, so both
+/// `asm.jmp("loop")` and `asm.jmp(0x4000u64)` work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// An absolute guest address.
+    Abs(Addr),
+    /// A label to be resolved at [`Assembler::assemble`] time.
+    Label(String),
+}
+
+impl From<&str> for Target {
+    fn from(s: &str) -> Target {
+        Target::Label(s.to_string())
+    }
+}
+
+impl From<String> for Target {
+    fn from(s: String) -> Target {
+        Target::Label(s)
+    }
+}
+
+impl From<Addr> for Target {
+    fn from(a: Addr) -> Target {
+        Target::Abs(a)
+    }
+}
+
+#[derive(Debug)]
+enum FixupKind {
+    /// Patch the 32-bit `imm` field of the instruction at `offset`.
+    Imm,
+    /// Patch a full 64-bit data word at `offset`.
+    Word,
+}
+
+#[derive(Debug)]
+struct Fixup {
+    /// Offset of the instruction or data word receiving the address.
+    offset: usize,
+    label: String,
+    kind: FixupKind,
+}
+
+/// A programmatic assembler.
+///
+/// Instructions and data are emitted in order from a base address; labels may
+/// be referenced before they are defined. [`Assembler::assemble`] resolves all
+/// fixups and returns an [`Image`].
+///
+/// The guest kernel, workload programs, and attack payload builders are all
+/// written against this API.
+#[derive(Debug)]
+pub struct Assembler {
+    base: Addr,
+    bytes: Vec<u8>,
+    symbols: BTreeMap<String, Addr>,
+    fixups: Vec<Fixup>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// Creates an assembler emitting from `base`.
+    pub fn new(base: Addr) -> Assembler {
+        Assembler { base, bytes: Vec::new(), symbols: BTreeMap::new(), fixups: Vec::new(), error: None }
+    }
+
+    /// The address of the next byte to be emitted.
+    pub fn here(&self) -> Addr {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// Duplicate definitions are reported by [`Assembler::assemble`].
+    pub fn label(&mut self, name: &str) -> &mut Assembler {
+        if self.symbols.insert(name.to_string(), self.here()).is_some() && self.error.is_none() {
+            self.error = Some(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, insn: Instruction) -> &mut Assembler {
+        self.bytes.extend_from_slice(&insn.encode());
+        self
+    }
+
+    fn emit_target(&mut self, op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, target: Target) -> &mut Assembler {
+        match target {
+            Target::Abs(a) => {
+                self.emit(Instruction::new(op, rd, rs1, rs2, a as u32 as i32));
+            }
+            Target::Label(l) => {
+                self.fixups.push(Fixup { offset: self.bytes.len(), label: l, kind: FixupKind::Imm });
+                self.emit(Instruction::new(op, rd, rs1, rs2, 0));
+            }
+        }
+        self
+    }
+
+    // ---- data directives -------------------------------------------------
+
+    /// Emits raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Assembler {
+        self.bytes.extend_from_slice(data);
+        self
+    }
+
+    /// Emits a little-endian 64-bit word.
+    pub fn word(&mut self, w: u64) -> &mut Assembler {
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Emits a 64-bit data word holding the address of `label` (resolved at
+    /// assembly time). Used for in-image pointer tables such as the guest
+    /// kernel's syscall dispatch table.
+    pub fn word_label(&mut self, label: &str) -> &mut Assembler {
+        self.fixups.push(Fixup { offset: self.bytes.len(), label: label.to_string(), kind: FixupKind::Word });
+        self.word(0)
+    }
+
+    /// Emits `n` zero bytes.
+    pub fn space(&mut self, n: usize) -> &mut Assembler {
+        self.bytes.resize(self.bytes.len() + n, 0);
+        self
+    }
+
+    /// Pads with zero bytes to the next multiple of `align` (a power of two).
+    pub fn align(&mut self, align: u64) -> &mut Assembler {
+        debug_assert!(align.is_power_of_two());
+        while !self.here().is_multiple_of(align) {
+            self.bytes.push(0);
+        }
+        self
+    }
+
+    // ---- moves and ALU ---------------------------------------------------
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Nop))
+    }
+
+    /// `hlt` — idle until the next interrupt.
+    pub fn hlt(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Hlt))
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Mov, rd, rs, Reg::R0, 0))
+    }
+
+    /// `rd = imm` (sign-extended 32-bit immediate).
+    pub fn movi(&mut self, rd: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::MovImm, rd, Reg::R0, Reg::R0, imm))
+    }
+
+    /// Loads a full 64-bit constant via `movi` + `movhi`.
+    pub fn movi64(&mut self, rd: Reg, value: u64) -> &mut Assembler {
+        let low = (value & 0xffff_ffff) as u32 as i32;
+        self.movi(rd, low);
+        // `movi` sign-extends; emit `movhi` whenever that is not the value.
+        if low as i64 as u64 != value {
+            self.emit(Instruction::new(Opcode::MovHi, rd, Reg::R0, Reg::R0, (value >> 32) as u32 as i32));
+        }
+        self
+    }
+
+    /// Loads the address of `label` into `rd`.
+    pub fn lea(&mut self, rd: Reg, label: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::MovImm, rd, Reg::R0, Reg::R0, label.into())
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Add, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Sub, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Mul, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 / rs2` (unsigned).
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Divu, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::And, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Or, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Xor, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 << rs2`.
+    pub fn shl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Shl, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 >> rs2`.
+    pub fn shr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Shr, rd, rs1, rs2, 0))
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Addi, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Andi, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Ori, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Xori, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Shli, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 >> imm`.
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Shri, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `rd = rs1 * imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Muli, rd, rs1, Reg::R0, imm))
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// `rd = mem64[rs1 + imm]`.
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Ld, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `mem64[rs1 + imm] = rs2`.
+    pub fn st(&mut self, rs1: Reg, imm: i32, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::St, Reg::R0, rs1, rs2, imm))
+    }
+
+    /// `rd = mem8[rs1 + imm]`.
+    pub fn ld8(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Ld8, rd, rs1, Reg::R0, imm))
+    }
+
+    /// `mem8[rs1 + imm] = rs2`.
+    pub fn st8(&mut self, rs1: Reg, imm: i32, rs2: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::St8, Reg::R0, rs1, rs2, imm))
+    }
+
+    /// `push rs`.
+    pub fn push(&mut self, rs: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Push, Reg::R0, rs, Reg::R0, 0))
+    }
+
+    /// `pop rd`.
+    pub fn pop(&mut self, rd: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Pop, rd, Reg::R0, Reg::R0, 0))
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    /// `call target` — pushes the return address on the software stack and
+    /// the hardware RAS.
+    pub fn call(&mut self, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Call, Reg::R0, Reg::R0, Reg::R0, target.into())
+    }
+
+    /// `callr rs` — indirect call.
+    pub fn callr(&mut self, rs: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::CallR, Reg::R0, rs, Reg::R0, 0))
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Ret))
+    }
+
+    /// `jmp target`.
+    pub fn jmp(&mut self, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Jmp, Reg::R0, Reg::R0, Reg::R0, target.into())
+    }
+
+    /// `jmpr rs` — indirect jump.
+    pub fn jmpr(&mut self, rs: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::JmpR, Reg::R0, rs, Reg::R0, 0))
+    }
+
+    /// `beq rs1, rs2, target`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Beq, Reg::R0, rs1, rs2, target.into())
+    }
+
+    /// `bne rs1, rs2, target`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Bne, Reg::R0, rs1, rs2, target.into())
+    }
+
+    /// `blt rs1, rs2, target` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Blt, Reg::R0, rs1, rs2, target.into())
+    }
+
+    /// `bge rs1, rs2, target` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Bge, Reg::R0, rs1, rs2, target.into())
+    }
+
+    /// `bltu rs1, rs2, target` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Bltu, Reg::R0, rs1, rs2, target.into())
+    }
+
+    /// `bgeu rs1, rs2, target` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: impl Into<Target>) -> &mut Assembler {
+        self.emit_target(Opcode::Bgeu, Reg::R0, rs1, rs2, target.into())
+    }
+
+    // ---- privileged / device -----------------------------------------------
+
+    /// `rdtsc rd`.
+    pub fn rdtsc(&mut self, rd: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Rdtsc, rd, Reg::R0, Reg::R0, 0))
+    }
+
+    /// `in rd, port`.
+    pub fn pio_in(&mut self, rd: Reg, port: u16) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::In, rd, Reg::R0, Reg::R0, port as i32))
+    }
+
+    /// `out port, rs`.
+    pub fn pio_out(&mut self, port: u16, rs: Reg) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Out, Reg::R0, rs, Reg::R0, port as i32))
+    }
+
+    /// `vmcall` — paravirtual hypercall (request code in `r1`).
+    pub fn vmcall(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Vmcall))
+    }
+
+    /// `syscall nr`.
+    pub fn syscall(&mut self, nr: u32) -> &mut Assembler {
+        self.emit(Instruction::new(Opcode::Syscall, Reg::R0, Reg::R0, Reg::R0, nr as i32))
+    }
+
+    /// `sysret`.
+    pub fn sysret(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Sysret))
+    }
+
+    /// `iret`.
+    pub fn iret(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Iret))
+    }
+
+    /// `cli`.
+    pub fn cli(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Cli))
+    }
+
+    /// `sti`.
+    pub fn sti(&mut self) -> &mut Assembler {
+        self.emit(Instruction::bare(Opcode::Sti))
+    }
+
+    // ---- finalization -------------------------------------------------------
+
+    /// Resolves all fixups and produces the final [`Image`].
+    ///
+    /// # Errors
+    ///
+    /// Reports undefined or duplicate labels and label addresses that do not
+    /// fit the 32-bit immediate field.
+    pub fn assemble(mut self) -> Result<Image, AsmError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        for fixup in &self.fixups {
+            let addr = *self
+                .symbols
+                .get(&fixup.label)
+                .ok_or_else(|| AsmError::UndefinedLabel(fixup.label.clone()))?;
+            match fixup.kind {
+                FixupKind::Imm => {
+                    if addr > u32::MAX as u64 {
+                        return Err(AsmError::TargetOutOfRange { label: fixup.label.clone(), addr });
+                    }
+                    self.bytes[fixup.offset + 4..fixup.offset + 8]
+                        .copy_from_slice(&(addr as u32).to_le_bytes());
+                }
+                FixupKind::Word => {
+                    self.bytes[fixup.offset..fixup.offset + 8].copy_from_slice(&addr.to_le_bytes());
+                }
+            }
+        }
+        Ok(Image::from_parts(self.base, self.bytes, self.symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INSN_BYTES;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new(0x1000);
+        asm.label("top");
+        asm.jmp("bottom"); // forward
+        asm.nop();
+        asm.label("bottom");
+        asm.jmp("top"); // backward
+        let img = asm.assemble().unwrap();
+        let first = img.decode_at(0x1000).unwrap();
+        assert_eq!(first.target(), 0x1000 + 2 * INSN_BYTES);
+        let last = img.decode_at(0x1000 + 2 * INSN_BYTES).unwrap();
+        assert_eq!(last.target(), 0x1000);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut asm = Assembler::new(0);
+        asm.call("missing");
+        assert_eq!(asm.assemble().unwrap_err(), AsmError::UndefinedLabel("missing".into()));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut asm = Assembler::new(0);
+        asm.label("x").nop();
+        asm.label("x");
+        assert_eq!(asm.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn movi64_expands_when_needed() {
+        let mut asm = Assembler::new(0);
+        asm.movi64(Reg::R1, 7); // 1 insn
+        asm.movi64(Reg::R2, 0x1_0000_0000); // 2 insns
+        let img = asm.assemble().unwrap();
+        assert_eq!(img.len() as u64, 3 * INSN_BYTES);
+        assert_eq!(img.decode_at(8).unwrap().op, Opcode::MovImm);
+        assert_eq!(img.decode_at(16).unwrap().op, Opcode::MovHi);
+    }
+
+    #[test]
+    fn align_and_space() {
+        let mut asm = Assembler::new(0x10);
+        asm.nop(); // here = 0x18
+        asm.align(16); // pad to 0x20
+        assert_eq!(asm.here(), 0x20);
+        asm.space(3);
+        assert_eq!(asm.here(), 0x23);
+    }
+
+    #[test]
+    fn data_directives_emit_bytes() {
+        let mut asm = Assembler::new(0);
+        asm.word(0x1122_3344_5566_7788);
+        asm.bytes(b"hi");
+        let img = asm.assemble().unwrap();
+        assert_eq!(&img.bytes()[..8], &0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(&img.bytes()[8..10], b"hi");
+    }
+
+    #[test]
+    fn lea_resolves_to_label_address() {
+        let mut asm = Assembler::new(0x2000);
+        asm.lea(Reg::R1, "data");
+        asm.hlt();
+        asm.label("data");
+        asm.word(42);
+        let img = asm.assemble().unwrap();
+        let insn = img.decode_at(0x2000).unwrap();
+        assert_eq!(insn.imm as u32 as u64, img.symbol("data").unwrap());
+    }
+
+    #[test]
+    fn absolute_targets_need_no_fixup() {
+        let mut asm = Assembler::new(0);
+        asm.call(0x4000u64);
+        let img = asm.assemble().unwrap();
+        assert_eq!(img.decode_at(0).unwrap().target(), 0x4000);
+    }
+}

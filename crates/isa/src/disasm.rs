@@ -1,0 +1,105 @@
+//! Textual disassembly, used by debug output and attack reports.
+
+use crate::{Addr, Image, Instruction, Opcode};
+
+/// Renders one instruction as assembly text.
+///
+/// ```
+/// use rnr_isa::{disasm, Instruction, Opcode, Reg};
+/// let insn = Instruction::new(Opcode::Addi, Reg::R1, Reg::R2, Reg::R0, -8);
+/// assert_eq!(disasm(&insn), "addi r1, r2, -8");
+/// ```
+pub fn disasm(insn: &Instruction) -> String {
+    use Opcode::*;
+    let m = insn.op.mnemonic();
+    match insn.op {
+        Nop | Hlt | Ret | Sysret | Iret | Cli | Sti | Vmcall => m.to_string(),
+        Mov => format!("{m} {}, {}", insn.rd, insn.rs1),
+        MovImm | MovHi => format!("{m} {}, {}", insn.rd, insn.imm),
+        Add | Sub | Mul | Divu | And | Or | Xor | Shl | Shr => {
+            format!("{m} {}, {}, {}", insn.rd, insn.rs1, insn.rs2)
+        }
+        Addi | Andi | Ori | Xori | Shli | Shri | Muli => {
+            format!("{m} {}, {}, {}", insn.rd, insn.rs1, insn.imm)
+        }
+        Ld | Ld8 => format!("{m} {}, [{}{:+}]", insn.rd, insn.rs1, insn.imm),
+        St | St8 => format!("{m} [{}{:+}], {}", insn.rs1, insn.imm, insn.rs2),
+        Push => format!("{m} {}", insn.rs1),
+        Pop => format!("{m} {}", insn.rd),
+        Call | Jmp => format!("{m} {:#x}", insn.target()),
+        CallR | JmpR => format!("{m} {}", insn.rs1),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            format!("{m} {}, {}, {:#x}", insn.rs1, insn.rs2, insn.target())
+        }
+        Rdtsc => format!("{m} {}", insn.rd),
+        In => format!("{m} {}, {:#x}", insn.rd, insn.imm as u16),
+        Out => format!("{m} {:#x}, {}", insn.imm as u16, insn.rs1),
+        Syscall => format!("{m} {}", insn.imm as u32),
+    }
+}
+
+/// Disassembles `[start, end)` within `image`, one line per instruction,
+/// annotated with addresses and nearest symbols.
+///
+/// Slots that do not decode are rendered as `.byte` lines, so the listing is
+/// total — important when dumping attacker-corrupted memory.
+pub fn disasm_range(image: &Image, start: Addr, end: Addr) -> String {
+    let mut out = String::new();
+    let mut addr = start;
+    while addr < end {
+        if let Some((sym, sym_addr)) = image.symbolize(addr) {
+            if sym_addr == addr {
+                out.push_str(&format!("{sym}:\n"));
+            }
+        }
+        match image.decode_at(addr) {
+            Ok(insn) => out.push_str(&format!("  {addr:#8x}: {}\n", disasm(&insn))),
+            Err(_) => out.push_str(&format!("  {addr:#8x}: .byte ??\n")),
+        }
+        addr += crate::INSN_BYTES;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Reg};
+
+    #[test]
+    fn mnemonic_forms() {
+        use crate::Opcode::*;
+        let cases = [
+            (Instruction::bare(Ret), "ret"),
+            (Instruction::new(Mov, Reg::R1, Reg::R2, Reg::R0, 0), "mov r1, r2"),
+            (Instruction::new(Ld, Reg::R1, Reg::SP, Reg::R0, 16), "ld r1, [sp+16]"),
+            (Instruction::new(St, Reg::R0, Reg::R3, Reg::R4, -8), "st [r3-8], r4"),
+            (Instruction::new(Call, Reg::R0, Reg::R0, Reg::R0, 0x100), "call 0x100"),
+            (Instruction::new(Beq, Reg::R0, Reg::R1, Reg::R2, 0x40), "beq r1, r2, 0x40"),
+            (Instruction::new(Syscall, Reg::R0, Reg::R0, Reg::R0, 3), "syscall 3"),
+            (Instruction::new(In, Reg::R5, Reg::R0, Reg::R0, 0x10), "in r5, 0x10"),
+        ];
+        for (insn, expect) in cases {
+            assert_eq!(disasm(&insn), expect);
+        }
+    }
+
+    #[test]
+    fn range_listing_includes_symbols() {
+        let mut asm = Assembler::new(0x100);
+        asm.label("f");
+        asm.nop();
+        asm.ret();
+        let img = asm.assemble().unwrap();
+        let text = disasm_range(&img, 0x100, 0x110);
+        assert!(text.contains("f:"));
+        assert!(text.contains("nop"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn display_uses_disasm() {
+        let insn = Instruction::bare(crate::Opcode::Hlt);
+        assert_eq!(insn.to_string(), "hlt");
+    }
+}

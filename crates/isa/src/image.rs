@@ -1,0 +1,178 @@
+//! Assembled binary images with symbol tables.
+
+use std::collections::BTreeMap;
+
+use crate::{Addr, DecodeError, Instruction, INSN_BYTES};
+
+/// An assembled guest binary: raw bytes plus a symbol table.
+///
+/// Images are loaded into guest memory at [`Image::base`]. The symbol table
+/// is what the paper's hypervisor obtains by "analyzing the binary image of
+/// the guest kernel" (§4.4): it is used to program the return/target
+/// whitelists and to set introspection traps, never consulted by the guest
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Image {
+    base: Addr,
+    bytes: Vec<u8>,
+    symbols: BTreeMap<String, Addr>,
+}
+
+impl Image {
+    /// Builds an image from raw parts.
+    pub fn from_parts(base: Addr, bytes: Vec<u8>, symbols: BTreeMap<String, Addr>) -> Image {
+        Image { base, bytes, symbols }
+    }
+
+    /// The load address of the first byte.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The raw image bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the image contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The address one past the last byte.
+    pub fn end(&self) -> Addr {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Looks up a symbol, panicking with a clear message when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not defined; intended for host-side tooling where
+    /// a missing kernel symbol is a build error, not a runtime condition.
+    pub fn require_symbol(&self, name: &str) -> Addr {
+        match self.symbol(name) {
+            Some(a) => a,
+            None => panic!("symbol `{name}` not defined in image"),
+        }
+    }
+
+    /// All symbols, ordered by name.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, Addr)> {
+        self.symbols.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// The symbol with the greatest address not exceeding `addr`, if any —
+    /// the classic "nearest symbol below" lookup used in attack reports.
+    pub fn symbolize(&self, addr: Addr) -> Option<(&str, Addr)> {
+        self.symbols
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            .max_by_key(|&(_, &a)| a)
+            .map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Decodes the instruction located at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if `addr` is outside the image or the bytes
+    /// there do not decode.
+    pub fn decode_at(&self, addr: Addr) -> Result<Instruction, DecodeError> {
+        if addr < self.base {
+            return Err(DecodeError::Truncated);
+        }
+        let off = (addr - self.base) as usize;
+        if off + INSN_BYTES as usize > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        Instruction::decode(&self.bytes[off..off + INSN_BYTES as usize])
+    }
+
+    /// Iterates over `(addr, instruction)` pairs for every aligned slot that
+    /// decodes successfully; slots that fail to decode are skipped. Used by
+    /// the gadget scanner.
+    pub fn iter_insns(&self) -> impl Iterator<Item = (Addr, Instruction)> + '_ {
+        (0..self.bytes.len() / INSN_BYTES as usize).filter_map(move |i| {
+            let off = i * INSN_BYTES as usize;
+            Instruction::decode(&self.bytes[off..off + INSN_BYTES as usize])
+                .ok()
+                .map(|insn| (self.base + off as u64, insn))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Reg};
+
+    fn sample() -> Image {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&Instruction::bare(Opcode::Nop).encode());
+        bytes.extend_from_slice(&Instruction::bare(Opcode::Ret).encode());
+        let mut symbols = BTreeMap::new();
+        symbols.insert("start".to_string(), 0x100);
+        symbols.insert("fini".to_string(), 0x108);
+        Image::from_parts(0x100, bytes, symbols)
+    }
+
+    #[test]
+    fn geometry() {
+        let img = sample();
+        assert_eq!(img.base(), 0x100);
+        assert_eq!(img.len(), 16);
+        assert_eq!(img.end(), 0x110);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let img = sample();
+        assert_eq!(img.symbol("fini"), Some(0x108));
+        assert_eq!(img.symbol("missing"), None);
+        assert_eq!(img.require_symbol("start"), 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol `nope` not defined")]
+    fn require_symbol_panics() {
+        sample().require_symbol("nope");
+    }
+
+    #[test]
+    fn symbolize_finds_nearest_below() {
+        let img = sample();
+        assert_eq!(img.symbolize(0x104), Some(("start", 0x100)));
+        assert_eq!(img.symbolize(0x108), Some(("fini", 0x108)));
+        assert_eq!(img.symbolize(0x50), None);
+    }
+
+    #[test]
+    fn decode_at_bounds() {
+        let img = sample();
+        assert_eq!(img.decode_at(0x108).unwrap().op, Opcode::Ret);
+        assert!(img.decode_at(0x110).is_err());
+        assert!(img.decode_at(0x0).is_err());
+    }
+
+    #[test]
+    fn iter_insns_walks_image() {
+        let img = sample();
+        let insns: Vec<_> = img.iter_insns().collect();
+        assert_eq!(insns.len(), 2);
+        assert_eq!(insns[1].0, 0x108);
+        assert_eq!(insns[1].1.op, Opcode::Ret);
+        assert_eq!(insns[0].1.rd, Reg::R0);
+    }
+}

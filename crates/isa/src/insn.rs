@@ -1,0 +1,422 @@
+//! Instruction formats, opcodes, and the fixed 8-byte encoding.
+
+use std::fmt;
+
+use crate::Reg;
+
+/// Size of every encoded instruction in bytes.
+///
+/// The fixed size is a deliberate simplification over x86's variable-length
+/// encoding: it keeps the interpreter fast and makes the ROP gadget scan of
+/// the paper's Figure 10 (`scan image for ret opcodes, decode backwards`)
+/// exact rather than heuristic.
+pub const INSN_BYTES: u64 = 8;
+
+/// Operation codes of the guest ISA.
+///
+/// Encodings are stable (`#[repr(u8)]`): guest images embed them, and the
+/// gadget scanner of `rnr-attacks` matches on the raw opcode byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// No operation.
+    Nop = 0x00,
+    /// Halt until the next interrupt (guest idle loop).
+    Hlt = 0x01,
+    /// `rd = rs1`.
+    Mov = 0x02,
+    /// `rd = sext(imm)`.
+    MovImm = 0x03,
+    /// `rd = (rd & 0xffff_ffff) | (imm as u64) << 32` — builds 64-bit consts.
+    MovHi = 0x04,
+
+    /// `rd = rs1 + rs2`.
+    Add = 0x10,
+    /// `rd = rs1 - rs2`.
+    Sub = 0x11,
+    /// `rd = rs1 * rs2` (wrapping).
+    Mul = 0x12,
+    /// `rd = rs1 / rs2` unsigned; division by zero yields all-ones.
+    Divu = 0x13,
+    /// `rd = rs1 & rs2`.
+    And = 0x14,
+    /// `rd = rs1 | rs2`.
+    Or = 0x15,
+    /// `rd = rs1 ^ rs2`.
+    Xor = 0x16,
+    /// `rd = rs1 << (rs2 & 63)`.
+    Shl = 0x17,
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Shr = 0x18,
+    /// `rd = rs1 + sext(imm)`.
+    Addi = 0x19,
+    /// `rd = rs1 & sext(imm)`.
+    Andi = 0x1a,
+    /// `rd = rs1 | sext(imm)`.
+    Ori = 0x1b,
+    /// `rd = rs1 ^ sext(imm)`.
+    Xori = 0x1c,
+    /// `rd = rs1 << (imm & 63)`.
+    Shli = 0x1d,
+    /// `rd = rs1 >> (imm & 63)` (logical).
+    Shri = 0x1e,
+    /// `rd = rs1 * sext(imm)` (wrapping).
+    Muli = 0x1f,
+
+    /// `rd = mem64[rs1 + sext(imm)]`.
+    Ld = 0x20,
+    /// `mem64[rs1 + sext(imm)] = rs2`.
+    St = 0x21,
+    /// `rd = zext(mem8[rs1 + sext(imm)])`.
+    Ld8 = 0x22,
+    /// `mem8[rs1 + sext(imm)] = rs2 & 0xff`.
+    St8 = 0x23,
+    /// `sp -= 8; mem64[sp] = rs1`.
+    Push = 0x24,
+    /// `rd = mem64[sp]; sp += 8`.
+    Pop = 0x25,
+
+    /// Direct call: push `pc + 8` to the software stack **and** the hardware
+    /// RAS, then `pc = imm as u32`.
+    Call = 0x30,
+    /// Indirect call through `rs1`; same stack/RAS behaviour as [`Opcode::Call`].
+    CallR = 0x31,
+    /// Return: pop target from the software stack; the hardware RAS provides
+    /// the prediction that RnR-Safe checks for ROP alarms.
+    Ret = 0x32,
+    /// Direct jump: `pc = imm as u32`. No stack or RAS interaction.
+    Jmp = 0x33,
+    /// Indirect jump through `rs1` (the JOP attack vector of Table 1).
+    JmpR = 0x34,
+
+    /// Branch if `rs1 == rs2` to `imm as u32`.
+    Beq = 0x38,
+    /// Branch if `rs1 != rs2`.
+    Bne = 0x39,
+    /// Branch if `rs1 < rs2` (signed).
+    Blt = 0x3a,
+    /// Branch if `rs1 >= rs2` (signed).
+    Bge = 0x3b,
+    /// Branch if `rs1 < rs2` (unsigned).
+    Bltu = 0x3c,
+    /// Branch if `rs1 >= rs2` (unsigned).
+    Bgeu = 0x3d,
+
+    /// `rd = time-stamp counter` — non-deterministic; trapped and logged when
+    /// the VMCS `rdtsc_exiting` control is set (recording mode).
+    Rdtsc = 0x40,
+    /// Port input: `rd = io[imm]`. Always exits to the hypervisor
+    /// (hypervisor-mediated I/O, as assumed by the paper §2.1).
+    In = 0x41,
+    /// Port output: `io[imm] = rs1`. Always exits to the hypervisor.
+    Out = 0x42,
+    /// Paravirtual hypercall (`NoRecPV` baseline of Figure 5): `r1..r4` carry
+    /// the request, the hypervisor services it in a single exit.
+    Vmcall = 0x43,
+
+    /// System call: pushes `pc + 8` and the current privilege mode onto the
+    /// stack, enters kernel mode at the machine's syscall entry point with the
+    /// syscall number in `r15`. **Does not touch the RAS** (like x86).
+    Syscall = 0x50,
+    /// Return from syscall: pops mode and return address. No RAS interaction.
+    Sysret = 0x51,
+    /// Return from interrupt: pops mode and return address pushed by the
+    /// hardware interrupt entry sequence, re-enables interrupts.
+    Iret = 0x52,
+    /// Disable external interrupts.
+    Cli = 0x53,
+    /// Enable external interrupts.
+    Sti = 0x54,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Result<Opcode, DecodeError> {
+        use Opcode::*;
+        Ok(match b {
+            0x00 => Nop,
+            0x01 => Hlt,
+            0x02 => Mov,
+            0x03 => MovImm,
+            0x04 => MovHi,
+            0x10 => Add,
+            0x11 => Sub,
+            0x12 => Mul,
+            0x13 => Divu,
+            0x14 => And,
+            0x15 => Or,
+            0x16 => Xor,
+            0x17 => Shl,
+            0x18 => Shr,
+            0x19 => Addi,
+            0x1a => Andi,
+            0x1b => Ori,
+            0x1c => Xori,
+            0x1d => Shli,
+            0x1e => Shri,
+            0x1f => Muli,
+            0x20 => Ld,
+            0x21 => St,
+            0x22 => Ld8,
+            0x23 => St8,
+            0x24 => Push,
+            0x25 => Pop,
+            0x30 => Call,
+            0x31 => CallR,
+            0x32 => Ret,
+            0x33 => Jmp,
+            0x34 => JmpR,
+            0x38 => Beq,
+            0x39 => Bne,
+            0x3a => Blt,
+            0x3b => Bge,
+            0x3c => Bltu,
+            0x3d => Bgeu,
+            0x40 => Rdtsc,
+            0x41 => In,
+            0x42 => Out,
+            0x43 => Vmcall,
+            0x50 => Syscall,
+            0x51 => Sysret,
+            0x52 => Iret,
+            0x53 => Cli,
+            0x54 => Sti,
+            other => return Err(DecodeError::InvalidOpcode(other)),
+        })
+    }
+
+    /// The opcode byte used in the encoded form.
+    pub fn to_byte(self) -> u8 {
+        self as u8
+    }
+
+    /// True for instructions that transfer control (used by gadget analysis).
+    pub fn is_control_flow(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Call | CallR
+                | Ret
+                | Jmp
+                | JmpR
+                | Beq
+                | Bne
+                | Blt
+                | Bge
+                | Bltu
+                | Bgeu
+                | Syscall
+                | Sysret
+                | Iret
+        )
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Nop => "nop",
+            Hlt => "hlt",
+            Mov => "mov",
+            MovImm => "movi",
+            MovHi => "movhi",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Divu => "divu",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Shli => "shli",
+            Shri => "shri",
+            Muli => "muli",
+            Ld => "ld",
+            St => "st",
+            Ld8 => "ld8",
+            St8 => "st8",
+            Push => "push",
+            Pop => "pop",
+            Call => "call",
+            CallR => "callr",
+            Ret => "ret",
+            Jmp => "jmp",
+            JmpR => "jmpr",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Rdtsc => "rdtsc",
+            In => "in",
+            Out => "out",
+            Vmcall => "vmcall",
+            Syscall => "syscall",
+            Sysret => "sysret",
+            Iret => "iret",
+            Cli => "cli",
+            Sti => "sti",
+        }
+    }
+}
+
+/// Error produced when decoding instruction bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name an instruction.
+    InvalidOpcode(u8),
+    /// Fewer than [`INSN_BYTES`] bytes were available.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::Truncated => write!(f, "truncated instruction (need 8 bytes)"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded instruction.
+///
+/// All instructions carry the full field set; fields unused by a given opcode
+/// are zero. The encoded layout is:
+///
+/// ```text
+/// byte 0    1     2     3     4..7
+///      op   rd    rs1   rs2   imm (i32, little-endian)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register.
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Immediate operand (sign-extended where the opcode says so; branch and
+    /// call targets are absolute addresses interpreted as `u32`).
+    pub imm: i32,
+}
+
+impl Instruction {
+    /// Builds an instruction with all fields explicit.
+    pub fn new(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg, imm: i32) -> Instruction {
+        Instruction { op, rd, rs1, rs2, imm }
+    }
+
+    /// Shorthand for instructions with no operands.
+    pub fn bare(op: Opcode) -> Instruction {
+        Instruction::new(op, Reg::R0, Reg::R0, Reg::R0, 0)
+    }
+
+    /// Encodes into the fixed 8-byte form.
+    pub fn encode(&self) -> [u8; INSN_BYTES as usize] {
+        let mut b = [0u8; INSN_BYTES as usize];
+        b[0] = self.op.to_byte();
+        b[1] = self.rd.into();
+        b[2] = self.rs1.into();
+        b[3] = self.rs2.into();
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes from raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if fewer than 8 bytes are given and
+    /// [`DecodeError::InvalidOpcode`] for an unknown opcode byte.
+    pub fn decode(bytes: &[u8]) -> Result<Instruction, DecodeError> {
+        if bytes.len() < INSN_BYTES as usize {
+            return Err(DecodeError::Truncated);
+        }
+        let op = Opcode::from_byte(bytes[0])?;
+        let imm = i32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        Ok(Instruction {
+            op,
+            rd: Reg::from_index(bytes[1]),
+            rs1: Reg::from_index(bytes[2]),
+            rs2: Reg::from_index(bytes[3]),
+            imm,
+        })
+    }
+
+    /// The absolute branch/call/jump target, for direct control transfers.
+    pub fn target(&self) -> u64 {
+        self.imm as u32 as u64
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::disasm(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_opcodes() -> Vec<Opcode> {
+        (0u8..=0xff).filter_map(|b| Opcode::from_byte(b).ok()).collect()
+    }
+
+    #[test]
+    fn opcode_bytes_round_trip() {
+        for op in all_opcodes() {
+            assert_eq!(Opcode::from_byte(op.to_byte()), Ok(op));
+        }
+    }
+
+    #[test]
+    fn there_are_47_opcodes() {
+        assert_eq!(all_opcodes().len(), 47);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in all_opcodes() {
+            let insn = Instruction::new(op, Reg::R3, Reg::R7, Reg::R14, -12345);
+            let decoded = Instruction::decode(&insn.encode()).unwrap();
+            assert_eq!(decoded, insn);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let bytes = [0xee, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(Instruction::decode(&bytes), Err(DecodeError::InvalidOpcode(0xee)));
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        assert_eq!(Instruction::decode(&[0u8; 7]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn target_is_unsigned_32_bit() {
+        let insn = Instruction::new(Opcode::Jmp, Reg::R0, Reg::R0, Reg::R0, -1);
+        assert_eq!(insn.target(), u32::MAX as u64);
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Opcode::Ret.is_control_flow());
+        assert!(Opcode::CallR.is_control_flow());
+        assert!(Opcode::JmpR.is_control_flow());
+        assert!(!Opcode::Add.is_control_flow());
+        assert!(!Opcode::Rdtsc.is_control_flow());
+    }
+}

@@ -1,0 +1,71 @@
+//! # rnr-isa: the guest instruction-set architecture
+//!
+//! This crate defines the instruction set executed by the simulated guest
+//! machine of the RnR-Safe reproduction (HPCA 2018, "Record-Replay
+//! Architecture as a General Security Framework").
+//!
+//! The ISA is a small 64-bit RISC-like machine language with a **fixed 8-byte
+//! instruction encoding**. A fixed encoding keeps the gadget scan of the
+//! paper's Figure 10 faithful: a ROP attacker (and our `rnr-attacks` crate)
+//! scans the binary image for `ret` opcodes and decodes the instructions that
+//! precede them.
+//!
+//! Key properties mirrored from real hardware that the paper relies on:
+//!
+//! * [`Opcode::Call`]/[`Opcode::CallR`] push the return address both onto the
+//!   **software stack** (in guest memory, attackable) and onto the hardware
+//!   **Return Address Stack** (modeled in `rnr-ras`, not software visible).
+//! * [`Opcode::Ret`] pops the return target from the software stack and is
+//!   where RAS mispredictions — the paper's ROP alarm trigger — are detected.
+//! * [`Opcode::Syscall`]/[`Opcode::Sysret`] and interrupt entry/[`Opcode::Iret`]
+//!   do **not** touch the RAS, exactly like x86 `syscall`/`iret`.
+//!
+//! The crate provides:
+//!
+//! * [`Instruction`] and [`Opcode`]: decoded instruction forms with
+//!   [`Instruction::encode`]/[`Instruction::decode`].
+//! * [`Assembler`]: a programmatic assembler with labels, fixups and data
+//!   directives, producing an [`Image`] with a symbol table.
+//! * [`disasm`]: a disassembler used by debugging aids and by the attack
+//!   characterization reports of the alarm replayer.
+//!
+//! ## Example
+//!
+//! ```
+//! use rnr_isa::{Assembler, Reg};
+//!
+//! # fn main() -> Result<(), rnr_isa::AsmError> {
+//! let mut asm = Assembler::new(0x1000);
+//! asm.label("start");
+//! asm.movi(Reg::R1, 41);
+//! asm.addi(Reg::R1, Reg::R1, 1);
+//! asm.call("helper");
+//! asm.hlt();
+//! asm.label("helper");
+//! asm.ret();
+//! let image = asm.assemble()?;
+//! assert_eq!(image.symbol("helper"), Some(0x1000 + 4 * 8));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod disasm;
+mod image;
+mod insn;
+mod reg;
+
+pub use asm::{AsmError, Assembler};
+pub use disasm::{disasm, disasm_range};
+pub use image::Image;
+pub use insn::{DecodeError, Instruction, Opcode, INSN_BYTES};
+pub use reg::Reg;
+
+/// A guest byte address.
+pub type Addr = u64;
+
+/// A 64-bit machine word.
+pub type Word = u64;

@@ -1,0 +1,122 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// A general-purpose register of the guest CPU.
+///
+/// The machine has 16 registers. By software convention:
+///
+/// * `R0` is the scratch/zero-ish register (not hardwired to zero),
+/// * `R1`–`R5` carry syscall/function arguments and return values,
+/// * `R10`–`R13` are callee-saved by the guest kernel ABI,
+/// * [`Reg::SP`] (`R14`) is the stack pointer,
+/// * `R15` is the assembler temporary used by macro-instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// The stack pointer register (`R14`).
+    pub const SP: Reg = Reg::R14;
+
+    /// Number of general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// All registers in index order.
+    pub const ALL: [Reg; Reg::COUNT] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Returns the register with the given hardware index.
+    ///
+    /// Indices are taken modulo 16, so any `u8` decodes to a valid register;
+    /// this mirrors hardware decoders that simply use the low 4 bits.
+    pub fn from_index(index: u8) -> Reg {
+        Reg::ALL[(index & 0xf) as usize]
+    }
+
+    /// The hardware index of this register.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Reg::SP {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.index())
+        }
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_index_round_trips() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), r);
+        }
+    }
+
+    #[test]
+    fn from_index_masks_high_bits() {
+        assert_eq!(Reg::from_index(0x13), Reg::R3);
+        assert_eq!(Reg::from_index(0xff), Reg::R15);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R3.to_string(), "r3");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::R14.to_string(), "sp");
+    }
+
+    #[test]
+    fn sp_is_r14() {
+        assert_eq!(Reg::SP, Reg::R14);
+        assert_eq!(Reg::SP.index(), 14);
+    }
+}

@@ -1,0 +1,302 @@
+//! Compact binary codec for log records.
+//!
+//! The paper reports *uncompressed* log generation rates (Figure 6(a):
+//! "We do not compress the data"), so sizes here are exact wire sizes of a
+//! straightforward tag-plus-fields little-endian encoding.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rnr_ras::{Mispredict, MispredictKind, ThreadId};
+
+use crate::{AlarmInfo, DmaSource, Record};
+
+/// Errors from decoding log bytes ([`crate::InputLog::from_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended inside a record.
+    Truncated,
+    /// Unknown record tag byte.
+    BadTag(u8),
+    /// Unknown enum discriminant inside a record.
+    BadField(&'static str, u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated log data"),
+            CodecError::BadTag(t) => write!(f, "unknown record tag {t:#04x}"),
+            CodecError::BadField(what, v) => write!(f, "invalid {what} discriminant {v:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_RDTSC: u8 = 1;
+const TAG_PIO_IN: u8 = 2;
+const TAG_MMIO_READ: u8 = 3;
+const TAG_INTERRUPT: u8 = 4;
+const TAG_DMA: u8 = 5;
+const TAG_EVICT: u8 = 6;
+const TAG_ALARM: u8 = 7;
+const TAG_END: u8 = 8;
+const TAG_JOP_ALARM: u8 = 9;
+
+/// Exact encoded size of `record` in bytes.
+pub fn encoded_len(record: &Record) -> u64 {
+    match record {
+        Record::Rdtsc { .. } => 1 + 8,
+        Record::PioIn { .. } => 1 + 2 + 8,
+        Record::MmioRead { .. } => 1 + 8 + 8,
+        Record::Interrupt { .. } => 1 + 1 + 8,
+        Record::Dma { data, .. } => 1 + 1 + 8 + 4 + data.len() as u64 + 8,
+        Record::Evict { .. } => 1 + 8 + 8,
+        // tid + ret_pc + predicted(tag+8) + actual + kind + at_insn + at_cycle
+        Record::Alarm(_) => 1 + 8 + 8 + 9 + 8 + 1 + 8 + 8,
+        Record::End { .. } => 1 + 8 + 8,
+        Record::JopAlarm { .. } => 1 + 8 + 8 + 8 + 8 + 8,
+    }
+}
+
+/// Appends the binary form of `record` to `buf`.
+pub fn encode(record: &Record, buf: &mut BytesMut) {
+    match record {
+        Record::Rdtsc { value } => {
+            buf.put_u8(TAG_RDTSC);
+            buf.put_u64_le(*value);
+        }
+        Record::PioIn { port, value } => {
+            buf.put_u8(TAG_PIO_IN);
+            buf.put_u16_le(*port);
+            buf.put_u64_le(*value);
+        }
+        Record::MmioRead { addr, value } => {
+            buf.put_u8(TAG_MMIO_READ);
+            buf.put_u64_le(*addr);
+            buf.put_u64_le(*value);
+        }
+        Record::Interrupt { irq, at_insn } => {
+            buf.put_u8(TAG_INTERRUPT);
+            buf.put_u8(*irq);
+            buf.put_u64_le(*at_insn);
+        }
+        Record::Dma { source, addr, data, at_insn } => {
+            buf.put_u8(TAG_DMA);
+            buf.put_u8(match source {
+                DmaSource::Disk => 0,
+                DmaSource::Nic => 1,
+            });
+            buf.put_u64_le(*addr);
+            buf.put_u32_le(data.len() as u32);
+            buf.put_slice(data);
+            buf.put_u64_le(*at_insn);
+        }
+        Record::Evict { tid, addr } => {
+            buf.put_u8(TAG_EVICT);
+            buf.put_u64_le(tid.0);
+            buf.put_u64_le(*addr);
+        }
+        Record::Alarm(a) => {
+            buf.put_u8(TAG_ALARM);
+            buf.put_u64_le(a.tid.0);
+            buf.put_u64_le(a.mispredict.ret_pc);
+            match a.mispredict.predicted {
+                Some(p) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(p);
+                }
+                None => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(0);
+                }
+            }
+            buf.put_u64_le(a.mispredict.actual);
+            buf.put_u8(match a.mispredict.kind {
+                MispredictKind::Underflow => 0,
+                MispredictKind::TargetMismatch => 1,
+                MispredictKind::WhitelistViolation => 2,
+            });
+            buf.put_u64_le(a.at_insn);
+            buf.put_u64_le(a.at_cycle);
+        }
+        Record::End { at_insn, at_cycle } => {
+            buf.put_u8(TAG_END);
+            buf.put_u64_le(*at_insn);
+            buf.put_u64_le(*at_cycle);
+        }
+        Record::JopAlarm { tid, branch_pc, target, at_insn, at_cycle } => {
+            buf.put_u8(TAG_JOP_ALARM);
+            buf.put_u64_le(tid.0);
+            buf.put_u64_le(*branch_pc);
+            buf.put_u64_le(*target);
+            buf.put_u64_le(*at_insn);
+            buf.put_u64_le(*at_cycle);
+        }
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decodes one record from the front of `buf`, advancing it.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on truncated input or unknown discriminants.
+pub fn decode(buf: &mut Bytes) -> Result<Record, CodecError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_RDTSC => {
+            need(buf, 8)?;
+            Record::Rdtsc { value: buf.get_u64_le() }
+        }
+        TAG_PIO_IN => {
+            need(buf, 10)?;
+            Record::PioIn { port: buf.get_u16_le(), value: buf.get_u64_le() }
+        }
+        TAG_MMIO_READ => {
+            need(buf, 16)?;
+            Record::MmioRead { addr: buf.get_u64_le(), value: buf.get_u64_le() }
+        }
+        TAG_INTERRUPT => {
+            need(buf, 9)?;
+            Record::Interrupt { irq: buf.get_u8(), at_insn: buf.get_u64_le() }
+        }
+        TAG_DMA => {
+            need(buf, 13)?;
+            let source = match buf.get_u8() {
+                0 => DmaSource::Disk,
+                1 => DmaSource::Nic,
+                v => return Err(CodecError::BadField("dma source", v)),
+            };
+            let addr = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            need(buf, len + 8)?;
+            let data = buf.split_to(len).to_vec();
+            Record::Dma { source, addr, data, at_insn: buf.get_u64_le() }
+        }
+        TAG_EVICT => {
+            need(buf, 16)?;
+            Record::Evict { tid: ThreadId(buf.get_u64_le()), addr: buf.get_u64_le() }
+        }
+        TAG_ALARM => {
+            need(buf, 8 + 8 + 9 + 8 + 1 + 8 + 8)?;
+            let tid = ThreadId(buf.get_u64_le());
+            let ret_pc = buf.get_u64_le();
+            let has_pred = buf.get_u8();
+            let pred_val = buf.get_u64_le();
+            let predicted = match has_pred {
+                0 => None,
+                1 => Some(pred_val),
+                v => return Err(CodecError::BadField("prediction presence", v)),
+            };
+            let actual = buf.get_u64_le();
+            let kind = match buf.get_u8() {
+                0 => MispredictKind::Underflow,
+                1 => MispredictKind::TargetMismatch,
+                2 => MispredictKind::WhitelistViolation,
+                v => return Err(CodecError::BadField("mispredict kind", v)),
+            };
+            Record::Alarm(AlarmInfo {
+                tid,
+                mispredict: Mispredict { ret_pc, predicted, actual, kind },
+                at_insn: buf.get_u64_le(),
+                at_cycle: buf.get_u64_le(),
+            })
+        }
+        TAG_END => {
+            need(buf, 16)?;
+            Record::End { at_insn: buf.get_u64_le(), at_cycle: buf.get_u64_le() }
+        }
+        TAG_JOP_ALARM => {
+            need(buf, 40)?;
+            Record::JopAlarm {
+                tid: ThreadId(buf.get_u64_le()),
+                branch_pc: buf.get_u64_le(),
+                target: buf.get_u64_le(),
+                at_insn: buf.get_u64_le(),
+                at_cycle: buf.get_u64_le(),
+            }
+        }
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(r: Record) {
+        let mut buf = BytesMut::new();
+        encode(&r, &mut buf);
+        assert_eq!(buf.len() as u64, encoded_len(&r), "encoded_len mismatch for {r:?}");
+        let mut bytes = buf.freeze();
+        let back = decode(&mut bytes).unwrap();
+        assert_eq!(back, r);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn all_record_kinds_round_trip() {
+        round_trip(Record::Rdtsc { value: u64::MAX });
+        round_trip(Record::PioIn { port: 0x1f7, value: 42 });
+        round_trip(Record::MmioRead { addr: 0xfee0_0000, value: 7 });
+        round_trip(Record::Interrupt { irq: 2, at_insn: 123_456 });
+        round_trip(Record::Dma { source: DmaSource::Nic, addr: 0x8000, data: vec![1, 2, 3], at_insn: 99 });
+        round_trip(Record::Dma { source: DmaSource::Disk, addr: 0, data: vec![], at_insn: 0 });
+        round_trip(Record::Evict { tid: ThreadId(5), addr: 0xdead });
+        round_trip(Record::Alarm(AlarmInfo {
+            tid: ThreadId(9),
+            mispredict: Mispredict {
+                ret_pc: 0x100,
+                predicted: Some(0x108),
+                actual: 0x666,
+                kind: MispredictKind::TargetMismatch,
+            },
+            at_insn: 1,
+            at_cycle: 2,
+        }));
+        round_trip(Record::Alarm(AlarmInfo {
+            tid: ThreadId(9),
+            mispredict: Mispredict { ret_pc: 0x100, predicted: None, actual: 0x666, kind: MispredictKind::Underflow },
+            at_insn: 1,
+            at_cycle: 2,
+        }));
+        round_trip(Record::End { at_insn: 10, at_cycle: 20 });
+        round_trip(Record::JopAlarm {
+            tid: ThreadId(4),
+            branch_pc: 0x1470,
+            target: 0x9999,
+            at_insn: 77,
+            at_cycle: 99,
+        });
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = BytesMut::new();
+        encode(&Record::Rdtsc { value: 1 }, &mut buf);
+        let mut short = buf.freeze().slice(0..4);
+        assert_eq!(decode(&mut short), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut bytes = Bytes::from_static(&[0xff]);
+        assert_eq!(decode(&mut bytes), Err(CodecError::BadTag(0xff)));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut bytes = Bytes::new();
+        assert_eq!(decode(&mut bytes), Err(CodecError::Truncated));
+    }
+}

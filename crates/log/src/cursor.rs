@@ -1,0 +1,104 @@
+//! Read cursors over the input log.
+
+use crate::{InputLog, Record};
+
+/// A replayer's position in the input log.
+///
+/// Checkpoints store a cursor as their `InputLogPtr` component (Figure 4):
+/// "a pointer to the input log buffer... points to the next input log record
+/// to be processed after the checkpoint."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LogCursor {
+    index: usize,
+}
+
+impl LogCursor {
+    /// A cursor at record `index`.
+    pub fn new(index: usize) -> LogCursor {
+        LogCursor { index }
+    }
+
+    /// The index of the next record to process.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The next record, without advancing.
+    pub fn peek<'a>(&self, log: &'a InputLog) -> Option<&'a Record> {
+        log.records().get(self.index)
+    }
+
+    /// Returns the next record and advances.
+    pub fn next<'a>(&mut self, log: &'a InputLog) -> Option<&'a Record> {
+        let r = log.records().get(self.index)?;
+        self.index += 1;
+        Some(r)
+    }
+
+    /// Advances past the current record without reading it.
+    pub fn advance(&mut self) {
+        self.index += 1;
+    }
+
+    /// True if no records remain.
+    pub fn is_done(&self, log: &InputLog) -> bool {
+        self.index >= log.len()
+    }
+
+    /// Bytes of log remaining from this cursor to the end — the "log
+    /// generated during the detection window" measurement of §8.4.
+    pub fn remaining_bytes(&self, log: &InputLog) -> u64 {
+        log.records()[self.index.min(log.len())..].iter().map(Record::encoded_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InputLog {
+        vec![Record::Rdtsc { value: 1 }, Record::Rdtsc { value: 2 }, Record::End { at_insn: 0, at_cycle: 0 }]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn next_walks_in_order() {
+        let log = sample();
+        let mut c = log.cursor();
+        assert_eq!(c.next(&log), Some(&Record::Rdtsc { value: 1 }));
+        assert_eq!(c.next(&log), Some(&Record::Rdtsc { value: 2 }));
+        assert!(matches!(c.next(&log), Some(Record::End { .. })));
+        assert_eq!(c.next(&log), None);
+        assert!(c.is_done(&log));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let log = sample();
+        let mut c = log.cursor();
+        assert_eq!(c.peek(&log), Some(&Record::Rdtsc { value: 1 }));
+        assert_eq!(c.peek(&log), Some(&Record::Rdtsc { value: 1 }));
+        c.advance();
+        assert_eq!(c.peek(&log), Some(&Record::Rdtsc { value: 2 }));
+    }
+
+    #[test]
+    fn remaining_bytes_shrinks() {
+        let log = sample();
+        let mut c = log.cursor();
+        let all = c.remaining_bytes(&log);
+        assert_eq!(all, log.total_bytes());
+        c.advance();
+        assert_eq!(c.remaining_bytes(&log), all - 9);
+    }
+
+    #[test]
+    fn cursor_survives_past_end() {
+        let log = sample();
+        let mut c = LogCursor::new(99);
+        assert_eq!(c.peek(&log), None);
+        assert_eq!(c.next(&log), None);
+        assert_eq!(c.remaining_bytes(&log), 0);
+    }
+}

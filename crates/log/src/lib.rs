@@ -1,0 +1,32 @@
+//! # rnr-log: the RnR input log
+//!
+//! During monitored recording, the hypervisor stores **every non-deterministic
+//! event** of the guest execution in a software log (§3 of the paper); the
+//! checkpointing and alarm replayers consume the log to enforce a
+//! deterministic re-execution. This crate defines:
+//!
+//! * [`Record`] — the log entry types: synchronous data events (`rdtsc`,
+//!   PIO/MMIO reads), asynchronous events pinned to an instruction count
+//!   (external interrupts, DMA payloads from the disk and NIC), the RAS
+//!   *evict* records of §4.5, the ROP *alarm* markers, and the end-of-log
+//!   marker.
+//! * [`InputLog`] / [`LogWriter`] — an append-only log with exact binary
+//!   size accounting per [`Category`] (regenerates the log-rate data of
+//!   Figure 6(a) and the overhead attribution of Figure 5(b)).
+//! * [`LogCursor`] — the replayers' read position; checkpoints store a
+//!   cursor as their `InputLogPtr` (Figure 4).
+//! * a compact binary codec ([`InputLog::to_bytes`] /
+//!   [`InputLog::from_bytes`]) so log sizes are measured, not estimated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod cursor;
+mod record;
+mod writer;
+
+pub use codec::CodecError;
+pub use cursor::LogCursor;
+pub use record::{AlarmInfo, Category, DmaSource, Record};
+pub use writer::{InputLog, LogWriter};

@@ -1,0 +1,68 @@
+//! Machine configuration.
+
+use rnr_isa::Addr;
+use rnr_ras::RasConfig;
+
+use crate::{CostModel, ExitControls};
+
+/// Static configuration of a [`GuestVm`](crate::GuestVm).
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Guest physical memory size in bytes.
+    pub mem_bytes: usize,
+    /// Virtual disk size in bytes.
+    pub disk_bytes: usize,
+    /// Base address of the interrupt vector table (one 8-byte handler
+    /// address per IRQ line).
+    pub ivt_base: Addr,
+    /// Guest-kernel syscall entry point (set after the kernel is assembled).
+    pub syscall_entry: Addr,
+    /// RAS hardware configuration.
+    pub ras: RasConfig,
+    /// VM-exit controls (the VMCS execution controls of §5.1).
+    pub exits: ExitControls,
+    /// Hardware indirect-branch table for JOP detection (Table 1, row 2);
+    /// `None` disables JOP alarms.
+    pub jop_table: Option<crate::JopTable>,
+    /// Cycle cost model.
+    pub costs: CostModel,
+}
+
+impl MachineConfig {
+    /// Default guest memory: 4 MiB — small enough that whole-state digests
+    /// and checkpoints stay cheap, large enough for the microkernel and all
+    /// workloads.
+    pub const DEFAULT_MEM: usize = 4 << 20;
+    /// Default virtual disk: 8 MiB.
+    pub const DEFAULT_DISK: usize = 8 << 20;
+    /// Default IVT location.
+    pub const DEFAULT_IVT: Addr = 0x100;
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem_bytes: MachineConfig::DEFAULT_MEM,
+            disk_bytes: MachineConfig::DEFAULT_DISK,
+            ivt_base: MachineConfig::DEFAULT_IVT,
+            syscall_entry: 0,
+            ras: RasConfig::default(),
+            exits: ExitControls::default(),
+            jop_table: None,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = MachineConfig::default();
+        assert_eq!(c.mem_bytes % crate::PAGE_SIZE, 0);
+        assert_eq!(c.disk_bytes % crate::PAGE_SIZE, 0);
+        assert!(c.ivt_base < c.mem_bytes as u64);
+    }
+}

@@ -1,0 +1,163 @@
+//! CPU architectural state.
+
+use rnr_isa::{Addr, Reg};
+use rnr_ras::{RasConfig, RasUnit};
+
+/// Privilege mode of the guest CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// Kernel (privileged) mode.
+    Kernel,
+    /// User (unprivileged) mode.
+    User,
+}
+
+impl Mode {
+    /// Encodes into the on-stack flags word used by interrupt/syscall frames.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Mode::Kernel => 0,
+            Mode::User => 1,
+        }
+    }
+
+    /// Decodes from on-stack flags (only the low bit is significant).
+    pub fn from_bits(bits: u64) -> Mode {
+        if bits & 1 == 0 {
+            Mode::Kernel
+        } else {
+            Mode::User
+        }
+    }
+}
+
+/// The guest CPU: registers, PC, privilege mode, interrupt flag, and the
+/// hardware RAS unit.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u64; Reg::COUNT],
+    /// The program counter.
+    pub pc: Addr,
+    /// Current privilege mode.
+    pub mode: Mode,
+    /// External-interrupt enable flag (`cli`/`sti`).
+    pub interrupts_enabled: bool,
+    /// Set by `hlt`, cleared by interrupt injection.
+    pub halted: bool,
+    /// The hardware Return Address Stack.
+    pub ras: RasUnit,
+}
+
+/// Serializable CPU snapshot stored in checkpoints ("a page with the
+/// processor state at the time of checkpoint: PC, stack pointer, and the
+/// rest of the registers", §4.6.1) plus the RAS contents.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CpuState {
+    /// General-purpose registers.
+    pub regs: [u64; Reg::COUNT],
+    /// Program counter.
+    pub pc: Addr,
+    /// Privilege mode.
+    pub mode: Mode,
+    /// Interrupt enable flag.
+    pub interrupts_enabled: bool,
+    /// Halt state.
+    pub halted: bool,
+    /// Live RAS entries (bottom first).
+    pub ras_entries: Vec<Addr>,
+}
+
+impl Cpu {
+    /// A CPU reset to kernel mode at `entry`, interrupts disabled.
+    pub fn new(entry: Addr, ras: RasConfig) -> Cpu {
+        Cpu {
+            regs: [0; Reg::COUNT],
+            pc: entry,
+            mode: Mode::Kernel,
+            interrupts_enabled: false,
+            halted: false,
+            ras: RasUnit::new(ras),
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The stack pointer (`sp` = `r14`).
+    pub fn sp(&self) -> Addr {
+        self.reg(Reg::SP)
+    }
+
+    /// Sets the stack pointer.
+    pub fn set_sp(&mut self, v: Addr) {
+        self.set_reg(Reg::SP, v);
+    }
+
+    /// Captures a checkpointable snapshot.
+    pub fn save_state(&self) -> CpuState {
+        CpuState {
+            regs: self.regs,
+            pc: self.pc,
+            mode: self.mode,
+            interrupts_enabled: self.interrupts_enabled,
+            halted: self.halted,
+            ras_entries: self.ras.snapshot(),
+        }
+    }
+
+    /// Restores a snapshot taken with [`Cpu::save_state`].
+    pub fn restore_state(&mut self, s: &CpuState) {
+        self.regs = s.regs;
+        self.pc = s.pc;
+        self.mode = s.mode;
+        self.interrupts_enabled = s.interrupts_enabled;
+        self.halted = s.halted;
+        self.ras.restore_snapshot(&s.ras_entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_bits_round_trip() {
+        assert_eq!(Mode::from_bits(Mode::Kernel.to_bits()), Mode::Kernel);
+        assert_eq!(Mode::from_bits(Mode::User.to_bits()), Mode::User);
+        assert_eq!(Mode::from_bits(0xff), Mode::User);
+    }
+
+    #[test]
+    fn reset_state() {
+        let cpu = Cpu::new(0x1000, RasConfig::default());
+        assert_eq!(cpu.pc, 0x1000);
+        assert_eq!(cpu.mode, Mode::Kernel);
+        assert!(!cpu.interrupts_enabled);
+        assert!(!cpu.halted);
+        assert_eq!(cpu.reg(Reg::R5), 0);
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let mut cpu = Cpu::new(0, RasConfig::default());
+        cpu.set_reg(Reg::R3, 99);
+        cpu.set_sp(0x8000);
+        cpu.mode = Mode::User;
+        cpu.ras.on_call(0x1234);
+        let snap = cpu.save_state();
+
+        let mut other = Cpu::new(0, RasConfig::default());
+        other.restore_state(&snap);
+        assert_eq!(other.reg(Reg::R3), 99);
+        assert_eq!(other.sp(), 0x8000);
+        assert_eq!(other.mode, Mode::User);
+        assert_eq!(other.ras.snapshot(), vec![0x1234]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Architectural-state digests for determinism verification.
+
+use std::fmt;
+
+/// A 64-bit FNV-1a state digest.
+///
+/// Replay correctness is asserted by comparing the digest of the recorded
+/// VM's final state with the replayed VM's state at the same instruction
+/// count; any divergence in memory, registers, mode, or disk contents
+/// changes the digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Digest(pub u64);
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// A fresh hasher.
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a 64-bit value.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> Digest {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a(b"a").0, 0xaf63_dc4c_8601_ec8c);
+        // FNV-1a("") = offset basis
+        assert_eq!(fnv1a(b"").0, FNV_OFFSET);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"ab"));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish(), fnv1a(b"hello world"));
+    }
+}

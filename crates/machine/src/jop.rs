@@ -1,0 +1,94 @@
+//! The hardware indirect-branch table for JOP detection (Table 1, row 2).
+
+use rnr_isa::Addr;
+
+/// The hardware's "table of begin and end addresses of the most common
+/// functions". An indirect branch or call is *legal* when its target is the
+/// first instruction of a tracked function, or stays within the function
+/// containing the branch; anything else raises a JOP alarm for the
+/// replayers to resolve against the full function list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JopTable {
+    ranges: Vec<(Addr, Addr)>,
+}
+
+impl JopTable {
+    /// Builds a table from `(start, end)` function ranges.
+    pub fn from_ranges(mut ranges: Vec<(Addr, Addr)>) -> JopTable {
+        ranges.sort_unstable();
+        ranges.dedup();
+        JopTable { ranges }
+    }
+
+    /// Number of tracked functions.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The tracked ranges.
+    pub fn ranges(&self) -> &[(Addr, Addr)] {
+        &self.ranges
+    }
+
+    fn containing(&self, addr: Addr) -> Option<(Addr, Addr)> {
+        // Ranges are sorted by start: binary-search the candidate.
+        let idx = self.ranges.partition_point(|&(s, _)| s <= addr);
+        idx.checked_sub(1).map(|i| self.ranges[i]).filter(|&(s, e)| s <= addr && addr < e)
+    }
+
+    /// True when the indirect transfer `branch_pc → target` is legal under
+    /// this table.
+    pub fn is_legal(&self, branch_pc: Addr, target: Addr) -> bool {
+        if self.ranges.binary_search_by_key(&target, |&(s, _)| s).is_ok() {
+            return true; // function entry
+        }
+        match self.containing(branch_pc) {
+            Some((s, e)) => s <= target && target < e, // intra-function
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> JopTable {
+        JopTable::from_ranges(vec![(0x100, 0x200), (0x200, 0x300), (0x500, 0x520)])
+    }
+
+    #[test]
+    fn entry_targets_are_legal() {
+        let t = table();
+        assert!(t.is_legal(0x110, 0x200));
+        assert!(t.is_legal(0x999, 0x500)); // even from untracked code
+    }
+
+    #[test]
+    fn intra_function_targets_are_legal() {
+        assert!(table().is_legal(0x110, 0x180));
+    }
+
+    #[test]
+    fn cross_function_mid_body_is_illegal() {
+        let t = table();
+        assert!(!t.is_legal(0x110, 0x250));
+        assert!(!t.is_legal(0x110, 0x510)); // mid-body of a small function
+    }
+
+    #[test]
+    fn untracked_source_to_mid_body_is_illegal() {
+        assert!(!table().is_legal(0x900, 0x180));
+    }
+
+    #[test]
+    fn empty_table_rejects_everything() {
+        assert!(!JopTable::default().is_legal(0x100, 0x100));
+        assert!(JopTable::default().is_empty());
+    }
+}

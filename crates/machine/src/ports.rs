@@ -1,0 +1,75 @@
+//! The platform's I/O port map, MMIO window, and interrupt lines.
+//!
+//! These constants define the "virtual motherboard" shared by the guest
+//! kernel (`rnr-guest`), the device emulation in the hypervisor
+//! (`rnr-hypervisor`), and the workload programs.
+
+/// Disk controller: target sector number (write-only latch).
+pub const PORT_DISK_SECTOR: u16 = 0x10;
+/// Disk controller: guest-physical DMA address (write-only latch).
+pub const PORT_DISK_ADDR: u16 = 0x11;
+/// Disk controller: sector count (write-only latch).
+pub const PORT_DISK_COUNT: u16 = 0x12;
+/// Disk controller: command register; writing [`DISK_CMD_READ`] or
+/// [`DISK_CMD_WRITE`] starts the operation, completion raises [`IRQ_DISK`].
+pub const PORT_DISK_CMD: u16 = 0x13;
+
+/// NIC: guest-physical address of the frame to transmit (write-only latch).
+pub const PORT_NIC_TX_ADDR: u16 = 0x20;
+/// NIC: length of the frame to transmit (write-only latch).
+pub const PORT_NIC_TX_LEN: u16 = 0x21;
+/// NIC: transmit command; writing 1 sends the latched frame.
+pub const PORT_NIC_TX_CMD: u16 = 0x22;
+
+/// Console output: bytes written appear on the (host-side) console.
+pub const PORT_CONSOLE: u16 = 0x30;
+
+/// Hardware random number source (non-deterministic input, logged).
+pub const PORT_RNG: u16 = 0x40;
+
+/// Disk command: read sectors into guest memory via DMA.
+pub const DISK_CMD_READ: u64 = 1;
+/// Disk command: write sectors from guest memory.
+pub const DISK_CMD_WRITE: u64 = 2;
+
+/// Base of the memory-mapped I/O window (accesses exit to the hypervisor).
+pub const MMIO_BASE: u64 = 0xF000_0000;
+/// Size of the MMIO window in bytes.
+pub const MMIO_LEN: u64 = 0x0010_0000;
+
+/// NIC MMIO register: number of received frames pending in the RX ring.
+pub const MMIO_NIC_RX_PENDING: u64 = MMIO_BASE;
+/// NIC MMIO register: length of the frame at the RX ring head.
+pub const MMIO_NIC_RX_LEN: u64 = MMIO_BASE + 8;
+/// NIC MMIO register: writing pops the RX ring head.
+pub const MMIO_NIC_RX_POP: u64 = MMIO_BASE + 16;
+
+/// Timer interrupt line.
+pub const IRQ_TIMER: u8 = 0;
+/// Disk completion interrupt line.
+pub const IRQ_DISK: u8 = 1;
+/// NIC receive interrupt line.
+pub const IRQ_NIC: u8 = 2;
+/// Number of interrupt lines.
+pub const IRQ_LINES: usize = 3;
+
+/// Disk sector size in bytes.
+pub const SECTOR_SIZE: usize = 512;
+
+/// True if `addr` falls inside the MMIO window.
+pub fn is_mmio(addr: u64) -> bool {
+    (MMIO_BASE..MMIO_BASE + MMIO_LEN).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmio_window_bounds() {
+        assert!(is_mmio(MMIO_BASE));
+        assert!(is_mmio(MMIO_NIC_RX_POP));
+        assert!(!is_mmio(MMIO_BASE - 1));
+        assert!(!is_mmio(MMIO_BASE + MMIO_LEN));
+    }
+}

@@ -1,0 +1,937 @@
+//! The guest VM: interpreter loop, exits, interrupt injection.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rnr_isa::{Addr, Image, Instruction, Opcode, Reg};
+use rnr_ras::RasOutcome;
+
+use crate::digest::Fnv1a;
+use crate::{
+    is_mmio, CallRetTrap, Cpu, Digest, Exit, ExitControls, FaultKind, FinishIo, MachineConfig, MemError, Memory, Mode,
+};
+
+/// Run budget for [`GuestVm::run`].
+///
+/// `until_retired` is an *absolute* retired-instruction count: the replayers
+/// use it to stop exactly at an asynchronous event's injection point (§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunBudget {
+    /// Stop (with [`Exit::BudgetExhausted`]) once the retired-instruction
+    /// counter reaches this value. `None` runs until another exit occurs.
+    pub until_retired: Option<u64>,
+    /// Stop once the cycle counter reaches this value (device-event
+    /// deadlines in the hypervisor's virtual-time event loop).
+    pub until_cycles: Option<u64>,
+}
+
+impl RunBudget {
+    /// Run until `count` total instructions have retired.
+    pub fn until(count: u64) -> RunBudget {
+        RunBudget { until_retired: Some(count), until_cycles: None }
+    }
+
+    /// Run until the cycle counter reaches `cycles`.
+    pub fn until_cycles(cycles: u64) -> RunBudget {
+        RunBudget { until_retired: None, until_cycles: Some(cycles) }
+    }
+
+    /// No instruction or cycle bound.
+    pub fn unbounded() -> RunBudget {
+        RunBudget::default()
+    }
+}
+
+/// Error from [`GuestVm::inject_interrupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The guest has interrupts disabled; request an interrupt window.
+    Disabled,
+    /// The IVT entry for this IRQ is zero (kernel not initialized).
+    BadVector(u8),
+    /// The guest stack could not hold the interrupt frame.
+    MemFault,
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::Disabled => write!(f, "guest interrupts disabled"),
+            InjectError::BadVector(irq) => write!(f, "no handler installed for irq {irq}"),
+            InjectError::MemFault => write!(f, "interrupt frame push faulted"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingIo {
+    rd: Option<Reg>,
+}
+
+/// The simulated guest machine: CPU + memory, driven by a hypervisor.
+///
+/// See the crate docs for the exit model. The VM is deterministic: given the
+/// same initial images and the same sequence of hypervisor actions
+/// ([`GuestVm::finish_io`], [`GuestVm::inject_interrupt`], breakpoint
+/// manipulation), two VMs retire identical instruction streams and end in
+/// identical architectural states ([`GuestVm::digest`]).
+#[derive(Debug, Clone)]
+pub struct GuestVm {
+    cpu: Cpu,
+    mem: Memory,
+    config: MachineConfig,
+    cycles: u64,
+    retired: u64,
+    breakpoints: HashSet<Addr>,
+    skip_bp_at: HashSet<Addr>,
+    pending_io: Option<PendingIo>,
+    interrupt_window: bool,
+    trace: std::collections::VecDeque<Addr>,
+    trace_cap: usize,
+    watch_addr: Option<Addr>,
+    watch_hits: Vec<(Addr, u64, u64, u64)>,
+}
+
+impl GuestVm {
+    /// Builds a VM, loads `images` into guest memory, and resets the CPU to
+    /// kernel mode at address 0 (call [`GuestVm::set_entry`] next).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an image does not fit in guest memory.
+    pub fn new(config: MachineConfig, images: &[&Image]) -> GuestVm {
+        let mut mem = Memory::new(config.mem_bytes);
+        for image in images {
+            mem.write_bytes(image.base(), image.bytes()).expect("image must fit in guest memory");
+        }
+        let cpu = Cpu::new(0, config.ras);
+        GuestVm {
+            cpu,
+            mem,
+            config,
+            cycles: 0,
+            retired: 0,
+            breakpoints: HashSet::new(),
+            skip_bp_at: HashSet::new(),
+            pending_io: None,
+            interrupt_window: false,
+            trace: std::collections::VecDeque::new(),
+            trace_cap: 0,
+            watch_addr: None,
+            watch_hits: Vec::new(),
+        }
+    }
+
+    /// Debugging: record every store whose 8-byte window covers `addr`.
+    pub fn set_watchpoint(&mut self, addr: Addr) {
+        self.watch_addr = Some(addr);
+    }
+
+    /// Debugging: `(pc, store_addr, value, retired)` for watchpoint hits.
+    pub fn watch_hits(&self) -> &[(Addr, u64, u64, u64)] {
+        &self.watch_hits
+    }
+
+    /// Enables a debugging ring buffer of the last `n` executed PCs.
+    pub fn enable_trace(&mut self, n: usize) {
+        self.trace_cap = n;
+    }
+
+    /// The last executed PCs, oldest first (empty unless tracing is on).
+    pub fn trace(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.trace.iter().copied()
+    }
+
+    /// Sets the CPU entry point.
+    pub fn set_entry(&mut self, entry: Addr) {
+        self.cpu.pc = entry;
+    }
+
+    /// The CPU state.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU state (hypervisor privilege).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Guest memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable guest memory (hypervisor privilege: DMA, introspection).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the exit controls (the hypervisor reprograms the
+    /// VMCS between recording and replay).
+    pub fn exit_controls_mut(&mut self) -> &mut ExitControls {
+        &mut self.config.exits
+    }
+
+    /// Elapsed virtual cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Charges hypervisor-side costs (VM exits, logging, ...) to the clock.
+    pub fn add_cycles(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
+    /// Retired instruction count.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Restores the retired-instruction and cycle counters (hypervisor
+    /// privilege: used when resuming a VM from a checkpoint, so absolute
+    /// instruction counts in the input log stay meaningful).
+    pub fn restore_counters(&mut self, retired: u64, cycles: u64) {
+        self.retired = retired;
+        self.cycles = cycles;
+    }
+
+    /// Installs a breakpoint: the instruction at `pc` exits *before*
+    /// executing (context-switch interposition, §5.2.1).
+    pub fn add_breakpoint(&mut self, pc: Addr) {
+        self.breakpoints.insert(pc);
+    }
+
+    /// Removes a breakpoint.
+    pub fn remove_breakpoint(&mut self, pc: Addr) {
+        self.breakpoints.remove(&pc);
+    }
+
+    /// Resume helper: the next execution of the *current* instruction does
+    /// not re-trigger its breakpoint (single-step-over). Skips are pinned to
+    /// their trapped PCs and independent of each other: if an interrupt is
+    /// injected before the instruction re-executes, its skip stays armed
+    /// until control returns there — even across other breakpoints trapping
+    /// in between — so no breakpoint double-fires or leaks onto other code.
+    pub fn skip_breakpoint_once(&mut self) {
+        self.skip_bp_at.insert(self.cpu.pc);
+    }
+
+    /// Asks for an [`Exit::InterruptWindow`] as soon as the guest can accept
+    /// an interrupt.
+    pub fn request_interrupt_window(&mut self) {
+        self.interrupt_window = true;
+    }
+
+    /// True if an interrupt can be injected right now.
+    pub fn can_inject(&self) -> bool {
+        self.cpu.interrupts_enabled && self.pending_io.is_none()
+    }
+
+    /// Injects external interrupt `irq`: pushes the return frame and jumps
+    /// to the IVT handler, clearing `halted`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if interrupts are disabled, the IVT slot is empty, or the frame
+    /// push faults.
+    pub fn inject_interrupt(&mut self, irq: u8) -> Result<(), InjectError> {
+        if !self.can_inject() {
+            return Err(InjectError::Disabled);
+        }
+        let handler =
+            self.mem.read_u64(self.config.ivt_base + irq as u64 * 8).map_err(|_| InjectError::BadVector(irq))?;
+        if handler == 0 {
+            return Err(InjectError::BadVector(irq));
+        }
+        let flags = self.cpu.mode.to_bits() | (self.cpu.interrupts_enabled as u64) << 1;
+        self.push(self.cpu.pc).map_err(|_| InjectError::MemFault)?;
+        self.push(flags).map_err(|_| InjectError::MemFault)?;
+        self.cpu.interrupts_enabled = false;
+        self.cpu.mode = Mode::Kernel;
+        self.cpu.halted = false;
+        self.cpu.pc = handler;
+        Ok(())
+    }
+
+    /// Completes a trapped I/O instruction (see [`FinishIo`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no I/O exit is pending or the completion kind mismatches —
+    /// both are hypervisor bugs.
+    pub fn finish_io(&mut self, finish: FinishIo) {
+        let pending = self.pending_io.take().expect("finish_io without a pending I/O exit");
+        match (pending.rd, finish) {
+            (Some(rd), FinishIo::Read { rd: frd, value }) => {
+                assert_eq!(rd, frd, "completion register mismatch");
+                self.cpu.set_reg(rd, value);
+            }
+            (None, FinishIo::Write) => {}
+            (p, f) => panic!("I/O completion kind mismatch: pending {p:?}, finish {f:?}"),
+        }
+        self.cpu.pc += 8;
+        self.retire();
+    }
+
+    /// Architectural-state digest (CPU + memory; the hypervisor combines it
+    /// with its disk digest).
+    pub fn digest(&self) -> Digest {
+        let mut h = Fnv1a::new();
+        for r in Reg::ALL {
+            h.update_u64(self.cpu.reg(r));
+        }
+        h.update_u64(self.cpu.pc);
+        h.update_u64(self.cpu.mode.to_bits());
+        h.update_u64(self.cpu.interrupts_enabled as u64);
+        h.update_u64(self.cpu.halted as u64);
+        for page in self.mem.snapshot_pages() {
+            h.update(&page[..]);
+        }
+        h.finish()
+    }
+
+    fn retire(&mut self) {
+        self.retired += 1;
+        self.cycles += self.config.costs.insn;
+    }
+
+    fn push(&mut self, value: u64) -> Result<(), MemError> {
+        let sp = self.cpu.sp().wrapping_sub(8);
+        self.mem.write_u64(sp, value)?;
+        self.cpu.set_sp(sp);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64, MemError> {
+        let sp = self.cpu.sp();
+        let v = self.mem.read_u64(sp)?;
+        self.cpu.set_sp(sp.wrapping_add(8));
+        Ok(v)
+    }
+
+    fn callret_trapped(&self) -> bool {
+        match self.config.exits.callret_trap {
+            CallRetTrap::None => false,
+            CallRetTrap::KernelOnly => self.cpu.mode == Mode::Kernel,
+            CallRetTrap::All => true,
+        }
+    }
+
+    /// Runs until an exit or until the budget is exhausted.
+    pub fn run(&mut self, budget: RunBudget) -> Exit {
+        assert!(self.pending_io.is_none(), "run() with unfinished I/O exit");
+        loop {
+            if let Some(limit) = budget.until_retired {
+                if self.retired >= limit {
+                    return Exit::BudgetExhausted;
+                }
+            }
+            if let Some(limit) = budget.until_cycles {
+                if self.cycles >= limit {
+                    return Exit::BudgetExhausted;
+                }
+            }
+            if self.cpu.halted {
+                return Exit::Halt;
+            }
+            if self.interrupt_window && self.cpu.interrupts_enabled {
+                self.interrupt_window = false;
+                return Exit::InterruptWindow;
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Executes one instruction; returns an exit if one was raised.
+    fn step(&mut self) -> Option<Exit> {
+        let pc = self.cpu.pc;
+        if self.skip_bp_at.remove(&pc) {
+            // Armed single-step-over: fall through to execution.
+        } else if self.breakpoints.contains(&pc) {
+            return Some(Exit::Breakpoint { pc });
+        }
+        let mut fetch = [0u8; 8];
+        if self.mem.read_bytes(pc, &mut fetch).is_err() {
+            return Some(Exit::Fault(FaultKind::BadMemory { addr: pc }));
+        }
+        let insn = match Instruction::decode(&fetch) {
+            Ok(i) => i,
+            Err(_) => return Some(Exit::Fault(FaultKind::BadInstruction { pc })),
+        };
+        if self.trace_cap > 0 {
+            if self.trace.len() == self.trace_cap {
+                self.trace.pop_front();
+            }
+            self.trace.push_back(pc);
+        }
+        self.execute(pc, insn)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, pc: Addr, insn: Instruction) -> Option<Exit> {
+        use Opcode::*;
+        let imm_s = insn.imm as i64 as u64; // sign-extended immediate
+        let rs1 = self.cpu.reg(insn.rs1);
+        let rs2 = self.cpu.reg(insn.rs2);
+
+        // Privilege check for kernel-only instructions.
+        if self.cpu.mode == Mode::User
+            && matches!(insn.op, Hlt | In | Out | Vmcall | Iret | Cli | Sti)
+        {
+            return Some(Exit::Fault(FaultKind::Privilege { pc }));
+        }
+
+        let mut next_pc = pc + 8;
+        let mut exit = None;
+
+        match insn.op {
+            Nop => {}
+            Hlt => {
+                self.cpu.halted = true;
+                self.cpu.pc = next_pc;
+                self.retire();
+                return Some(Exit::Halt);
+            }
+            Mov => self.cpu.set_reg(insn.rd, rs1),
+            MovImm => self.cpu.set_reg(insn.rd, imm_s),
+            MovHi => {
+                let low = self.cpu.reg(insn.rd) & 0xffff_ffff;
+                self.cpu.set_reg(insn.rd, low | (insn.imm as u32 as u64) << 32);
+            }
+            Add => self.cpu.set_reg(insn.rd, rs1.wrapping_add(rs2)),
+            Sub => self.cpu.set_reg(insn.rd, rs1.wrapping_sub(rs2)),
+            Mul => self.cpu.set_reg(insn.rd, rs1.wrapping_mul(rs2)),
+            Divu => self.cpu.set_reg(insn.rd, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
+            And => self.cpu.set_reg(insn.rd, rs1 & rs2),
+            Or => self.cpu.set_reg(insn.rd, rs1 | rs2),
+            Xor => self.cpu.set_reg(insn.rd, rs1 ^ rs2),
+            Shl => self.cpu.set_reg(insn.rd, rs1 << (rs2 & 63)),
+            Shr => self.cpu.set_reg(insn.rd, rs1 >> (rs2 & 63)),
+            Addi => self.cpu.set_reg(insn.rd, rs1.wrapping_add(imm_s)),
+            Andi => self.cpu.set_reg(insn.rd, rs1 & imm_s),
+            Ori => self.cpu.set_reg(insn.rd, rs1 | imm_s),
+            Xori => self.cpu.set_reg(insn.rd, rs1 ^ imm_s),
+            Shli => self.cpu.set_reg(insn.rd, rs1 << (insn.imm as u32 & 63)),
+            Shri => self.cpu.set_reg(insn.rd, rs1 >> (insn.imm as u32 & 63)),
+            Muli => self.cpu.set_reg(insn.rd, rs1.wrapping_mul(imm_s)),
+            Ld | Ld8 => {
+                let addr = rs1.wrapping_add(imm_s);
+                if is_mmio(addr) {
+                    self.pending_io = Some(PendingIo { rd: Some(insn.rd) });
+                    return Some(Exit::MmioRead { rd: insn.rd, addr });
+                }
+                let value = if insn.op == Ld {
+                    match self.mem.read_u64(addr) {
+                        Ok(v) => v,
+                        Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr })),
+                    }
+                } else {
+                    match self.mem.read_u8(addr) {
+                        Ok(v) => v as u64,
+                        Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr })),
+                    }
+                };
+                self.cpu.set_reg(insn.rd, value);
+            }
+            St | St8 => {
+                let addr = rs1.wrapping_add(imm_s);
+                if let Some(w) = self.watch_addr {
+                    if addr <= w && w < addr + 8 {
+                        self.watch_hits.push((pc, addr, rs2, self.retired));
+                    }
+                }
+                if is_mmio(addr) {
+                    self.pending_io = Some(PendingIo { rd: None });
+                    return Some(Exit::MmioWrite { addr, value: rs2 });
+                }
+                let res = if insn.op == St {
+                    self.mem.write_u64(addr, rs2)
+                } else {
+                    self.mem.write_u8(addr, rs2 as u8)
+                };
+                if res.is_err() {
+                    return Some(Exit::Fault(FaultKind::BadMemory { addr }));
+                }
+            }
+            Push => {
+                if self.push(rs1).is_err() {
+                    return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
+                }
+            }
+            Pop => match self.pop() {
+                Ok(v) => self.cpu.set_reg(insn.rd, v),
+                Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
+            },
+            Call | CallR => {
+                let target = if insn.op == Call { insn.target() } else { rs1 };
+                let ret_addr = pc + 8;
+                if self.push(ret_addr).is_err() {
+                    return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
+                }
+                let outcome = self.cpu.ras.on_call(ret_addr);
+                next_pc = target;
+                if insn.op == CallR {
+                    if let Some(table) = &self.config.jop_table {
+                        if !table.is_legal(pc, target) {
+                            exit = Some(Exit::JopAlarm { branch_pc: pc, target });
+                        }
+                    }
+                }
+                if exit.is_none() {
+                    if let RasOutcome::Evicted(evicted) = outcome {
+                        if self.config.exits.evict_exiting {
+                            exit = Some(Exit::RasEvict { evicted, ret_addr });
+                        }
+                    }
+                }
+                if exit.is_none() && self.callret_trapped() {
+                    exit = Some(Exit::CallTrap { ret_addr, pc });
+                }
+            }
+            Ret => {
+                let target = match self.pop() {
+                    Ok(v) => v,
+                    Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
+                };
+                let outcome = self.cpu.ras.on_ret(pc, target);
+                next_pc = target;
+                if let RasOutcome::Mispredict(m) = outcome {
+                    if self.cpu.ras.alarms_enabled() {
+                        exit = Some(Exit::RasMispredict(m));
+                    }
+                }
+                if exit.is_none() && self.callret_trapped() {
+                    exit = Some(Exit::RetTrap { ret_pc: pc, target });
+                }
+            }
+            Jmp => next_pc = insn.target(),
+            JmpR => {
+                next_pc = rs1;
+                if let Some(table) = &self.config.jop_table {
+                    if !table.is_legal(pc, rs1) {
+                        exit = Some(Exit::JopAlarm { branch_pc: pc, target: rs1 });
+                    }
+                }
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let taken = match insn.op {
+                    Beq => rs1 == rs2,
+                    Bne => rs1 != rs2,
+                    Blt => (rs1 as i64) < (rs2 as i64),
+                    Bge => (rs1 as i64) >= (rs2 as i64),
+                    Bltu => rs1 < rs2,
+                    Bgeu => rs1 >= rs2,
+                    _ => unreachable!(),
+                };
+                if taken {
+                    next_pc = insn.target();
+                }
+            }
+            Rdtsc => {
+                if self.config.exits.rdtsc_exiting {
+                    self.pending_io = Some(PendingIo { rd: Some(insn.rd) });
+                    return Some(Exit::Rdtsc { rd: insn.rd });
+                }
+                // Native execution: the TSC is the cycle counter.
+                self.cpu.set_reg(insn.rd, self.cycles);
+            }
+            In => {
+                self.pending_io = Some(PendingIo { rd: Some(insn.rd) });
+                return Some(Exit::PioIn { rd: insn.rd, port: insn.imm as u16 });
+            }
+            Out => {
+                self.pending_io = Some(PendingIo { rd: None });
+                return Some(Exit::PioOut { port: insn.imm as u16, value: rs1 });
+            }
+            Vmcall => {
+                self.pending_io = Some(PendingIo { rd: Some(Reg::R1) });
+                return Some(Exit::Vmcall);
+            }
+            Syscall => {
+                let flags = self.cpu.mode.to_bits() | (self.cpu.interrupts_enabled as u64) << 1;
+                if self.push(pc + 8).is_err() || self.push(flags).is_err() {
+                    return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() }));
+                }
+                self.cpu.set_reg(Reg::R15, insn.imm as u32 as u64);
+                self.cpu.mode = Mode::Kernel;
+                next_pc = self.config.syscall_entry;
+            }
+            Sysret | Iret => {
+                let flags = match self.pop() {
+                    Ok(v) => v,
+                    Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
+                };
+                let target = match self.pop() {
+                    Ok(v) => v,
+                    Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
+                };
+                self.cpu.mode = Mode::from_bits(flags);
+                if insn.op == Iret {
+                    self.cpu.interrupts_enabled = flags & 2 != 0;
+                }
+                next_pc = target;
+            }
+            Cli => self.cpu.interrupts_enabled = false,
+            Sti => self.cpu.interrupts_enabled = true,
+        }
+
+        self.cpu.pc = next_pc;
+        self.retire();
+        exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_isa::Assembler;
+    use rnr_ras::RasConfig;
+
+    fn vm_with(build: impl FnOnce(&mut Assembler)) -> GuestVm {
+        let mut asm = Assembler::new(0x1000);
+        build(&mut asm);
+        let image = asm.assemble().unwrap();
+        let mut config = MachineConfig::default();
+        config.exits.rdtsc_exiting = false;
+        let mut vm = GuestVm::new(config, &[&image]);
+        vm.set_entry(0x1000);
+        vm.cpu_mut().set_sp(0x8_0000);
+        vm
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut vm = vm_with(|a| {
+            a.movi(Reg::R1, 20);
+            a.movi(Reg::R2, 22);
+            a.add(Reg::R3, Reg::R1, Reg::R2);
+            a.hlt();
+        });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R3), 42);
+        assert_eq!(vm.retired(), 4);
+        assert!(vm.cpu().halted);
+    }
+
+    #[test]
+    fn call_ret_round_trip_no_alarm() {
+        let mut vm = vm_with(|a| {
+            a.call("f");
+            a.hlt();
+            a.label("f");
+            a.movi(Reg::R1, 7);
+            a.ret();
+        });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R1), 7);
+        assert_eq!(vm.cpu().ras.counters().hits, 1);
+        assert_eq!(vm.cpu().ras.counters().mispredictions(), 0);
+    }
+
+    #[test]
+    fn corrupted_return_address_raises_mispredict_exit() {
+        let mut vm = vm_with(|a| {
+            a.call("f");
+            a.label("dead_end");
+            a.hlt();
+            a.label("f");
+            // Overwrite the on-stack return address, like a buffer overflow.
+            a.movi(Reg::R1, 0x1000);
+            a.st(Reg::SP, 0, Reg::R1);
+            a.ret();
+        });
+        match vm.run(RunBudget::unbounded()) {
+            Exit::RasMispredict(m) => {
+                assert_eq!(m.actual, 0x1000);
+                assert_eq!(m.predicted, Some(0x1008));
+            }
+            other => panic!("unexpected exit {other:?}"),
+        }
+        // Execution continued at the actual (attacker) target.
+        assert_eq!(vm.cpu().pc, 0x1000);
+    }
+
+    #[test]
+    fn budget_stops_exactly() {
+        let mut vm = vm_with(|a| {
+            a.label("spin");
+            a.addi(Reg::R1, Reg::R1, 1);
+            a.jmp("spin");
+        });
+        assert_eq!(vm.run(RunBudget::until(7)), Exit::BudgetExhausted);
+        assert_eq!(vm.retired(), 7);
+        assert_eq!(vm.run(RunBudget::until(7)), Exit::BudgetExhausted);
+        assert_eq!(vm.retired(), 7);
+    }
+
+    #[test]
+    fn rdtsc_native_vs_trapped() {
+        let mut vm = vm_with(|a| {
+            a.rdtsc(Reg::R1);
+            a.hlt();
+        });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R1), 0); // cycles at fetch time
+
+        let mut vm2 = vm_with(|a| {
+            a.rdtsc(Reg::R1);
+            a.hlt();
+        });
+        vm2.exit_controls_mut().rdtsc_exiting = true;
+        assert_eq!(vm2.run(RunBudget::unbounded()), Exit::Rdtsc { rd: Reg::R1 });
+        vm2.finish_io(FinishIo::Read { rd: Reg::R1, value: 0x5555 });
+        assert_eq!(vm2.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm2.cpu().reg(Reg::R1), 0x5555);
+    }
+
+    #[test]
+    fn pio_exits_and_completes() {
+        let mut vm = vm_with(|a| {
+            a.movi(Reg::R2, 0xbeef);
+            a.pio_out(0x30, Reg::R2);
+            a.pio_in(Reg::R3, 0x40);
+            a.hlt();
+        });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::PioOut { port: 0x30, value: 0xbeef });
+        vm.finish_io(FinishIo::Write);
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::PioIn { rd: Reg::R3, port: 0x40 });
+        vm.finish_io(FinishIo::Read { rd: Reg::R3, value: 9 });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R3), 9);
+    }
+
+    #[test]
+    fn mmio_access_exits() {
+        let mut vm = vm_with(|a| {
+            a.movi64(Reg::R1, crate::MMIO_NIC_RX_PENDING);
+            a.ld(Reg::R2, Reg::R1, 0);
+            a.hlt();
+        });
+        match vm.run(RunBudget::unbounded()) {
+            Exit::MmioRead { rd, addr } => {
+                assert_eq!(rd, Reg::R2);
+                assert_eq!(addr, crate::MMIO_NIC_RX_PENDING);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        vm.finish_io(FinishIo::Read { rd: Reg::R2, value: 3 });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R2), 3);
+    }
+
+    #[test]
+    fn user_mode_privilege_fault() {
+        let mut vm = vm_with(|a| {
+            a.cli();
+        });
+        vm.cpu_mut().mode = Mode::User;
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Fault(FaultKind::Privilege { pc: 0x1000 }));
+    }
+
+    #[test]
+    fn syscall_and_sysret() {
+        let entry = 0x1000 + 8;
+        let mut vm = {
+            let mut asm = Assembler::new(0x1000);
+            asm.jmp("user");
+            asm.label("entry");
+            asm.mov(Reg::R5, Reg::R15);
+            asm.sysret();
+            asm.label("user");
+            asm.syscall(42);
+            asm.hlt();
+            let image = asm.assemble().unwrap();
+            let mut config = MachineConfig { syscall_entry: entry, ..MachineConfig::default() };
+            config.exits.rdtsc_exiting = false;
+            let mut vm = GuestVm::new(config, &[&image]);
+            vm.set_entry(0x1000);
+            vm.cpu_mut().set_sp(0x8_0000);
+            vm
+        };
+        vm.cpu_mut().mode = Mode::User;
+        // User-mode hlt after sysret faults with Privilege; that proves the
+        // mode round-tripped through syscall/sysret.
+        let user_hlt_pc = vm.config().syscall_entry + 16 + 8;
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Fault(FaultKind::Privilege { pc: user_hlt_pc }));
+        assert_eq!(vm.cpu().reg(Reg::R5), 42);
+        assert_eq!(vm.cpu().mode, Mode::User);
+        // Syscall/sysret never touch the RAS.
+        assert_eq!(vm.cpu().ras.counters().calls, 0);
+        assert_eq!(vm.cpu().ras.counters().rets, 0);
+    }
+
+    #[test]
+    fn interrupt_injection_and_iret() {
+        let mut vm = vm_with(|a| {
+            a.label("main");
+            a.sti();
+            a.movi(Reg::R1, 1);
+            a.label("loop");
+            a.jmp("loop");
+            a.label("handler");
+            a.movi(Reg::R2, 99);
+            a.iret();
+        });
+        // Install the IVT entry for IRQ 0.
+        let handler = 0x1000 + 3 * 8;
+        let ivt = vm.config().ivt_base;
+        vm.mem_mut().write_u64(ivt, handler).unwrap();
+        assert_eq!(vm.run(RunBudget::until(5)), Exit::BudgetExhausted);
+        assert!(vm.can_inject());
+        vm.inject_interrupt(0).unwrap();
+        let sp_in_handler = vm.cpu().sp();
+        assert_eq!(vm.cpu().pc, handler);
+        assert!(!vm.cpu().interrupts_enabled);
+        assert_eq!(vm.run(RunBudget::until(vm.retired() + 2)), Exit::BudgetExhausted);
+        // After iret: interrupts re-enabled, back in the loop.
+        assert!(vm.cpu().interrupts_enabled);
+        assert_eq!(vm.cpu().reg(Reg::R2), 99);
+        assert_eq!(vm.cpu().sp(), sp_in_handler + 16);
+    }
+
+    #[test]
+    fn interrupt_rejected_when_disabled() {
+        let mut vm = vm_with(|a| {
+            a.nop();
+            a.hlt();
+        });
+        assert_eq!(vm.inject_interrupt(0), Err(InjectError::Disabled));
+    }
+
+    #[test]
+    fn interrupt_window_exit_on_sti() {
+        let mut vm = vm_with(|a| {
+            a.nop();
+            a.sti();
+            a.nop();
+            a.hlt();
+        });
+        vm.request_interrupt_window();
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::InterruptWindow);
+        assert!(vm.cpu().interrupts_enabled);
+        // Window consumed; next run continues to halt.
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+    }
+
+    #[test]
+    fn breakpoint_exits_before_instruction_and_skips_once() {
+        let mut vm = vm_with(|a| {
+            a.movi(Reg::R1, 1);
+            a.movi(Reg::R2, 2);
+            a.hlt();
+        });
+        vm.add_breakpoint(0x1008);
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Breakpoint { pc: 0x1008 });
+        assert_eq!(vm.cpu().reg(Reg::R2), 0); // not yet executed
+        vm.skip_breakpoint_once();
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(vm.cpu().reg(Reg::R2), 2);
+    }
+
+    #[test]
+    fn callret_trap_kernel_only() {
+        let build = |a: &mut Assembler| {
+            a.call("f");
+            a.hlt();
+            a.label("f");
+            a.ret();
+        };
+        let mut vm = vm_with(build);
+        vm.exit_controls_mut().callret_trap = CallRetTrap::KernelOnly;
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::CallTrap { ret_addr: 0x1008, pc: 0x1000 });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::RetTrap { ret_pc: 0x1010, target: 0x1008 });
+        assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+
+        // In user mode with KernelOnly, no traps fire.
+        let mut vm = vm_with(build);
+        vm.exit_controls_mut().callret_trap = CallRetTrap::KernelOnly;
+        vm.cpu_mut().mode = Mode::User;
+        // hlt faults in user mode; check we got there without traps.
+        let r = vm.run(RunBudget::unbounded());
+        assert!(matches!(r, Exit::Fault(FaultKind::Privilege { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn evict_exit_on_ras_overflow() {
+        let mut asm = Assembler::new(0x1000);
+        // Recursive function that calls itself `r1` times.
+        asm.movi(Reg::R1, 5);
+        asm.call("rec");
+        asm.hlt();
+        asm.label("rec");
+        asm.movi(Reg::R2, 0);
+        asm.beq(Reg::R1, Reg::R2, "done");
+        asm.addi(Reg::R1, Reg::R1, -1);
+        asm.call("rec");
+        asm.label("done");
+        asm.ret();
+        let image = asm.assemble().unwrap();
+        let mut config = MachineConfig::default();
+        config.exits.rdtsc_exiting = false;
+        config.ras = RasConfig::extended(2);
+        let mut vm = GuestVm::new(config, &[&image]);
+        vm.set_entry(0x1000);
+        vm.cpu_mut().set_sp(0x8_0000);
+        // Depth reaches 6 > 2: evict exits fire.
+        let mut evicts = 0;
+        let mut underflows = 0;
+        loop {
+            match vm.run(RunBudget::unbounded()) {
+                Exit::RasEvict { .. } => evicts += 1,
+                Exit::RasMispredict(m) => {
+                    assert_eq!(m.kind, rnr_ras::MispredictKind::Underflow);
+                    underflows += 1;
+                }
+                Exit::Halt => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(evicts, 4);
+        assert_eq!(underflows, 4);
+        // All returns went to the right place despite mispredictions.
+        assert_eq!(vm.cpu().reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn digest_changes_with_state() {
+        let mut vm = vm_with(|a| {
+            a.movi(Reg::R1, 1);
+            a.hlt();
+        });
+        let d0 = vm.digest();
+        vm.run(RunBudget::unbounded());
+        let d1 = vm.digest();
+        assert_ne!(d0, d1);
+        vm.mem_mut().write_u8(0x2000, 1).unwrap();
+        assert_ne!(vm.digest(), d1);
+    }
+
+    #[test]
+    fn identical_runs_have_identical_digests() {
+        let build = |a: &mut Assembler| {
+            a.movi(Reg::R1, 100);
+            a.label("loop");
+            a.st(Reg::SP, -64, Reg::R1);
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.movi(Reg::R2, 0);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+        };
+        let mut a = vm_with(build);
+        let mut b = vm_with(build);
+        a.run(RunBudget::unbounded());
+        b.run(RunBudget::unbounded());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.retired(), b.retired());
+    }
+}

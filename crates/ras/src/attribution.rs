@@ -1,0 +1,235 @@
+//! Counterfactual false-alarm attribution (regenerates Figure 8).
+//!
+//! Figure 8 of the paper breaks kernel false alarms into those *suppressed
+//! with the whitelist*, those *suppressed with the BackRAS*, and the few
+//! *reported to the replayers*. The hardware only observes the extended RAS,
+//! so suppression counts are inherently counterfactual: "how often would a
+//! lesser RAS have alarmed here?". [`RasAttribution`] answers this by running
+//! a whitelist-only RAS (no BackRAS save/restore) *in lockstep* with the full
+//! extended RAS on the same call/return/context-switch stream.
+
+use rnr_isa::Addr;
+
+use crate::{BackRasTable, MispredictKind, RasConfig, RasOutcome, RasUnit, ThreadId, Whitelists};
+
+/// Per-category false-alarm counts for one execution (Figure 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AttributionReport {
+    /// Alarms avoided by the §4.4 return/target whitelists.
+    pub whitelist_suppressed: u64,
+    /// Alarms avoided by the §4.3 BackRAS save/restore.
+    pub backras_suppressed: u64,
+    /// Underflow alarms that reached the replayers.
+    pub passed_underflow: u64,
+    /// Target-mismatch alarms that reached the replayers.
+    pub passed_mismatch: u64,
+    /// Whitelist-violation alarms that reached the replayers.
+    pub passed_violation: u64,
+    /// Instructions executed, for per-million normalization.
+    pub instructions: u64,
+}
+
+impl AttributionReport {
+    /// All alarms passed to the replayers (the `FalseAlarm` bar of Figure 8
+    /// when the run is benign).
+    pub fn passed(&self) -> u64 {
+        self.passed_underflow + self.passed_mismatch + self.passed_violation
+    }
+
+    /// Normalizes a count to events per million instructions.
+    pub fn per_million(&self, count: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            count as f64 * 1.0e6 / self.instructions as f64
+        }
+    }
+}
+
+/// Lockstep analyzer: the full extended RAS plus a whitelist-only
+/// counterfactual twin.
+///
+/// Drive it with the same event stream the hardware sees:
+/// [`RasAttribution::on_call`], [`RasAttribution::on_ret`],
+/// [`RasAttribution::on_context_switch`], [`RasAttribution::on_thread_exit`].
+#[derive(Debug, Clone)]
+pub struct RasAttribution {
+    /// The real extended RAS (whitelist + BackRAS).
+    full: RasUnit,
+    /// Counterfactual: whitelist, but RAS persists across context switches.
+    no_backras: RasUnit,
+    backras: BackRasTable,
+    current: ThreadId,
+    report: AttributionReport,
+}
+
+impl RasAttribution {
+    /// Creates an analyzer for a RAS of `capacity` entries with the given
+    /// whitelists, starting on thread `initial`.
+    pub fn new(capacity: usize, whitelists: Whitelists, initial: ThreadId) -> RasAttribution {
+        let mut full = RasUnit::new(RasConfig::extended(capacity));
+        full.set_whitelists(whitelists.clone());
+        let mut no_backras = RasUnit::new(RasConfig::extended(capacity).without_backras());
+        no_backras.set_whitelists(whitelists);
+        RasAttribution {
+            full,
+            no_backras,
+            backras: BackRasTable::new(),
+            current: initial,
+            report: AttributionReport::default(),
+        }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> AttributionReport {
+        self.report
+    }
+
+    /// Adds executed-instruction count (used for per-1M normalization).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.report.instructions += n;
+    }
+
+    /// Feeds a call instruction.
+    pub fn on_call(&mut self, ret_addr: Addr) {
+        self.full.on_call(ret_addr);
+        self.no_backras.on_call(ret_addr);
+    }
+
+    /// Feeds a return; classifies any alarm divergence between the twins.
+    pub fn on_ret(&mut self, ret_pc: Addr, actual: Addr) {
+        let full = self.full.on_ret(ret_pc, actual);
+        let counterfactual = self.no_backras.on_ret(ret_pc, actual);
+        match full {
+            RasOutcome::Whitelisted => {
+                // Without the whitelist this non-procedural return would have
+                // popped an entry that no call pushed: a guaranteed alarm.
+                self.report.whitelist_suppressed += 1;
+            }
+            RasOutcome::Mispredict(m) => match m.kind {
+                MispredictKind::Underflow => self.report.passed_underflow += 1,
+                MispredictKind::TargetMismatch => self.report.passed_mismatch += 1,
+                MispredictKind::WhitelistViolation => self.report.passed_violation += 1,
+            },
+            RasOutcome::Hit | RasOutcome::Evicted(_) => {
+                if matches!(counterfactual, RasOutcome::Mispredict(_)) {
+                    // Only the BackRAS kept this return correct.
+                    self.report.backras_suppressed += 1;
+                }
+            }
+        }
+    }
+
+    /// Feeds a guest context switch to thread `next`.
+    pub fn on_context_switch(&mut self, next: ThreadId) {
+        if let Some(saved) = self.full.save_backras() {
+            self.backras.save(self.current, saved);
+        }
+        let entry = self.backras.load(next);
+        self.full.restore_backras(&entry);
+        self.current = next;
+        // The counterfactual twin deliberately does nothing here.
+    }
+
+    /// Feeds a thread-exit event (BackRAS entry recycled, §5.2.2).
+    pub fn on_thread_exit(&mut self, tid: ThreadId) {
+        self.backras.remove(tid);
+    }
+
+    /// The thread currently accounted as running.
+    pub fn current_thread(&self) -> ThreadId {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CS_RET: Addr = 0x900;
+    const CS_TARGET: Addr = 0xa00;
+
+    fn analyzer(cap: usize) -> RasAttribution {
+        RasAttribution::new(cap, Whitelists::from_addrs([CS_RET], [CS_TARGET]), ThreadId(1))
+    }
+
+    #[test]
+    fn clean_nesting_produces_no_alarms() {
+        let mut a = analyzer(8);
+        a.on_call(0x10);
+        a.on_call(0x20);
+        a.on_ret(0x1, 0x20);
+        a.on_ret(0x1, 0x10);
+        let r = a.report();
+        assert_eq!(r.passed(), 0);
+        assert_eq!(r.whitelist_suppressed + r.backras_suppressed, 0);
+    }
+
+    #[test]
+    fn whitelisted_return_counts_as_suppressed() {
+        let mut a = analyzer(8);
+        a.on_ret(CS_RET, CS_TARGET);
+        assert_eq!(a.report().whitelist_suppressed, 1);
+        assert_eq!(a.report().passed(), 0);
+    }
+
+    #[test]
+    fn cross_thread_pollution_attributed_to_backras() {
+        let mut a = analyzer(8);
+        // Thread 1 makes a call, then is switched out.
+        a.on_call(0x10);
+        // Thread 2 runs and leaves a pending call on the RAS when it is
+        // switched out in turn.
+        a.on_context_switch(ThreadId(2));
+        a.on_call(0x20);
+        // Back to thread 1; without BackRAS the RAS top is thread 2's 0x20,
+        // so thread 1's return only predicts correctly thanks to BackRAS.
+        a.on_context_switch(ThreadId(1));
+        a.on_ret(0x1, 0x10);
+        let r = a.report();
+        assert_eq!(r.passed(), 0);
+        assert!(r.backras_suppressed >= 1, "expected BackRAS suppression, got {r:?}");
+    }
+
+    #[test]
+    fn underflow_passes_to_replayers() {
+        let mut a = analyzer(2);
+        a.on_call(0x1);
+        a.on_call(0x2);
+        a.on_call(0x3); // evicts 0x1
+        a.on_ret(0x9, 0x3);
+        a.on_ret(0x9, 0x2);
+        a.on_ret(0x9, 0x1); // underflow
+        let r = a.report();
+        assert_eq!(r.passed_underflow, 1);
+        assert_eq!(r.passed_mismatch, 0);
+    }
+
+    #[test]
+    fn rop_style_mismatch_passes() {
+        let mut a = analyzer(8);
+        a.on_call(0x10);
+        a.on_ret(0x9, 0xdead);
+        assert_eq!(a.report().passed_mismatch, 1);
+    }
+
+    #[test]
+    fn normalization_per_million() {
+        let mut a = analyzer(8);
+        a.add_instructions(2_000_000);
+        a.on_ret(CS_RET, CS_TARGET);
+        let r = a.report();
+        assert!((r.per_million(r.whitelist_suppressed) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_exit_recycles_entry() {
+        let mut a = analyzer(8);
+        a.on_call(0x10);
+        a.on_context_switch(ThreadId(2));
+        a.on_thread_exit(ThreadId(1));
+        a.on_context_switch(ThreadId(1)); // reused ID: clean BackRAS
+        a.on_ret(0x9, 0x10); // underflow now, not a stale hit
+        assert_eq!(a.report().passed_underflow, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! RAS hardware configuration.
+
+/// Configuration of the [`RasUnit`](crate::RasUnit) hardware.
+///
+/// The four feature toggles correspond to the paper's design points:
+/// a *baseline* RAS ([`RasConfig::baseline`]) reproduces the naive detector
+/// with many false positives (§4.2), while the *extended* RAS
+/// ([`RasConfig::extended`]) adds the BackRAS, whitelists, and evict records
+/// of §§4.3–4.5. The replaying platform runs with `alarms_enabled = false`
+/// ("the hardware's ability to trigger ROP alarms is disabled", §4.6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RasConfig {
+    /// Number of hardware entries. The paper simulates 48 by default.
+    pub capacity: usize,
+    /// Save/restore the RAS to the per-thread BackRAS at context switches.
+    pub backras_enabled: bool,
+    /// Enable the return/target whitelists for non-procedural returns.
+    pub whitelist_enabled: bool,
+    /// Dump about-to-be-evicted entries (for underflow matching by the CR).
+    pub evict_records_enabled: bool,
+    /// Raise ROP alarms on mispredictions (disabled on the replay platform).
+    pub alarms_enabled: bool,
+}
+
+impl RasConfig {
+    /// The paper's simulated RAS size ("We simulate a 48-entry RAS by
+    /// default", §7.5).
+    pub const DEFAULT_CAPACITY: usize = 48;
+
+    /// A plain RAS with no RnR-Safe extensions: the §4.2 basic design.
+    pub fn baseline(capacity: usize) -> RasConfig {
+        RasConfig {
+            capacity,
+            backras_enabled: false,
+            whitelist_enabled: false,
+            evict_records_enabled: false,
+            alarms_enabled: true,
+        }
+    }
+
+    /// The full RnR-Safe RAS: BackRAS + whitelists + evict records.
+    pub fn extended(capacity: usize) -> RasConfig {
+        RasConfig {
+            capacity,
+            backras_enabled: true,
+            whitelist_enabled: true,
+            evict_records_enabled: true,
+            alarms_enabled: true,
+        }
+    }
+
+    /// The configuration used on the replaying platform: same structural
+    /// behaviour as `extended`, but mispredictions never raise alarms
+    /// (§4.6.1: "replay does not create alarms").
+    pub fn replay(capacity: usize) -> RasConfig {
+        RasConfig { alarms_enabled: false, ..RasConfig::extended(capacity) }
+    }
+
+    /// An extended RAS without BackRAS save/restore — the `RecNoRAS` setup
+    /// of Figure 5(a).
+    pub fn without_backras(self) -> RasConfig {
+        RasConfig { backras_enabled: false, ..self }
+    }
+}
+
+impl Default for RasConfig {
+    /// Defaults to [`RasConfig::extended`] with [`RasConfig::DEFAULT_CAPACITY`].
+    fn default() -> RasConfig {
+        RasConfig::extended(RasConfig::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = RasConfig::default();
+        assert_eq!(c.capacity, 48);
+        assert!(c.backras_enabled && c.whitelist_enabled && c.evict_records_enabled);
+        assert!(c.alarms_enabled);
+    }
+
+    #[test]
+    fn baseline_disables_extensions() {
+        let c = RasConfig::baseline(32);
+        assert!(!c.backras_enabled && !c.whitelist_enabled && !c.evict_records_enabled);
+        assert!(c.alarms_enabled);
+    }
+
+    #[test]
+    fn replay_silences_alarms() {
+        let c = RasConfig::replay(48);
+        assert!(!c.alarms_enabled);
+        assert!(c.backras_enabled);
+    }
+
+    #[test]
+    fn without_backras_is_rec_noras() {
+        let c = RasConfig::extended(48).without_backras();
+        assert!(!c.backras_enabled);
+        assert!(c.whitelist_enabled);
+    }
+}

@@ -1,0 +1,82 @@
+//! Event counters kept by the RAS unit (drives Figures 6(b) and 8).
+
+/// Counters accumulated by a [`RasUnit`](crate::RasUnit).
+///
+/// `backras_saved_bytes`/`backras_restored_bytes` feed the Figure 6(b)
+/// "bandwidth to save and restore the RAS at context switches" measurement;
+/// the misprediction counters feed Figure 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RasCounters {
+    /// Call instructions observed (RAS pushes attempted).
+    pub calls: u64,
+    /// Return instructions observed.
+    pub rets: u64,
+    /// Returns that popped the correct prediction.
+    pub hits: u64,
+    /// Returns suppressed by the return whitelist (§4.4).
+    pub whitelist_hits: u64,
+    /// Mispredictions from an empty RAS (§4.5 underflow).
+    pub underflows: u64,
+    /// Mispredictions where the popped prediction mismatched the target.
+    pub target_mismatches: u64,
+    /// Whitelisted returns whose target was *not* in the target whitelist.
+    pub whitelist_violations: u64,
+    /// Entries evicted due to overflow.
+    pub evictions: u64,
+    /// BackRAS save operations (context switches out).
+    pub backras_saves: u64,
+    /// BackRAS restore operations (context switches in).
+    pub backras_restores: u64,
+    /// Total bytes moved RAS→memory by BackRAS saves.
+    pub backras_saved_bytes: u64,
+    /// Total bytes moved memory→RAS by BackRAS restores.
+    pub backras_restored_bytes: u64,
+}
+
+impl RasCounters {
+    /// All mispredictions that raise (or would raise) ROP alarms.
+    pub fn mispredictions(&self) -> u64 {
+        self.underflows + self.target_mismatches + self.whitelist_violations
+    }
+
+    /// Total bytes moved by BackRAS traffic in both directions.
+    pub fn backras_bytes(&self) -> u64 {
+        self.backras_saved_bytes + self.backras_restored_bytes
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &RasCounters) {
+        self.calls += other.calls;
+        self.rets += other.rets;
+        self.hits += other.hits;
+        self.whitelist_hits += other.whitelist_hits;
+        self.underflows += other.underflows;
+        self.target_mismatches += other.target_mismatches;
+        self.whitelist_violations += other.whitelist_violations;
+        self.evictions += other.evictions;
+        self.backras_saves += other.backras_saves;
+        self.backras_restores += other.backras_restores;
+        self.backras_saved_bytes += other.backras_saved_bytes;
+        self.backras_restored_bytes += other.backras_restored_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mispredictions_sum() {
+        let c = RasCounters { underflows: 2, target_mismatches: 3, whitelist_violations: 1, ..Default::default() };
+        assert_eq!(c.mispredictions(), 6);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RasCounters { calls: 1, backras_saved_bytes: 100, ..Default::default() };
+        let b = RasCounters { calls: 2, backras_saved_bytes: 50, backras_restored_bytes: 25, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.backras_bytes(), 175);
+    }
+}

@@ -1,0 +1,70 @@
+//! # rnr-ras: the Return Address Stack hardware model and its RnR-Safe extensions
+//!
+//! The paper (RnR-Safe, HPCA 2018) uses the processor's **Return Address
+//! Stack** as an imprecise-but-sound ROP detector: every ROP payload is
+//! guaranteed to cause RAS mispredictions (no false negatives), but a plain
+//! RAS also mispredicts on benign executions. This crate models:
+//!
+//! * [`Ras`] — the bounded hardware stack (IBM POWER7/8 have 32/64 entries;
+//!   the paper simulates 48 by default, see [`RasConfig::DEFAULT_CAPACITY`]).
+//! * [`RasUnit`] — the RAS plus the paper's §4 extensions:
+//!   * **BackRAS** save/restore at context switches (kills the
+//!     *multithreading* false positives, §4.3),
+//!   * **return/target whitelists** for the kernel's non-procedural return at
+//!     the end of a context switch (§4.4),
+//!   * **evict records** when the stack overflows, so RAS *underflow*
+//!     mispredictions can later be matched and discarded by the checkpointing
+//!     replayer (§4.5).
+//! * [`BackRasTable`] — the hypervisor-side array of per-thread backed-up
+//!   RASes (Figure 2), with the recycling behaviour of §5.2.2.
+//! * [`ShadowRas`] — the *unbounded, multithreaded* software RAS that the
+//!   alarm replayer models (§4.6.2).
+//! * [`RasAttribution`] — a counterfactual analyzer that classifies every
+//!   avoided false alarm as "suppressed by whitelist" or "suppressed by
+//!   BackRAS", regenerating the paper's Figure 8.
+//!
+//! ## Example
+//!
+//! ```
+//! use rnr_ras::{RasConfig, RasUnit, RasOutcome};
+//!
+//! let mut ras = RasUnit::new(RasConfig::extended(48));
+//! ras.on_call(0x1008);                    // call pushes the return address
+//! match ras.on_ret(0x2000, 0x1008) {      // ret to the matching target
+//!     RasOutcome::Hit => {}
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribution;
+mod backras;
+mod config;
+mod counters;
+mod shadow;
+mod unit;
+mod whitelist;
+
+pub use attribution::{AttributionReport, RasAttribution};
+pub use backras::{BackRasEntry, BackRasTable};
+pub use config::RasConfig;
+pub use counters::RasCounters;
+pub use shadow::{ShadowOutcome, ShadowRas};
+pub use unit::{Mispredict, MispredictKind, Ras, RasOutcome, RasUnit};
+pub use whitelist::Whitelists;
+
+use std::fmt;
+
+/// Identifier of a guest thread, as read from the guest's `task_struct` by
+/// hypervisor introspection (§5.2.1). Guest kernels may reuse IDs after a
+/// thread dies (§5.2.2), which [`BackRasTable::remove`] must handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}

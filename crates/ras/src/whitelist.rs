@@ -1,0 +1,110 @@
+//! Return/target whitelists for non-procedural returns (§4.4).
+
+use rnr_isa::Addr;
+
+/// The two whitelist tables of §4.4.
+///
+/// * `RetWhitelist` — PCs of return instructions that are *non-procedural*:
+///   the kernel pushed the target manually, so the RAS holds no entry and
+///   must not be popped. In the paper's Linux this is a **single** return at
+///   the end of `context_switch`; the table is sized accordingly small.
+/// * `TarWhitelist` — the legal targets of those returns (three well-defined
+///   kernel locations: finish a fork, start a kernel thread, resume a task).
+///
+/// Both tables are written only by the hypervisor (through VMCS fields,
+/// §5.1) after it extracts the addresses from the guest kernel binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Whitelists {
+    ret_pcs: Vec<Addr>,
+    targets: Vec<Addr>,
+}
+
+impl Whitelists {
+    /// An empty pair of tables (nothing whitelisted).
+    pub fn new() -> Whitelists {
+        Whitelists::default()
+    }
+
+    /// Builds the tables from explicit address lists.
+    pub fn from_addrs(
+        ret_pcs: impl IntoIterator<Item = Addr>,
+        targets: impl IntoIterator<Item = Addr>,
+    ) -> Whitelists {
+        Whitelists { ret_pcs: ret_pcs.into_iter().collect(), targets: targets.into_iter().collect() }
+    }
+
+    /// Adds a return-instruction PC to the `RetWhitelist`.
+    pub fn add_ret_pc(&mut self, pc: Addr) {
+        if !self.ret_pcs.contains(&pc) {
+            self.ret_pcs.push(pc);
+        }
+    }
+
+    /// Adds a legal target PC to the `TarWhitelist`.
+    pub fn add_target(&mut self, pc: Addr) {
+        if !self.targets.contains(&pc) {
+            self.targets.push(pc);
+        }
+    }
+
+    /// True if `pc` is a whitelisted non-procedural return instruction.
+    pub fn is_whitelisted_ret(&self, pc: Addr) -> bool {
+        self.ret_pcs.contains(&pc)
+    }
+
+    /// True if `pc` is a legal target for a whitelisted return.
+    pub fn is_whitelisted_target(&self, pc: Addr) -> bool {
+        self.targets.contains(&pc)
+    }
+
+    /// Number of entries in the `RetWhitelist`.
+    pub fn ret_len(&self) -> usize {
+        self.ret_pcs.len()
+    }
+
+    /// Number of entries in the `TarWhitelist`.
+    pub fn target_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if both tables are empty.
+    pub fn is_empty(&self) -> bool {
+        self.ret_pcs.is_empty() && self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let wl = Whitelists::from_addrs([0x100], [0x200, 0x208, 0x210]);
+        assert!(wl.is_whitelisted_ret(0x100));
+        assert!(!wl.is_whitelisted_ret(0x108));
+        assert!(wl.is_whitelisted_target(0x208));
+        assert!(!wl.is_whitelisted_target(0x100));
+        assert_eq!(wl.ret_len(), 1);
+        assert_eq!(wl.target_len(), 3);
+    }
+
+    #[test]
+    fn add_deduplicates() {
+        let mut wl = Whitelists::new();
+        wl.add_ret_pc(0x10);
+        wl.add_ret_pc(0x10);
+        wl.add_target(0x20);
+        wl.add_target(0x20);
+        assert_eq!(wl.ret_len(), 1);
+        assert_eq!(wl.target_len(), 1);
+        assert!(!wl.is_empty());
+    }
+
+    #[test]
+    fn empty_matches_nothing() {
+        let wl = Whitelists::new();
+        assert!(wl.is_empty());
+        assert!(!wl.is_whitelisted_ret(0));
+        assert!(!wl.is_whitelisted_target(0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Incremental checkpoints (Figure 4) and their retention policy.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use rnr_hypervisor::DiskDevice;
+use rnr_isa::Addr;
+use rnr_log::LogCursor;
+use rnr_machine::{CpuState, PAGE_SIZE};
+use rnr_ras::{BackRasTable, ThreadId};
+
+type Page = [u8; PAGE_SIZE];
+
+/// One checkpoint of the replayed VM.
+///
+/// Matches the three components of Figure 4: (1) all VM state — memory
+/// pages, a processor-state page, and the virtual disk contents; (2) the
+/// `InputLogPtr`; (3) the BackRAS. Pages and blocks are reference-counted,
+/// so consecutive checkpoints share everything that did not change — the
+/// paper's incremental scheme ("for each unmodified page or block, it keeps
+/// a pointer to it in the latest checkpoint that modified it").
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Sequence number.
+    pub id: u64,
+    /// Retired-instruction count at capture.
+    pub at_insn: u64,
+    /// Virtual cycle count at capture.
+    pub at_cycle: u64,
+    /// Processor state (PC, stack pointer, all registers — §4.6.1) plus the
+    /// live RAS entries.
+    pub cpu: CpuState,
+    /// All memory pages (shared `Arc`s; only dirty ones were copied).
+    pub mem_pages: Vec<Arc<Page>>,
+    /// The virtual disk controller: contents (shared `Arc` blocks), latched
+    /// request registers, and any in-flight operation awaiting its logged
+    /// completion interrupt.
+    pub disk: DiskDevice,
+    /// The BackRAS at the checkpoint, including the running thread's RAS
+    /// ("the hardware automatically saves the RAS into the BackRAS" before
+    /// the dump, §4.6.1).
+    pub backras: BackRasTable,
+    /// The thread scheduled at capture.
+    pub current_tid: ThreadId,
+    /// A thread that has exited but not yet been switched away from.
+    pub dying: Option<ThreadId>,
+    /// The `InputLogPtr`: next record to process after restoring.
+    pub cursor: LogCursor,
+    /// Outstanding evict records per thread (§4.6.2 matching state).
+    pub evict_store: HashMap<ThreadId, Vec<Addr>>,
+    /// Pages dirtied in the interval ending at this checkpoint (accounting).
+    pub dirty_pages: usize,
+    /// Disk blocks dirtied in the interval (accounting).
+    pub dirty_blocks: usize,
+}
+
+/// A bounded window of recent checkpoints.
+///
+/// "RnR-Safe only needs to keep as many checkpoints as the duration of the
+/// time window... plus two — to ensure the correct checkpoint is not
+/// prematurely overwritten" (§8.4). Old checkpoints are recycled; dropping
+/// the `Arc`s releases any page whose content no later checkpoint shares.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    retain: usize,
+    window: VecDeque<Checkpoint>,
+    taken: u64,
+    max_live: usize,
+}
+
+impl CheckpointStore {
+    /// A store retaining the most recent `retain` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is zero — the alarm replayer always needs a base.
+    pub fn new(retain: usize) -> CheckpointStore {
+        assert!(retain > 0, "must retain at least one checkpoint");
+        CheckpointStore { retain, window: VecDeque::new(), taken: 0, max_live: 0 }
+    }
+
+    /// Adds a checkpoint, recycling the oldest beyond the retention window.
+    pub fn push(&mut self, checkpoint: Checkpoint) {
+        self.window.push_back(checkpoint);
+        self.taken += 1;
+        while self.window.len() > self.retain {
+            self.window.pop_front();
+        }
+        self.max_live = self.max_live.max(self.window.len());
+    }
+
+    /// The most recent checkpoint (what an alarm replayer typically starts
+    /// from).
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.window.back()
+    }
+
+    /// The latest checkpoint at or before instruction `at_insn` — the
+    /// "checkpoint immediately preceding the alarm" (§4.6.2). Falls back to
+    /// the oldest retained checkpoint if the alarm predates the window.
+    pub fn before(&self, at_insn: u64) -> Option<&Checkpoint> {
+        self.window.iter().rev().find(|c| c.at_insn <= at_insn).or_else(|| self.window.front())
+    }
+
+    /// Checkpoints currently retained.
+    pub fn live(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Total checkpoints ever taken.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// High-water mark of simultaneously retained checkpoints.
+    pub fn max_live(&self) -> usize {
+        self.max_live
+    }
+
+    /// Iterates over retained checkpoints, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Checkpoint> {
+        self.window.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_isa::Reg;
+    use rnr_machine::Mode;
+
+    fn checkpoint(id: u64, at_insn: u64) -> Checkpoint {
+        Checkpoint {
+            id,
+            at_insn,
+            at_cycle: at_insn * 2,
+            cpu: CpuState {
+                regs: [0; Reg::COUNT],
+                pc: 0,
+                mode: Mode::Kernel,
+                interrupts_enabled: false,
+                halted: false,
+                ras_entries: vec![],
+            },
+            mem_pages: vec![],
+            disk: DiskDevice::new(4096, 0),
+            backras: BackRasTable::new(),
+            current_tid: ThreadId(1),
+            dying: None,
+            cursor: LogCursor::new(0),
+            evict_store: HashMap::new(),
+            dirty_pages: 0,
+            dirty_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn recycles_beyond_retention() {
+        let mut store = CheckpointStore::new(3);
+        for i in 0..5 {
+            store.push(checkpoint(i, i * 100));
+        }
+        assert_eq!(store.live(), 3);
+        assert_eq!(store.taken(), 5);
+        assert_eq!(store.max_live(), 3);
+        assert_eq!(store.latest().unwrap().id, 4);
+        assert_eq!(store.iter().next().unwrap().id, 2);
+    }
+
+    #[test]
+    fn before_finds_preceding_checkpoint() {
+        let mut store = CheckpointStore::new(10);
+        for i in 0..4 {
+            store.push(checkpoint(i, i * 100));
+        }
+        assert_eq!(store.before(250).unwrap().id, 2);
+        assert_eq!(store.before(300).unwrap().id, 3);
+        // Alarm predating the window: oldest retained is the best base.
+        let mut small = CheckpointStore::new(1);
+        small.push(checkpoint(9, 900));
+        assert_eq!(small.before(100).unwrap().id, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_retention_rejected() {
+        CheckpointStore::new(0);
+    }
+}

@@ -1,0 +1,801 @@
+//! The deterministic replay engine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rnr_hypervisor::{CycleAttribution, DiskDevice, Introspector, VmSpec};
+use rnr_isa::Addr;
+use rnr_log::{AlarmInfo, Category, InputLog, LogCursor, Record};
+use rnr_machine::{
+    CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
+    RunBudget, IRQ_DISK, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR,
+};
+use rnr_ras::{BackRasEntry, BackRasTable, MispredictKind, RasConfig, ShadowOutcome, ShadowRas, ThreadId};
+
+use crate::{Checkpoint, CheckpointStore};
+
+/// Replay engine configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Checkpoint every this many virtual cycles (`None` = `RepNoChk`).
+    pub checkpoint_interval: Option<u64>,
+    /// Checkpoints retained (window + 2, §8.4).
+    pub retain: usize,
+    /// Call/return trapping: `None` for the CR, `KernelOnly` for the
+    /// paper's kernel-ROP alarm replayer timing (Figure 9), `All` when the
+    /// software RAS must observe every return.
+    pub callret: CallRetTrap,
+    /// Cycle cost model (must match the recording's).
+    pub costs: CostModel,
+    /// RAS capacity (must match the recording's).
+    pub ras_capacity: usize,
+    /// Seed of the deterministic model for asynchronous-event landing
+    /// overshoot (the §7.3 single-stepping).
+    pub landing_seed: u64,
+    /// Collect unresolved alarms as [`AlarmCase`]s (the CR behaviour).
+    pub collect_cases: bool,
+    /// Return-instruction PCs belonging to known non-local-unwind routines
+    /// (`longjmp` implementations), identified from the binary images; the
+    /// software RAS treats them as stack unwinds, not hijacks (§4.5).
+    pub nesting_ret_sites: Vec<Addr>,
+    /// Sample the guest PC every `n` retired instructions — a heavier
+    /// instrumentation level for re-running alarm replayers ("with
+    /// increasing levels of instrumentation", §4.6.2) and for the DOS
+    /// replay role ("the replay analyzes the code that has dominated the
+    /// system's execution time", Table 1).
+    pub profile_sample_every: Option<u64>,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            checkpoint_interval: Some(crate::VIRTUAL_HZ),
+            retain: 8,
+            callret: CallRetTrap::None,
+            costs: CostModel::default(),
+            ras_capacity: RasConfig::DEFAULT_CAPACITY,
+            landing_seed: 0x1a5d,
+            collect_cases: true,
+            nesting_ret_sites: Vec::new(),
+            profile_sample_every: None,
+        }
+    }
+}
+
+/// A JOP alarm lifted from the log (Table 1, row 2), for replay-side
+/// verification against the full function table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JopCase {
+    /// Thread running the indirect branch.
+    pub tid: rnr_ras::ThreadId,
+    /// PC of the indirect branch or call.
+    pub branch_pc: Addr,
+    /// The resolved target.
+    pub target: Addr,
+    /// Retired-instruction count at the alarm.
+    pub at_insn: u64,
+    /// Virtual cycle at the alarm.
+    pub at_cycle: u64,
+}
+
+/// An alarm the CR could not discard, packaged for an alarm replayer.
+#[derive(Debug, Clone)]
+pub struct AlarmCase {
+    /// The checkpoint immediately preceding the alarm.
+    pub checkpoint: Checkpoint,
+    /// The alarm itself.
+    pub alarm: AlarmInfo,
+    /// Index of the alarm record in the input log.
+    pub alarm_index: usize,
+}
+
+/// Replay failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The replayed execution diverged from the log.
+    Divergence {
+        /// Retired instructions at the divergence.
+        at_insn: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The guest faulted during replay.
+    GuestFault(FaultKind),
+    /// The log ended without an `End` marker.
+    UnexpectedEndOfLog,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Divergence { at_insn, detail } => {
+                write!(f, "replay diverged at instruction {at_insn}: {detail}")
+            }
+            ReplayError::GuestFault(k) => write!(f, "guest fault during replay: {k:?}"),
+            ReplayError::UnexpectedEndOfLog => write!(f, "input log ended without an End marker"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// A shadow-RAS anomaly observed at a trapped return (alarm replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShadowEventKind {
+    /// Underflow that matched an evict record (benign).
+    UnderflowMatched,
+    /// Underflow with no matching evict record.
+    UnderflowUnexplained,
+    /// Mismatch explained by unwinding to a live frame (setjmp/longjmp).
+    MismatchUnwound {
+        /// Frames discarded by the unwind.
+        frames: usize,
+    },
+    /// Mismatch with no live frame matching the target.
+    MismatchUnexplained {
+        /// The shadow prediction.
+        predicted: Addr,
+    },
+    /// Whitelisted return to an illegal target.
+    WhitelistViolation,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShadowEvent {
+    pub at_insn: u64,
+    pub ret_pc: Addr,
+    #[allow(dead_code)]
+    pub actual: Addr,
+    pub kind: ShadowEventKind,
+}
+
+/// Results of a replay run.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Total virtual cycles spent replaying (from the engine's start point).
+    pub cycles: u64,
+    /// Retired instructions at the end.
+    pub retired: u64,
+    /// Final architectural digest (compare with the recording's).
+    pub final_digest: Digest,
+    /// True if `expected_digest` was provided and matched.
+    pub verified: Option<bool>,
+    /// Overhead attribution (Figure 7(b), including the `Chk` bucket).
+    pub attribution: CycleAttribution,
+    /// Checkpoints taken / retained high-water mark.
+    pub checkpoints_taken: u64,
+    /// Maximum checkpoints simultaneously retained.
+    pub checkpoints_live_max: usize,
+    /// Alarm records encountered.
+    pub alarms_seen: u64,
+    /// Underflow alarms cancelled by evict matching (§4.6.2).
+    pub underflows_cancelled: u64,
+    /// Alarms needing an alarm replayer.
+    pub alarm_cases: Vec<AlarmCase>,
+    /// JOP alarms found in the log (Table 1, row 2).
+    pub jop_cases: Vec<JopCase>,
+    /// Call/return traps taken (alarm-replay timing driver, Figure 9).
+    pub callret_traps: u64,
+    /// Console output reproduced by the replayed guest.
+    pub console: Vec<u8>,
+    /// Shadow-RAS anomalies (alarm replay only).
+    pub(crate) shadow_events: Vec<ShadowEvent>,
+    /// PC-sample histogram (`pc -> samples`), when profiling was enabled.
+    pub profile: std::collections::HashMap<Addr, u64>,
+    /// The VM at the stop point (alarm forensics reads its memory).
+    pub(crate) vm: GuestVm,
+}
+
+impl ReplayOutcome {
+    /// The guest VM at the stop point, for state auditing (§3.2). Exposes
+    /// registers, memory, and introspectable kernel structures.
+    pub fn vm(&self) -> &GuestVm {
+        &self.vm
+    }
+}
+
+/// The deterministic replayer (both CR and AR are configurations of it).
+#[derive(Debug)]
+pub struct Replayer {
+    vm: GuestVm,
+    disk: DiskDevice,
+    console: Vec<u8>,
+    intro: Introspector,
+    backras: BackRasTable,
+    current_tid: ThreadId,
+    dying: Option<ThreadId>,
+    log: Arc<InputLog>,
+    cursor: LogCursor,
+    store: CheckpointStore,
+    evict_store: HashMap<ThreadId, Vec<Addr>>,
+    attribution: CycleAttribution,
+    landing: StdRng,
+    cfg: ReplayConfig,
+    last_checkpoint_cycle: u64,
+    start_cycles: u64,
+    alarms_seen: u64,
+    cancelled: u64,
+    cases: Vec<AlarmCase>,
+    jop_cases: Vec<JopCase>,
+    callret_traps: u64,
+    shadow: Option<ShadowRas>,
+    shadow_events: Vec<ShadowEvent>,
+    expected_digest: Option<Digest>,
+    stop_after_record: Option<usize>,
+    stop_at_insn: Option<u64>,
+    next_checkpoint_id: u64,
+    profile: std::collections::HashMap<Addr, u64>,
+    next_sample: u64,
+}
+
+impl Replayer {
+    /// A replayer starting from the initial VM state (the CR, §4.6.1).
+    pub fn new(spec: &VmSpec, log: Arc<InputLog>, cfg: ReplayConfig) -> Replayer {
+        let machine = MachineConfig {
+            syscall_entry: spec.kernel.syscall_entry(),
+            ras: RasConfig::replay(cfg.ras_capacity),
+            exits: ExitControls {
+                rdtsc_exiting: true,
+                evict_exiting: false,
+                callret_trap: cfg.callret,
+            },
+            costs: cfg.costs,
+            ..MachineConfig::default()
+        };
+        let mut images = vec![spec.kernel.image().clone()];
+        images.extend(spec.extra_images.iter().cloned());
+        images.push(spec.boot.to_image());
+        let image_refs: Vec<&rnr_isa::Image> = images.iter().collect();
+        let mut vm = GuestVm::new(machine, &image_refs);
+        vm.set_entry(spec.kernel.entry());
+        vm.cpu_mut().ras.set_whitelists(spec.kernel.whitelists());
+        let intro = Introspector::new(&spec.kernel);
+        Self::finish_setup(vm, spec, intro, log, cfg)
+    }
+
+    /// A replayer resuming from a checkpoint (the AR, §4.6.2). When
+    /// `shadow` is true, a software unbounded multithreaded RAS is modeled
+    /// from the checkpoint's BackRAS.
+    pub fn from_checkpoint(
+        spec: &VmSpec,
+        log: Arc<InputLog>,
+        cfg: ReplayConfig,
+        checkpoint: &Checkpoint,
+        shadow: bool,
+    ) -> Replayer {
+        let machine = MachineConfig {
+            syscall_entry: spec.kernel.syscall_entry(),
+            ras: RasConfig::replay(cfg.ras_capacity),
+            exits: ExitControls {
+                rdtsc_exiting: true,
+                evict_exiting: false,
+                callret_trap: cfg.callret,
+            },
+            costs: cfg.costs,
+            ..MachineConfig::default()
+        };
+        let mut vm = GuestVm::new(machine, &[]);
+        vm.mem_mut().restore_pages(checkpoint.mem_pages.clone());
+        vm.cpu_mut().restore_state(&checkpoint.cpu);
+        vm.cpu_mut().ras.set_whitelists(spec.kernel.whitelists());
+        vm.restore_counters(checkpoint.at_insn, checkpoint.at_cycle);
+        let intro = Introspector::new(&spec.kernel);
+        let mut r = Self::finish_setup(vm, spec, intro, log, cfg);
+        r.disk = checkpoint.disk.clone();
+        r.backras = checkpoint.backras.clone();
+        r.current_tid = checkpoint.current_tid;
+        r.dying = checkpoint.dying;
+        r.cursor = checkpoint.cursor;
+        r.evict_store = checkpoint.evict_store.clone();
+        r.start_cycles = checkpoint.at_cycle;
+        r.last_checkpoint_cycle = checkpoint.at_cycle;
+        if shadow {
+            let current = checkpoint.current_tid;
+            let entry = checkpoint.backras.load(current);
+            r.shadow = Some(ShadowRas::from_backras(
+                &checkpoint.backras,
+                current,
+                entry.entries(),
+                spec.kernel.whitelists(),
+            ));
+        }
+        r
+    }
+
+    fn finish_setup(
+        mut vm: GuestVm,
+        spec: &VmSpec,
+        intro: Introspector,
+        log: Arc<InputLog>,
+        cfg: ReplayConfig,
+    ) -> Replayer {
+        vm.add_breakpoint(intro.switch_sp_trap());
+        vm.add_breakpoint(intro.thread_create_trap());
+        vm.add_breakpoint(intro.thread_exit_trap());
+        let landing = StdRng::seed_from_u64(cfg.landing_seed);
+        Replayer {
+            vm,
+            disk: DiskDevice::new(spec.disk_bytes, spec.disk_seed),
+            console: Vec::new(),
+            intro,
+            backras: BackRasTable::new(),
+            current_tid: ThreadId(1),
+            dying: None,
+            cursor: log.cursor(),
+            log,
+            store: CheckpointStore::new(cfg.retain),
+            evict_store: HashMap::new(),
+            attribution: CycleAttribution::new(),
+            landing,
+            last_checkpoint_cycle: 0,
+            start_cycles: 0,
+            alarms_seen: 0,
+            cancelled: 0,
+            cases: Vec::new(),
+            jop_cases: Vec::new(),
+            callret_traps: 0,
+            shadow: None,
+            shadow_events: Vec::new(),
+            expected_digest: None,
+            stop_after_record: None,
+            stop_at_insn: None,
+            next_checkpoint_id: 0,
+            profile: std::collections::HashMap::new(),
+            next_sample: cfg.profile_sample_every.unwrap_or(0),
+            cfg,
+        }
+    }
+
+    /// Arms final-state verification against the recording's digest.
+    pub fn verify_against(&mut self, digest: Digest) {
+        self.expected_digest = Some(digest);
+    }
+
+    /// Stops after the log record at `index` has been consumed (the alarm
+    /// replayer's "replay until the alarm marker", §4.6.2).
+    pub fn stop_after_record(&mut self, index: usize) {
+        self.stop_after_record = Some(index);
+    }
+
+    /// Stops at (or just past) retired-instruction count `insn` — the §3.2
+    /// execution-auditing entry point: "an execution context can be
+    /// replayed to audit the code and data state". The stop is exact at
+    /// asynchronous-record boundaries; a synchronous data record in flight
+    /// may overshoot to its trapping instruction.
+    pub fn stop_at_insn(&mut self, insn: u64) {
+        self.stop_at_insn = Some(insn);
+    }
+
+    /// Runs the replay to the end of the log (or the configured stop point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Divergence`] when the execution does not match
+    /// the log — which, under RnR's determinism guarantee, indicates a bug
+    /// or tampering, not a tolerable condition.
+    pub fn run(mut self) -> Result<ReplayOutcome, ReplayError> {
+        if self.cfg.collect_cases {
+            // The initial checkpoint: alarms before the first interval need
+            // a base to replay from.
+            self.take_checkpoint();
+        }
+        loop {
+            if let Some(stop) = self.stop_after_record {
+                if self.cursor.index() > stop {
+                    return Ok(self.finish(None));
+                }
+            }
+            if let Some(stop) = self.stop_at_insn {
+                if self.vm.retired() >= stop {
+                    return Ok(self.finish(None));
+                }
+                // Do not run past the audit point for records with a known
+                // injection/arrival instruction.
+                if let Some(at) = self.cursor.peek(&self.log).and_then(rnr_log::Record::at_insn) {
+                    if at > stop {
+                        self.run_to(stop)?;
+                        return Ok(self.finish(None));
+                    }
+                }
+            }
+            let Some(record) = self.cursor.peek(&self.log).cloned() else {
+                return Err(ReplayError::UnexpectedEndOfLog);
+            };
+            let index = self.cursor.index();
+            match record {
+                Record::End { at_insn, .. } => {
+                    self.run_to(at_insn)?;
+                    self.cursor.advance();
+                    return Ok(self.finish(Some(at_insn)));
+                }
+                Record::Evict { tid, addr } => {
+                    self.evict_store.entry(tid).or_default().push(addr);
+                    self.cursor.advance();
+                }
+                Record::Alarm(info) => {
+                    // Reach the alarm point first: the alarm replayer's
+                    // software RAS must observe the mispredicting return
+                    // itself ("consuming the input log until it reaches the
+                    // alarm marker", §4.6.2).
+                    self.run_to(info.at_insn)?;
+                    self.cursor.advance();
+                    self.alarms_seen += 1;
+                    self.handle_alarm(info, index);
+                }
+                Record::JopAlarm { tid, branch_pc, target, at_insn, at_cycle } => {
+                    self.run_to(at_insn)?;
+                    self.cursor.advance();
+                    self.alarms_seen += 1;
+                    self.jop_cases.push(JopCase { tid, branch_pc, target, at_insn, at_cycle });
+                }
+                Record::Interrupt { irq, at_insn } => {
+                    self.run_to(at_insn)?;
+                    self.charge_landing();
+                    if irq == IRQ_DISK {
+                        if self.disk.in_flight().is_none() {
+                            return Err(self.diverge("disk interrupt with no in-flight operation"));
+                        }
+                        self.disk.complete(&mut self.vm);
+                    }
+                    self.vm
+                        .inject_interrupt(irq)
+                        .map_err(|e| self.diverge_msg(format!("interrupt injection failed: {e}")))?;
+                    self.cursor.advance();
+                }
+                Record::Dma { addr, data, at_insn, .. } => {
+                    self.run_to(at_insn)?;
+                    let bytes = data.len() as u64;
+                    self.vm
+                        .mem_mut()
+                        .write_bytes(addr, &data)
+                        .map_err(|_| self.diverge_msg(format!("DMA outside guest memory at {addr:#x}")))?;
+                    self.charge(Category::Network, self.cfg.costs.log_per_word * bytes.div_ceil(8));
+                    self.cursor.advance();
+                }
+                Record::Rdtsc { value } => {
+                    match self.run_to_sync()? {
+                        Exit::Rdtsc { rd } => {
+                            self.charge(Category::Rdtsc, self.cfg.costs.vmexit);
+                            self.vm.finish_io(FinishIo::Read { rd, value });
+                        }
+                        other => return Err(self.diverge_msg(format!("expected rdtsc exit, got {other:?}"))),
+                    }
+                    self.cursor.advance();
+                }
+                Record::PioIn { port, value } => {
+                    match self.run_to_sync()? {
+                        Exit::PioIn { rd, port: p } if p == port => {
+                            self.charge(Category::PioMmio, self.cfg.costs.vmexit);
+                            self.vm.finish_io(FinishIo::Read { rd, value });
+                        }
+                        other => return Err(self.diverge_msg(format!("expected in({port:#x}), got {other:?}"))),
+                    }
+                    self.cursor.advance();
+                }
+                Record::MmioRead { addr, value } => {
+                    match self.run_to_sync()? {
+                        Exit::MmioRead { rd, addr: a } if a == addr => {
+                            self.charge(Category::PioMmio, self.cfg.costs.vmexit);
+                            self.vm.finish_io(FinishIo::Read { rd, value });
+                        }
+                        other => {
+                            return Err(self.diverge_msg(format!("expected mmio read {addr:#x}, got {other:?}")))
+                        }
+                    }
+                    self.cursor.advance();
+                }
+            }
+            self.maybe_checkpoint();
+        }
+    }
+
+    fn finish(mut self, _end_insn: Option<u64>) -> ReplayOutcome {
+        let final_digest = {
+            let mut h = Fnv1a::new();
+            h.update_u64(self.vm.digest().0);
+            h.update_u64(self.disk.store().digest().0);
+            h.finish()
+        };
+        ReplayOutcome {
+            cycles: self.vm.cycles() - self.start_cycles,
+            retired: self.vm.retired(),
+            final_digest,
+            verified: self.expected_digest.map(|d| d == final_digest),
+            attribution: std::mem::take(&mut self.attribution),
+            checkpoints_taken: self.store.taken(),
+            checkpoints_live_max: self.store.max_live(),
+            alarms_seen: self.alarms_seen,
+            underflows_cancelled: self.cancelled,
+            alarm_cases: std::mem::take(&mut self.cases),
+            jop_cases: std::mem::take(&mut self.jop_cases),
+            callret_traps: self.callret_traps,
+            console: std::mem::take(&mut self.console),
+            shadow_events: std::mem::take(&mut self.shadow_events),
+            profile: std::mem::take(&mut self.profile),
+            vm: self.vm,
+        }
+    }
+
+    fn diverge(&self, detail: &str) -> ReplayError {
+        ReplayError::Divergence { at_insn: self.vm.retired(), detail: detail.to_string() }
+    }
+
+    fn diverge_msg(&self, detail: String) -> ReplayError {
+        ReplayError::Divergence { at_insn: self.vm.retired(), detail }
+    }
+
+    fn charge(&mut self, category: Category, cycles: u64) {
+        self.vm.add_cycles(cycles);
+        self.attribution.charge(category, cycles);
+    }
+
+    /// The §7.3 asynchronous-event landing: arm a performance counter, take
+    /// the overshoot, single-step back to the exact instruction — modeled
+    /// as 1..=max single-step VM exits.
+    fn charge_landing(&mut self) {
+        let steps = self.landing.gen_range(1..=self.cfg.costs.replay_max_steps.max(1));
+        let cost = steps * self.cfg.costs.replay_step;
+        self.charge(Category::Interrupt, cost);
+    }
+
+    fn handle_alarm(&mut self, info: AlarmInfo, index: usize) {
+        if info.mispredict.kind == MispredictKind::Underflow {
+            // In alarm replay the shadow-RAS handler may already have
+            // consumed the matching evict entry for this very return; a
+            // second pop here would starve later matches (duplicate evict
+            // values are common). Each alarm consumes at most one entry.
+            let shadow_handled = self.shadow.is_some()
+                && self.shadow_events.last().is_some_and(|e| {
+                    e.at_insn == info.at_insn
+                        && e.ret_pc == info.mispredict.ret_pc
+                        && matches!(e.kind, ShadowEventKind::UnderflowMatched)
+                });
+            if shadow_handled {
+                self.cancelled += 1;
+                return;
+            }
+            let stack = self.evict_store.entry(info.tid).or_default();
+            if stack.last() == Some(&info.mispredict.actual) {
+                // §4.6.2: matches the latest evict record from this thread —
+                // a false alarm; drop both.
+                stack.pop();
+                self.cancelled += 1;
+                return;
+            }
+        }
+        if self.cfg.collect_cases {
+            let checkpoint =
+                self.store.before(info.at_insn).cloned().expect("initial checkpoint always exists");
+            self.cases.push(AlarmCase { checkpoint, alarm: info, alarm_index: index });
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if let Some(interval) = self.cfg.checkpoint_interval {
+            if self.vm.cycles() - self.last_checkpoint_cycle >= interval {
+                self.take_checkpoint();
+            }
+        }
+    }
+
+    fn take_checkpoint(&mut self) {
+        let dirty_pages = self.vm.mem_mut().begin_epoch().len();
+        let cow_faults = self.vm.mem_mut().take_cow_faults();
+        let dirty_blocks = self.disk.store_mut().begin_epoch().len();
+        let costs = self.cfg.costs;
+        let cost = costs.checkpoint_fixed
+            + costs.checkpoint_page_copy * (dirty_pages + dirty_blocks) as u64
+            + costs.cow_fault * cow_faults;
+        self.vm.add_cycles(cost);
+        self.attribution.charge_checkpoint(cost);
+        // "The hardware automatically saves the RAS into the BackRAS"
+        // (§4.6.1) so the checkpoint captures the running thread's RAS too.
+        let mut backras = self.backras.clone();
+        backras.save(self.current_tid, BackRasEntry::from_entries(self.vm.cpu().ras.snapshot()));
+        let checkpoint = Checkpoint {
+            id: self.next_checkpoint_id,
+            at_insn: self.vm.retired(),
+            at_cycle: self.vm.cycles(),
+            cpu: self.vm.cpu().save_state(),
+            mem_pages: self.vm.mem().snapshot_pages(),
+            disk: self.disk.clone(),
+            backras,
+            current_tid: self.current_tid,
+            dying: self.dying,
+            cursor: self.cursor,
+            evict_store: self.evict_store.clone(),
+            dirty_pages,
+            dirty_blocks,
+        };
+        self.next_checkpoint_id += 1;
+        self.last_checkpoint_cycle = self.vm.cycles();
+        self.store.push(checkpoint);
+    }
+
+    /// Runs until exactly `target` instructions have retired, servicing
+    /// breakpoints, device-output exits, and call/return traps on the way.
+    fn run_to(&mut self, target: u64) -> Result<(), ReplayError> {
+        if self.vm.retired() > target {
+            return Err(self.diverge_msg(format!(
+                "already past target instruction {target} (at {})",
+                self.vm.retired()
+            )));
+        }
+        loop {
+            // With profiling on, stop early at sampling points.
+            let stop = self.next_profile_stop(Some(target));
+            let exit = self.vm.run(RunBudget::until(stop));
+            if matches!(exit, Exit::BudgetExhausted) && stop < target {
+                self.take_profile_sample();
+                continue;
+            }
+            match exit {
+                Exit::BudgetExhausted => return Ok(()),
+                Exit::Halt => {
+                    if self.vm.retired() == target {
+                        return Ok(());
+                    }
+                    return Err(self.diverge("guest halted before the next event's instruction count"));
+                }
+                other => self.handle_intermediate(other)?,
+            }
+        }
+    }
+
+    /// Runs until a synchronous-data exit (rdtsc / pio-in / mmio-read).
+    fn run_to_sync(&mut self) -> Result<Exit, ReplayError> {
+        loop {
+            let stop = self.next_profile_stop(None);
+            let exit = self.vm.run(RunBudget { until_retired: (stop != u64::MAX).then_some(stop), until_cycles: None });
+            match exit {
+                Exit::BudgetExhausted => self.take_profile_sample(),
+                Exit::Rdtsc { .. } | Exit::PioIn { .. } | Exit::MmioRead { .. } => return Ok(exit),
+                Exit::Halt => return Err(self.diverge("guest halted while a data record was pending")),
+                other => self.handle_intermediate(other)?,
+            }
+        }
+    }
+
+    /// The next instruction count to pause at for a profile sample, bounded
+    /// by `target` when given. `u64::MAX` means "no sampling stop".
+    fn next_profile_stop(&mut self, target: Option<u64>) -> u64 {
+        let Some(step) = self.cfg.profile_sample_every else {
+            return target.unwrap_or(u64::MAX);
+        };
+        if self.next_sample <= self.vm.retired() {
+            self.next_sample = self.vm.retired() + step.max(1);
+        }
+        match target {
+            Some(t) => self.next_sample.min(t),
+            None => self.next_sample,
+        }
+    }
+
+    /// Exits that replay handles locally, without consuming log records.
+    fn handle_intermediate(&mut self, exit: Exit) -> Result<(), ReplayError> {
+        let costs = self.cfg.costs;
+        match exit {
+            Exit::PioOut { port, value } => {
+                self.charge(Category::PioMmio, costs.vmexit);
+                match port {
+                    PORT_DISK_SECTOR | PORT_DISK_ADDR | PORT_DISK_COUNT | PORT_DISK_CMD => {
+                        self.disk.handle_out(port, value, 0);
+                    }
+                    PORT_CONSOLE => self.console.push(value as u8),
+                    _ => {} // NIC transmit: outputs need no replay effect
+                }
+                self.vm.finish_io(FinishIo::Write);
+            }
+            Exit::MmioWrite { .. } => {
+                self.charge(Category::PioMmio, costs.vmexit);
+                self.vm.finish_io(FinishIo::Write);
+            }
+            Exit::Breakpoint { pc } => self.handle_breakpoint(pc),
+            Exit::CallTrap { ret_addr, .. } => {
+                self.callret_traps += 1;
+                self.charge(Category::Other, costs.callret_trap);
+                // After a retired call, sp names the slot holding ret_addr.
+                let slot = self.vm.cpu().sp();
+                if let Some(shadow) = self.shadow.as_mut() {
+                    shadow.on_call(ret_addr, slot);
+                }
+            }
+            Exit::RetTrap { ret_pc, target } => {
+                self.callret_traps += 1;
+                self.charge(Category::Other, costs.callret_trap);
+                self.handle_shadow_ret(ret_pc, target);
+            }
+            Exit::Fault(kind) => return Err(ReplayError::GuestFault(kind)),
+            other => {
+                return Err(self.diverge_msg(format!("unexpected exit {other:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_shadow_ret(&mut self, ret_pc: Addr, actual: Addr) {
+        // After a retired ret, sp sits one word above the popped slot.
+        let slot = self.vm.cpu().sp().wrapping_sub(8);
+        let at_insn = self.vm.retired();
+        if self.cfg.nesting_ret_sites.contains(&ret_pc) {
+            // A known longjmp-style routine: fix the software RAS by
+            // discarding the frames the unwind skipped (§4.5).
+            let frames = self.shadow.as_mut().map_or(0, |s| s.on_nesting_ret(slot));
+            self.shadow_events.push(ShadowEvent {
+                at_insn,
+                ret_pc,
+                actual,
+                kind: ShadowEventKind::MismatchUnwound { frames },
+            });
+            return;
+        }
+        let Some(shadow) = self.shadow.as_mut() else { return };
+        let kind = match shadow.on_ret(ret_pc, actual, slot) {
+            ShadowOutcome::Hit { .. } | ShadowOutcome::Whitelisted => return,
+            ShadowOutcome::WhitelistViolation { .. } => ShadowEventKind::WhitelistViolation,
+            ShadowOutcome::Underflow { .. } => {
+                let tid = shadow.current_thread();
+                let stack = self.evict_store.entry(tid).or_default();
+                if stack.last() == Some(&actual) {
+                    stack.pop();
+                    ShadowEventKind::UnderflowMatched
+                } else {
+                    ShadowEventKind::UnderflowUnexplained
+                }
+            }
+            ShadowOutcome::Mismatch { predicted, .. } => ShadowEventKind::MismatchUnexplained { predicted },
+        };
+        self.shadow_events.push(ShadowEvent { at_insn, ret_pc, actual, kind });
+    }
+
+    fn take_profile_sample(&mut self) {
+        let step = self.cfg.profile_sample_every.unwrap_or(0).max(1);
+        *self.profile.entry(self.vm.cpu().pc).or_insert(0) += 1;
+        self.next_sample = self.vm.retired() + step;
+    }
+
+    fn handle_breakpoint(&mut self, pc: Addr) {
+        let costs = self.cfg.costs;
+        if pc == self.intro.switch_sp_trap() {
+            let next = self.intro.next_thread_at_switch(&self.vm).unwrap_or(self.current_tid);
+            let prev = self.current_tid;
+            if let Some(saved) = self.vm.cpu_mut().ras.save_backras() {
+                if self.dying == Some(prev) {
+                    self.backras.remove(prev);
+                    self.dying = None;
+                } else {
+                    self.backras.save(prev, saved);
+                }
+            }
+            let entry = self.backras.load(next);
+            self.vm.cpu_mut().ras.restore_backras(&entry);
+            self.charge(Category::Ras, costs.vmexit + costs.ras_save + costs.ras_restore);
+            if let Some(shadow) = self.shadow.as_mut() {
+                if self.dying == Some(prev) {
+                    shadow.kill_thread(prev);
+                }
+                shadow.context_switch(next);
+            }
+            self.current_tid = next;
+        } else if pc == self.intro.thread_create_trap() {
+            let tid = self.intro.thread_at_commit(&self.vm);
+            self.backras.allocate(tid);
+            if let Some(shadow) = self.shadow.as_mut() {
+                shadow.seed_thread(tid, &BackRasEntry::new());
+            }
+            self.charge(Category::Ras, costs.vmexit);
+        } else if pc == self.intro.thread_exit_trap() {
+            let tid = self.intro.thread_at_commit(&self.vm);
+            self.dying = Some(tid);
+            if let Some(shadow) = self.shadow.as_mut() {
+                shadow.kill_thread(tid);
+            }
+            self.charge(Category::Ras, costs.vmexit);
+        }
+        self.vm.skip_breakpoint_once();
+    }
+
+}

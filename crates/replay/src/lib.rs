@@ -1,0 +1,44 @@
+//! # rnr-replay: the checkpointing and alarm replayers
+//!
+//! The replay side of RnR-Safe (§4.6): a second platform consumes the input
+//! log and deterministically re-executes the recorded VM.
+//!
+//! * [`Replayer`] — the deterministic replay engine. Synchronous
+//!   non-deterministic events (rdtsc, PIO/MMIO reads) are injected when the
+//!   guest traps on the corresponding instruction; asynchronous events
+//!   (interrupts, DMA payloads) are landed at their exact recorded
+//!   instruction counts, paying the paper's single-stepping cost (§7.3).
+//!   Replay correctness is checked by comparing architectural-state digests
+//!   with the recording.
+//! * [`Checkpoint`] / [`CheckpointStore`] — incremental copy-on-write
+//!   checkpoints (Figure 4): all VM pages and disk blocks (shared
+//!   reference-counted, copied only on write), the processor-state page,
+//!   the BackRAS, and the `InputLogPtr`, with the recycling policy of §8.4.
+//! * The **checkpointing replayer** (CR) is a [`Replayer`] with a
+//!   checkpoint interval; it also performs the §4.6.2 special case:
+//!   matching RAS-underflow alarms against *evict* records and discarding
+//!   the false ones without launching an alarm replayer.
+//! * [`AlarmReplayer`] — launched from the checkpoint preceding an
+//!   unresolved alarm; traps every call/return, models the unbounded
+//!   multithreaded software RAS (`rnr_ras::ShadowRas`), and resolves the
+//!   alarm into a [`Verdict`]: a classified false positive or a
+//!   [`RopReport`] with the hijacked return, call site, thread, and decoded
+//!   gadget chain (§6's "how was the attack possible / who / what did they
+//!   do" analysis).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alarm;
+mod checkpoint;
+mod engine;
+
+pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use alarm::{resolve_jop, JopVerdict};
+pub use engine::{AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, Replayer};
+
+/// Virtual cycles per "second" of guest time. The paper quotes checkpoint
+/// intervals in seconds (RepChk5/RepChk1/RepChk02); this constant maps them
+/// onto the simulator's cycle clock. Documented in EXPERIMENTS.md.
+pub const VIRTUAL_HZ: u64 = 4_000_000;

@@ -1,0 +1,113 @@
+//! The central RnR property: record once, replay deterministically.
+
+use std::sync::Arc;
+
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_machine::CallRetTrap;
+use rnr_replay::{ReplayConfig, Replayer, VIRTUAL_HZ};
+use rnr_workloads::Workload;
+
+fn record(w: Workload, insns: u64) -> (rnr_hypervisor::VmSpec, rnr_hypervisor::RecordOutcome) {
+    let spec = w.spec(false);
+    let out = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, insns)).unwrap().run();
+    assert!(out.fault.is_none(), "{}: fault {:?}", w.label(), out.fault);
+    (spec, out)
+}
+
+#[test]
+fn all_workloads_replay_bit_exact() {
+    for w in Workload::ALL {
+        let (spec, rec) = record(w, 300_000);
+        let log = Arc::new(rec.log.clone());
+        let mut replayer = Replayer::new(&spec, log, ReplayConfig::default());
+        replayer.verify_against(rec.final_digest);
+        let out = replayer.run().unwrap_or_else(|e| panic!("{}: {e}", w.label()));
+        assert_eq!(out.verified, Some(true), "{}: digest mismatch", w.label());
+        assert_eq!(out.retired, rec.retired, "{}", w.label());
+        // The guest's outputs are reproduced too.
+        assert_eq!(out.console, rec.console, "{}", w.label());
+    }
+}
+
+#[test]
+fn checkpointing_replay_is_slower_than_norec_but_comparable_to_rec() {
+    let (spec, rec) = record(Workload::Fileio, 400_000);
+    let log = Arc::new(rec.log.clone());
+    let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 4), ..ReplayConfig::default() };
+    let out = Replayer::new(&spec, log, cfg).run().unwrap();
+    assert!(out.checkpoints_taken >= 2, "expected periodic checkpoints, got {}", out.checkpoints_taken);
+    // §8.3.1: checkpointing replay runs at a speed roughly comparable to
+    // recording (well within an order of magnitude).
+    assert!(out.cycles > rec.cycles / 2, "replay suspiciously fast: {} vs {}", out.cycles, rec.cycles);
+    assert!(out.cycles < rec.cycles * 4, "replay too slow: {} vs {}", out.cycles, rec.cycles);
+}
+
+#[test]
+fn rep_no_chk_takes_only_initial_checkpoint() {
+    let (spec, rec) = record(Workload::Radiosity, 200_000);
+    let log = Arc::new(rec.log.clone());
+    let cfg = ReplayConfig { checkpoint_interval: None, ..ReplayConfig::default() };
+    let mut r = Replayer::new(&spec, log, cfg);
+    r.verify_against(rec.final_digest);
+    let out = r.run().unwrap();
+    assert_eq!(out.checkpoints_taken, 1);
+    assert_eq!(out.verified, Some(true));
+}
+
+#[test]
+fn kernel_callret_trapping_slows_replay_down() {
+    let (spec, rec) = record(Workload::Mysql, 300_000);
+    let log = Arc::new(rec.log.clone());
+    let plain = Replayer::new(
+        &spec,
+        Arc::clone(&log),
+        ReplayConfig { checkpoint_interval: None, collect_cases: false, ..ReplayConfig::default() },
+    )
+    .run()
+    .unwrap();
+    let trapped = Replayer::new(
+        &spec,
+        log,
+        ReplayConfig {
+            checkpoint_interval: None,
+            collect_cases: false,
+            callret: CallRetTrap::KernelOnly,
+            ..ReplayConfig::default()
+        },
+    )
+    .run()
+    .unwrap();
+    assert!(trapped.callret_traps > 0);
+    assert_eq!(plain.callret_traps, 0);
+    assert!(
+        trapped.cycles > plain.cycles * 2,
+        "alarm-replay trapping should dominate: {} vs {}",
+        trapped.cycles,
+        plain.cycles
+    );
+    // Trapping must not perturb the replayed execution itself.
+    assert_eq!(trapped.final_digest, plain.final_digest);
+}
+
+#[test]
+fn benign_apache_alarms_resolve_via_evict_matching() {
+    // Apache's bursty packets drive deep recursive driver copies; with a
+    // small RAS, evictions + underflow alarms occur and the CR cancels them.
+    let spec = Workload::Apache.spec(false);
+    let mut rc = RecordConfig::new(RecordMode::Rec, 7, 600_000);
+    rc.ras_capacity = 16;
+    let rec = Recorder::new(&spec, rc).unwrap().run();
+    assert!(rec.fault.is_none());
+    let log = Arc::new(rec.log.clone());
+    let cfg = ReplayConfig { ras_capacity: 16, ..ReplayConfig::default() };
+    let mut r = Replayer::new(&spec, log, cfg);
+    r.verify_against(rec.final_digest);
+    let out = r.run().unwrap();
+    assert_eq!(out.verified, Some(true));
+    if rec.alarms > 0 {
+        assert!(
+            out.underflows_cancelled > 0 || !out.alarm_cases.is_empty(),
+            "alarms must be matched or escalated"
+        );
+    }
+}

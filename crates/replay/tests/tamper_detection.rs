@@ -1,0 +1,99 @@
+//! Replay as an integrity check: a tampered or truncated input log can not
+//! silently produce a "verified" replay.
+
+use std::sync::Arc;
+
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_log::{InputLog, Record};
+use rnr_replay::{ReplayConfig, ReplayError, Replayer};
+use rnr_workloads::Workload;
+
+fn recording() -> (rnr_hypervisor::VmSpec, rnr_hypervisor::RecordOutcome) {
+    let spec = Workload::Mysql.spec(false);
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 5, 150_000)).unwrap().run();
+    assert!(rec.fault.is_none());
+    (spec, rec)
+}
+
+fn replay_with(spec: &rnr_hypervisor::VmSpec, log: InputLog, digest: rnr_machine::Digest) -> Result<Option<bool>, ReplayError> {
+    let mut r = Replayer::new(spec, Arc::new(log), ReplayConfig::default());
+    r.verify_against(digest);
+    r.run().map(|o| o.verified)
+}
+
+#[test]
+fn tampered_rng_value_fails_verification() {
+    // fileio turns the logged RNG value into a disk sector: tampering it
+    // redirects the replayed I/O and the disk/memory digests split. (A
+    // tampered value that flows nowhere — e.g. a discarded timestamp —
+    // legitimately still verifies; replay checks *state*, not the log.)
+    let spec = Workload::Fileio.spec(false);
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 5, 200_000)).unwrap().run();
+    assert!(rec.fault.is_none());
+    let mut records: Vec<Record> = rec.log.records().to_vec();
+    let idx = records
+        .iter()
+        .position(|r| matches!(r, Record::PioIn { port, .. } if *port == rnr_machine::PORT_RNG))
+        .expect("fileio rolls random sectors");
+    if let Record::PioIn { value, .. } = &mut records[idx] {
+        *value ^= 0x1fff;
+    }
+    let tampered: InputLog = records.into_iter().collect();
+    match replay_with(&spec, tampered, rec.final_digest) {
+        // The guest consumed a different value: the final digest changes...
+        Ok(verified) => assert_eq!(verified, Some(false)),
+        // ...or control flow diverged outright.
+        Err(ReplayError::Divergence { .. }) | Err(ReplayError::GuestFault(_)) => {}
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn shifted_interrupt_injection_point_is_caught() {
+    let (spec, rec) = recording();
+    let mut records: Vec<Record> = rec.log.records().to_vec();
+    let idx = records
+        .iter()
+        .position(|r| matches!(r, Record::Interrupt { .. }))
+        .expect("timer interrupts exist");
+    if let Record::Interrupt { at_insn, .. } = &mut records[idx] {
+        *at_insn += 37; // land the asynchronous event at the wrong instruction
+    }
+    let tampered: InputLog = records.into_iter().collect();
+    match replay_with(&spec, tampered, rec.final_digest) {
+        Ok(verified) => assert_eq!(verified, Some(false)),
+        Err(ReplayError::Divergence { .. }) | Err(ReplayError::GuestFault(_)) => {}
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn truncated_log_reports_unexpected_end() {
+    let (spec, rec) = recording();
+    let records: Vec<Record> = rec.log.records().to_vec();
+    let cut: InputLog = records[..records.len() / 2].iter().cloned().collect();
+    // Half a log has no End marker: the replayer must say so, not "verify".
+    match replay_with(&spec, cut, rec.final_digest) {
+        Err(ReplayError::UnexpectedEndOfLog) | Err(ReplayError::Divergence { .. }) => {}
+        other => panic!("truncation not detected: {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_dma_record_is_caught() {
+    let spec = Workload::Apache.spec(false);
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 5, 250_000)).unwrap().run();
+    assert!(rec.fault.is_none());
+    let mut records: Vec<Record> = rec.log.records().to_vec();
+    // Drop the most recent packet payload: earlier payloads may be dead
+    // data by the end of the run, but the last one still sits in the NIC
+    // mailbox / packet queue.
+    let idx = records.iter().rposition(|r| matches!(r, Record::Dma { .. })).expect("apache receives packets");
+    records.remove(idx);
+    let tampered: InputLog = records.into_iter().collect();
+    match replay_with(&spec, tampered, rec.final_digest) {
+        Ok(verified) => assert_eq!(verified, Some(false)),
+        Err(ReplayError::Divergence { .. }) | Err(ReplayError::GuestFault(_)) => {}
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! # rnr-workloads: the five evaluation workloads (Table 3)
+//!
+//! Synthetic guest programs whose *event mixes* match the paper's
+//! characterization of its benchmarks (Figures 5(b), 7(b), 8, 9):
+//!
+//! | Paper benchmark | Here | Dominant events |
+//! |---|---|---|
+//! | `apache -n100000 -c20` | [`Workload::Apache`] | network receive (logged payloads), per-packet NIC MMIO, deep recursive driver copies under bursts, timer reads |
+//! | `fileio` (SysBench) | [`Workload::Fileio`] | disk PIO + DMA completion interrupts, very frequent rdtsc (per-op latency timing) |
+//! | `make` (kernel build) | [`Workload::Make`] | thread spawn/exit (ID reuse), compute, occasional `setjmp`/`longjmp` error recovery |
+//! | `mysql` (SysBench OLTP) | [`Workload::Mysql`] | rdtsc-dominated (transaction timing), pointer-chasing lookups, rare disk reads |
+//! | `radiosity` (SPLASH-2) | [`Workload::Radiosity`] | pure user-mode compute + recursion, minimal kernel activity |
+//!
+//! Each workload yields a [`VmSpec`](rnr_hypervisor::VmSpec) consumable by the recorder and the
+//! replayers. [`Workload::vulnerable_server`] is the apache variant whose
+//! worker passes raw network input to the kernel's vulnerable `SYS_PROCMSG`
+//! path — the attack surface mounted in §6 (see `rnr-attacks`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod programs;
+
+pub use programs::{Workload, WorkloadParams};

@@ -1,0 +1,415 @@
+//! The five workload programs and their `VmSpec` builders.
+
+use rnr_guest::{layout, runtime, KernelBuilder};
+use rnr_hypervisor::{NetProfile, VmSpec};
+use rnr_isa::{Assembler, Image, Reg};
+
+use Reg::{R1, R2, R3, R5, R6};
+
+/// Guest scratch addresses used by the workload programs.
+mod bufs {
+    /// Per-thread network receive buffers: `RX_BASE + tid * 0x1000`.
+    pub const RX_BASE: u64 = 0x34_0000;
+    /// fileio's disk I/O buffer.
+    pub const FILEIO: u64 = 0x36_0000;
+    /// mysql's occasional disk read buffer.
+    pub const MYSQL_DISK: u64 = 0x36_8000;
+    /// Per-thread short message buffers: `MSG_BASE + tid * 0x100`.
+    pub const MSG_BASE: u64 = 0x37_0000;
+    /// radiosity's page-dirtying region.
+    pub const TOUCH: u64 = 0x38_0000;
+    /// Per-thread setjmp buffers: `JMPBUF + tid * 0x40`.
+    pub const JMPBUF: u64 = 0x39_0000;
+    /// Per-thread make-job disk buffers: `MAKE_DISK + tid * 0x800`.
+    pub const MAKE_DISK: u64 = 0x3A_0000;
+}
+
+/// Tunable workload parameters (Table 3 analogue).
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Timer interrupt period (virtual cycles).
+    pub timer_period: u64,
+    /// Mean packet interarrival for network workloads (virtual cycles).
+    pub net_mean: u64,
+    /// Benign packet size range.
+    pub packet_sizes: (usize, usize),
+    /// Every n-th packet is MTU-sized (driver-recursion bursts).
+    pub large_every: u64,
+    /// Number of apache worker threads.
+    pub workers: usize,
+    /// Compute-loop scale factor.
+    pub compute: u64,
+}
+
+impl WorkloadParams {
+    /// Parameters for attack demonstrations: moderate benign traffic, so
+    /// the crafted packet is neither dropped by a saturated receive queue
+    /// nor buried in unrelated burst-recursion alarms.
+    pub fn attack_demo() -> WorkloadParams {
+        WorkloadParams { net_mean: 30_000, large_every: 1_000, ..WorkloadParams::default() }
+    }
+}
+
+impl Default for WorkloadParams {
+    fn default() -> WorkloadParams {
+        WorkloadParams {
+            timer_period: 150_000,
+            net_mean: 10_000,
+            packet_sizes: (256, 1024),
+            large_every: 100,
+            workers: 3,
+            compute: 1,
+        }
+    }
+}
+
+/// The five benchmarks of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Web server: network-dominated.
+    Apache,
+    /// SysBench file I/O: disk + rdtsc dominated.
+    Fileio,
+    /// Kernel build: fork/exit churn + compute.
+    Make,
+    /// SysBench OLTP: rdtsc dominated, pointer chasing.
+    Mysql,
+    /// SPLASH-2 radiosity: pure user-mode compute.
+    Radiosity,
+}
+
+impl Workload {
+    /// All workloads, in the paper's figure order.
+    pub const ALL: [Workload; 5] =
+        [Workload::Apache, Workload::Fileio, Workload::Make, Workload::Mysql, Workload::Radiosity];
+
+    /// Figure/table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Apache => "apache",
+            Workload::Fileio => "fileio",
+            Workload::Make => "make",
+            Workload::Mysql => "mysql",
+            Workload::Radiosity => "radiosity",
+        }
+    }
+
+    /// The paper's benchmark parameters (Table 3), for documentation output.
+    pub fn paper_parameters(self) -> &'static str {
+        match self {
+            Workload::Apache => "-n100000 -c20",
+            Workload::Fileio => {
+                "--file-total-size=6G --file-test-mode=rndrw --file-extra-flags=direct --max-requests=10000"
+            }
+            Workload::Make => "linux-4.0 config with all-no",
+            Workload::Mysql => "--test=oltp --oltp-test-mode=simple --max-requests=500000 --table-size=4000000",
+            Workload::Radiosity => "-p1 -bf 0.005 -batch -largeroom",
+        }
+    }
+
+    /// Builds the VM spec with default parameters.
+    pub fn spec(self, pv: bool) -> VmSpec {
+        self.spec_with(pv, &WorkloadParams::default())
+    }
+
+    /// Builds the VM spec with explicit parameters.
+    pub fn spec_with(self, pv: bool, params: &WorkloadParams) -> VmSpec {
+        build_spec(self, pv, params, false)
+    }
+
+    /// The **vulnerable server** variant of apache: workers pass raw packet
+    /// contents to the kernel's unbounded-copy `SYS_PROCMSG` (the §6 attack
+    /// surface). Benign traffic is still safe (packets carry an early zero
+    /// word); a crafted injection exploits it.
+    pub fn vulnerable_server(params: &WorkloadParams) -> VmSpec {
+        build_spec(Workload::Apache, false, params, true)
+    }
+}
+
+fn build_spec(kind: Workload, pv: bool, params: &WorkloadParams, vulnerable: bool) -> VmSpec {
+    let kernel = KernelBuilder::new().paravirtual(pv).build();
+    let image = build_user_image(kind, params, vulnerable);
+    let entry = |sym: &str| image.require_symbol(sym);
+
+    let mut spec = VmSpec::new(kernel, if vulnerable { "apache-vuln".to_string() } else { kind.label().to_string() });
+    spec.timer_period = params.timer_period;
+    spec.extra_images.push(image.clone());
+
+    match kind {
+        Workload::Apache => {
+            for _ in 0..params.workers {
+                spec.boot.user_thread(entry("apache_main"));
+            }
+            spec.net = NetProfile {
+                mean_interarrival: Some(params.net_mean),
+                size_range: params.packet_sizes,
+                large_every: Some(params.large_every),
+                injections: vec![],
+            };
+        }
+        Workload::Fileio => {
+            spec.boot.user_thread(entry("fileio_main"));
+        }
+        Workload::Make => {
+            spec.boot.user_thread(entry("make_main"));
+        }
+        Workload::Mysql => {
+            spec.boot.user_thread(entry("mysql_main"));
+        }
+        Workload::Radiosity => {
+            spec.boot.user_thread(entry("radiosity_main"));
+        }
+    }
+    spec.boot.set_param(0, params.compute);
+    spec
+}
+
+/// Assembles the user-mode image for one workload.
+fn build_user_image(kind: Workload, params: &WorkloadParams, vulnerable: bool) -> Image {
+    let mut a = Assembler::new(layout::USER_BASE);
+    match kind {
+        Workload::Apache => emit_apache(&mut a, vulnerable),
+        Workload::Fileio => emit_fileio(&mut a),
+        Workload::Make => emit_make(&mut a, params),
+        Workload::Mysql => emit_mysql(&mut a),
+        Workload::Radiosity => emit_radiosity(&mut a),
+    }
+    runtime::emit_runtime(&mut a);
+    a.assemble().expect("workload assembly must succeed")
+}
+
+fn emit_apache(a: &mut Assembler, vulnerable: bool) {
+    a.label("apache_main");
+    // r10 = per-thread rx buffer, r11 = per-thread message buffer.
+    a.call("u_getpid");
+    a.muli(Reg::R10, R1, 0x1000);
+    a.addi(Reg::R10, Reg::R10, bufs::RX_BASE as i32);
+    a.call("u_getpid");
+    a.muli(Reg::R11, R1, 0x100);
+    a.addi(Reg::R11, Reg::R11, bufs::MSG_BASE as i32);
+    // Prepare the benign log message: 24 non-zero bytes + terminator word.
+    a.mov(R1, Reg::R11);
+    a.movi(R2, 24);
+    a.movi(R3, 7);
+    a.call("u_fill");
+    a.movi(R5, 0);
+    a.st(Reg::R11, 24, R5);
+    a.label("ap_loop");
+    a.mov(R1, Reg::R10);
+    a.call("u_netrecv"); // blocks for a request
+    a.mov(Reg::R12, R1); // length
+    a.mov(R1, Reg::R10);
+    a.mov(R2, Reg::R12);
+    a.call("u_parse");
+    a.movi(R1, 200);
+    a.call("u_compute");
+    // Log the request: the vulnerable server passes RAW packet bytes to the
+    // kernel's unbounded copy; the hardened one passes its own short message.
+    if vulnerable {
+        a.mov(R1, Reg::R10);
+    } else {
+        a.mov(R1, Reg::R11);
+    }
+    a.call("u_procmsg");
+    a.mov(R1, Reg::R10);
+    a.movi(R2, 128);
+    a.call("u_nettx"); // response
+    a.call("u_gettime");
+    a.call("u_gettime");
+    a.call("u_op_done"); // one request served
+    a.jmp("ap_loop");
+}
+
+fn emit_fileio(a: &mut Assembler) {
+    a.label("fileio_main");
+    a.movi(Reg::R10, bufs::FILEIO as i32);
+    a.movi(Reg::R13, 0); // op counter
+    a.label("fi_loop");
+    a.call("u_rand");
+    a.andi(R1, R1, 8191); // random sector
+    a.mov(Reg::R11, R1);
+    a.mov(R2, Reg::R10);
+    a.movi(R3, 4);
+    a.call("u_read");
+    a.mov(R1, Reg::R10);
+    a.movi(R2, 2048);
+    a.call("u_checksum");
+    a.call("u_gettime"); // per-op latency timing, SysBench-style
+    a.call("u_gettime");
+    a.andi(R5, Reg::R13, 3);
+    a.movi(R6, 0);
+    a.bne(R5, R6, "fi_nowrite");
+    // rndrw: update the block before writing it back.
+    a.ld(R5, Reg::R10, 0);
+    a.addi(R5, R5, 1);
+    a.st(Reg::R10, 0, R5);
+    a.mov(R1, Reg::R11);
+    a.mov(R2, Reg::R10);
+    a.movi(R3, 4);
+    a.call("u_write");
+    a.label("fi_nowrite");
+    a.call("u_gettime");
+    a.call("u_gettime");
+    a.call("u_op_done"); // one file operation done
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("fi_loop");
+}
+
+fn emit_make(a: &mut Assembler, params: &WorkloadParams) {
+    // Coordinator: keep spawning compile jobs; jobs exit, IDs get reused.
+    a.label("make_main");
+    a.label("mk_loop");
+    a.lea(R1, "make_job");
+    a.movi(R2, 0); // user thread
+    a.call("u_spawn");
+    a.movi(R5, -1);
+    a.bne(R1, R5, "mk_loop"); // keep filling slots
+    a.call("u_yield");
+    a.movi(R1, 150);
+    a.call("u_compute");
+    a.jmp("mk_loop");
+
+    // One compile job: setjmp error scaffold, parse + compute + one header
+    // read, occasional simulated failure via longjmp, then exit.
+    a.label("make_job");
+    a.call("u_getpid");
+    a.muli(Reg::R10, R1, 0x40);
+    a.addi(Reg::R10, Reg::R10, bufs::JMPBUF as i32);
+    a.call("u_getpid");
+    a.muli(Reg::R11, R1, 0x800);
+    a.addi(Reg::R11, Reg::R11, bufs::MAKE_DISK as i32);
+    a.mov(R1, Reg::R10);
+    a.call("u_setjmp");
+    a.movi(R5, 0);
+    a.bne(R1, R5, "mk_recovered");
+    a.movi(R1, 18);
+    a.call("u_recurse");
+    a.movi(R1, 600 * params.compute.max(1) as i32);
+    a.call("u_compute");
+    a.call("u_rand");
+    a.andi(R1, R1, 4095);
+    a.mov(R2, Reg::R11);
+    a.movi(R3, 1);
+    a.call("u_read"); // pull a "header" from disk
+    a.call("u_rand");
+    a.andi(R1, R1, 7);
+    a.movi(R5, 0);
+    a.bne(R1, R5, "mk_done");
+    // Simulated compile error: unwind to the setjmp (imperfect nesting).
+    a.mov(R1, Reg::R10);
+    a.movi(R2, 1);
+    a.call("u_longjmp");
+    a.label("mk_recovered");
+    a.movi(R1, 100);
+    a.call("u_compute");
+    a.label("mk_done");
+    a.call("u_op_done"); // one compile job finished
+    a.call("u_exit");
+}
+
+fn emit_mysql(a: &mut Assembler) {
+    a.label("mysql_main");
+    a.movi(R1, 4000);
+    a.call("u_btree_build");
+    a.movi(Reg::R13, 0);
+    a.label("my_loop");
+    a.call("u_gettime"); // transaction-start timestamp
+    a.movi(R1, 600);
+    a.call("u_compute"); // query planning / row processing
+    a.call("u_rand");
+    // key = (rand % 4000) * golden-ratio scramble, matching build keys.
+    a.movi(R5, 4000);
+    a.divu(R6, R1, R5);
+    a.muli(R6, R6, 4000);
+    a.sub(R1, R1, R6);
+    a.muli(R1, R1, 0x9E3779B1u32 as i32);
+    a.movi(R5, -1);
+    a.shri(R5, R5, 32);
+    a.and(R1, R1, R5);
+    a.call("u_btree_lookup");
+    a.call("u_gettime");
+    a.andi(R5, Reg::R13, 15);
+    a.movi(R6, 0);
+    a.bne(R5, R6, "my_nodisk");
+    a.call("u_rand");
+    a.andi(R1, R1, 8191);
+    a.movi(R2, bufs::MYSQL_DISK as i32);
+    a.movi(R3, 1);
+    a.call("u_read"); // cold row: table cache miss
+    a.label("my_nodisk");
+    a.call("u_gettime"); // transaction-end timestamp
+    a.call("u_op_done"); // one transaction committed
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("my_loop");
+}
+
+fn emit_radiosity(a: &mut Assembler) {
+    a.label("radiosity_main");
+    a.movi(Reg::R13, 0);
+    a.label("rad_loop");
+    a.movi(R1, 22);
+    a.call("u_recurse");
+    a.movi(R1, 1500);
+    a.call("u_compute");
+    a.andi(R5, Reg::R13, 7);
+    a.movi(R6, 0);
+    a.bne(R5, R6, "rad_skip");
+    a.movi(R1, bufs::TOUCH as i32);
+    a.movi(R2, 0x1_0000);
+    a.movi(R3, 256);
+    a.call("u_memtouch"); // scene updates dirty pages
+    a.label("rad_skip");
+    a.andi(R5, Reg::R13, 31);
+    a.movi(R6, 0);
+    a.bne(R5, R6, "rad_nt");
+    a.call("u_gettime");
+    a.label("rad_nt");
+    a.call("u_op_done"); // one scene iteration
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("rad_loop");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_build() {
+        for w in Workload::ALL {
+            let spec = w.spec(false);
+            assert!(!spec.boot.entries().is_empty(), "{}", w.label());
+            assert!(!spec.kernel.is_paravirtual());
+            let pv = w.spec(true);
+            assert!(pv.kernel.is_paravirtual());
+        }
+    }
+
+    #[test]
+    fn apache_has_workers_and_traffic() {
+        let spec = Workload::Apache.spec(false);
+        assert_eq!(spec.boot.entries().len(), 3);
+        assert!(spec.net.has_traffic());
+        let quiet = Workload::Radiosity.spec(false);
+        assert!(!quiet.net.has_traffic());
+        assert_eq!(quiet.boot.entries().len(), 1);
+    }
+
+    #[test]
+    fn vulnerable_server_differs_from_benign() {
+        let benign = Workload::Apache.spec(false);
+        let vuln = Workload::vulnerable_server(&WorkloadParams::default());
+        assert_eq!(vuln.name, "apache-vuln");
+        // The images differ exactly at the procmsg argument selection.
+        assert_ne!(benign.extra_images[0].bytes(), vuln.extra_images[0].bytes());
+        assert_eq!(benign.extra_images[0].len(), vuln.extra_images[0].len());
+    }
+
+    #[test]
+    fn labels_match_paper_order() {
+        let labels: Vec<_> = Workload::ALL.iter().map(|w| w.label()).collect();
+        assert_eq!(labels, ["apache", "fileio", "make", "mysql", "radiosity"]);
+        for w in Workload::ALL {
+            assert!(!w.paper_parameters().is_empty());
+        }
+    }
+}

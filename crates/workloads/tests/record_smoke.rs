@@ -1,0 +1,119 @@
+//! End-to-end smoke tests: boot the guest kernel and record workloads.
+
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_workloads::Workload;
+
+fn record(w: Workload, mode: RecordMode, insns: u64) -> rnr_hypervisor::RecordOutcome {
+    let spec = w.spec(mode.is_pv());
+    let config = RecordConfig::new(mode, 42, insns);
+    Recorder::new(&spec, config).expect("mode matches kernel").run()
+}
+
+#[test]
+fn radiosity_boots_and_runs() {
+    let out = record(Workload::Radiosity, RecordMode::Rec, 400_000);
+    assert!(out.fault.is_none(), "guest fault: {:?}", out.fault);
+    assert_eq!(out.retired, 400_000);
+    assert!(out.cycles >= out.retired);
+    assert!(out.context_switches > 0, "timer preemption must occur");
+    assert!(!out.log.is_empty());
+    assert!(out.log.end().is_some());
+}
+
+#[test]
+fn all_workloads_record_without_faults() {
+    for w in Workload::ALL {
+        let out = record(w, RecordMode::Rec, 300_000);
+        assert!(out.fault.is_none(), "{}: fault {:?}", w.label(), out.fault);
+        assert_eq!(out.retired, 300_000, "{}", w.label());
+        assert!(out.ras_counters.calls > 0, "{}: no calls observed", w.label());
+        assert!(out.ras_counters.hits > 0, "{}: no RAS hits", w.label());
+    }
+}
+
+#[test]
+fn apache_logs_network_payloads() {
+    let out = record(Workload::Apache, RecordMode::Rec, 600_000);
+    assert!(out.fault.is_none());
+    let net = out.log.bytes_for(rnr_log::Category::Network);
+    assert!(net > 0, "apache must log packet contents");
+    assert!(out.tx_frames > 0, "apache must respond to requests");
+}
+
+#[test]
+fn fileio_performs_disk_io() {
+    let out = record(Workload::Fileio, RecordMode::Rec, 600_000);
+    assert!(out.fault.is_none());
+    let interrupts = out
+        .log
+        .records()
+        .iter()
+        .filter(|r| matches!(r, rnr_log::Record::Interrupt { irq: 1, .. }))
+        .count();
+    assert!(interrupts > 0, "disk completion interrupts expected");
+}
+
+#[test]
+fn benign_runs_raise_no_or_few_alarms() {
+    for w in [Workload::Mysql, Workload::Radiosity, Workload::Fileio] {
+        let out = record(w, RecordMode::Rec, 400_000);
+        assert_eq!(out.alarms, 0, "{}: unexpected alarms", w.label());
+    }
+}
+
+#[test]
+fn recording_modes_are_ordered_by_cost() {
+    let w = Workload::Fileio;
+    let per_op = |o: &rnr_hypervisor::RecordOutcome| o.cycles as f64 / o.ops.max(1) as f64;
+    let norec_pv = record(w, RecordMode::NoRecPv, 300_000);
+    let norec = record(w, RecordMode::NoRec, 300_000);
+    let rec_noras = record(w, RecordMode::RecNoRas, 300_000);
+    let rec = record(w, RecordMode::Rec, 300_000);
+    // Comparisons are per completed operation: the modes do different
+    // amounts of work in the same instruction budget.
+    assert!(
+        per_op(&norec_pv) < per_op(&norec),
+        "PV must be faster per op: {} vs {}",
+        per_op(&norec_pv),
+        per_op(&norec)
+    );
+    assert!(
+        per_op(&norec) < per_op(&rec_noras),
+        "recording must cost: {} vs {}",
+        per_op(&norec),
+        per_op(&rec_noras)
+    );
+    assert!(
+        per_op(&rec_noras) < per_op(&rec),
+        "RAS save/restore must cost: {} vs {}",
+        per_op(&rec_noras),
+        per_op(&rec)
+    );
+    // Baselines write no log.
+    assert_eq!(norec.log.len(), 0);
+    assert!(!rec.log.is_empty());
+}
+
+#[test]
+fn same_seed_reproduces_identical_recordings() {
+    let a = record(Workload::Apache, RecordMode::Rec, 300_000);
+    let b = record(Workload::Apache, RecordMode::Rec, 300_000);
+    assert_eq!(a.final_digest, b.final_digest);
+    assert_eq!(a.log.records().len(), b.log.records().len());
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let spec = Workload::Apache.spec(false);
+    let a = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 1, 300_000)).unwrap().run();
+    let b = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 2, 300_000)).unwrap().run();
+    assert_ne!(a.final_digest, b.final_digest);
+}
+
+#[test]
+fn pv_mode_requires_pv_kernel() {
+    let spec = Workload::Fileio.spec(false);
+    let err = Recorder::new(&spec, RecordConfig::new(RecordMode::NoRecPv, 1, 1000));
+    assert!(err.is_err());
+}

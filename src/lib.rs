@@ -1,0 +1,19 @@
+//! Umbrella crate for the RnR-Safe reproduction.
+//!
+//! This package exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). Library users should depend on the
+//! individual crates — start with [`rnr_safe`].
+//!
+//! See `README.md` for the repository tour and `DESIGN.md` for the mapping
+//! from the paper's systems, tables, and figures to modules in this tree.
+
+pub use rnr_attacks as attacks;
+pub use rnr_guest as guest;
+pub use rnr_hypervisor as hypervisor;
+pub use rnr_isa as isa;
+pub use rnr_log as log;
+pub use rnr_machine as machine;
+pub use rnr_ras as ras;
+pub use rnr_replay as replay;
+pub use rnr_safe as safe;
+pub use rnr_workloads as workloads;

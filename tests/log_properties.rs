@@ -1,0 +1,87 @@
+//! Property tests on the input-log codec.
+
+use proptest::prelude::*;
+use rnr_log::{AlarmInfo, DmaSource, InputLog, Record};
+use rnr_ras::{Mispredict, MispredictKind, ThreadId};
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        any::<u64>().prop_map(|value| Record::Rdtsc { value }),
+        (any::<u16>(), any::<u64>()).prop_map(|(port, value)| Record::PioIn { port, value }),
+        (any::<u64>(), any::<u64>()).prop_map(|(addr, value)| Record::MmioRead { addr, value }),
+        (any::<u8>(), any::<u64>()).prop_map(|(irq, at_insn)| Record::Interrupt { irq, at_insn }),
+        (any::<bool>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..300), any::<u64>()).prop_map(
+            |(nic, addr, data, at_insn)| Record::Dma {
+                source: if nic { DmaSource::Nic } else { DmaSource::Disk },
+                addr,
+                data,
+                at_insn,
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(tid, addr)| Record::Evict { tid: ThreadId(tid), addr }),
+        (any::<u64>(), any::<u64>(), proptest::option::of(any::<u64>()), any::<u64>(), 0u8..3, any::<u64>(), any::<u64>())
+            .prop_map(|(tid, ret_pc, predicted, actual, kind, at_insn, at_cycle)| {
+                Record::Alarm(AlarmInfo {
+                    tid: ThreadId(tid),
+                    mispredict: Mispredict {
+                        ret_pc,
+                        predicted,
+                        actual,
+                        kind: match kind {
+                            0 => MispredictKind::Underflow,
+                            1 => MispredictKind::TargetMismatch,
+                            _ => MispredictKind::WhitelistViolation,
+                        },
+                    },
+                    at_insn,
+                    at_cycle,
+                })
+            }),
+        (any::<u64>(), any::<u64>()).prop_map(|(at_insn, at_cycle)| Record::End { at_insn, at_cycle }),
+    ]
+}
+
+proptest! {
+    /// Serialize → deserialize is the identity for arbitrary logs, and the
+    /// byte accounting matches the wire exactly.
+    #[test]
+    fn log_round_trips(records in prop::collection::vec(record_strategy(), 0..60)) {
+        let log: InputLog = records.clone().into_iter().collect();
+        let bytes = log.to_bytes();
+        prop_assert_eq!(bytes.len() as u64, log.total_bytes());
+        let back = InputLog::from_bytes(bytes).unwrap();
+        prop_assert_eq!(back.records(), &records[..]);
+        prop_assert_eq!(back.total_bytes(), log.total_bytes());
+        for c in rnr_log::Category::ALL {
+            prop_assert_eq!(back.bytes_for(c), log.bytes_for(c));
+        }
+    }
+
+    /// Every record reports its exact encoded size.
+    #[test]
+    fn encoded_len_is_exact(record in record_strategy()) {
+        let log: InputLog = std::iter::once(record.clone()).collect();
+        prop_assert_eq!(log.to_bytes().len() as u64, record.encoded_len());
+    }
+
+    /// Cutting the encoding at a record boundary yields the prefix log;
+    /// cutting mid-record fails cleanly (no panics, no garbage records).
+    #[test]
+    fn truncation_is_detected(records in prop::collection::vec(record_strategy(), 1..20), cut in any::<prop::sample::Index>()) {
+        let log: InputLog = records.clone().into_iter().collect();
+        let bytes = log.to_bytes();
+        let mut boundaries = vec![0u64];
+        for r in &records {
+            boundaries.push(boundaries.last().unwrap() + r.encoded_len());
+        }
+        let cut = cut.index(bytes.len()) as u64;
+        let truncated = bytes.slice(0..cut as usize);
+        match InputLog::from_bytes(truncated) {
+            Ok(prefix) => {
+                let n = boundaries.iter().position(|&b| b == cut).expect("clean decode only at boundaries");
+                prop_assert_eq!(prefix.records(), &records[..n]);
+            }
+            Err(_) => prop_assert!(!boundaries.contains(&cut)),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The full pipeline across every workload: benign executions stay clean.
+
+use rnr_safe::{Pipeline, PipelineConfig};
+use rnr_workloads::Workload;
+
+#[test]
+fn all_workloads_survive_the_full_pipeline() {
+    for w in Workload::ALL {
+        let cfg = PipelineConfig {
+            duration_insns: 200_000,
+            checkpoint_interval_secs: Some(0.25),
+            ..PipelineConfig::default()
+        };
+        let report = Pipeline::new(w.spec(false), cfg).run().unwrap_or_else(|e| panic!("{}: {e}", w.label()));
+        assert!(report.replay.verified, "{}", w.label());
+        assert_eq!(report.attacks_confirmed(), 0, "{}: false conviction", w.label());
+        assert_eq!(report.record.priv_flag, 0, "{}", w.label());
+        // Every escalated alarm must have been resolved benign.
+        assert_eq!(report.false_positives_resolved(), report.resolutions.len(), "{}", w.label());
+    }
+}
+
+#[test]
+fn small_ras_increases_alarm_traffic_but_never_convicts_benign_runs() {
+    // Shrinking the RAS multiplies underflows (hardware imprecision), yet
+    // the replay side still clears everything — the RnR-Safe robustness
+    // claim (§3.2) under an intentionally bad detector.
+    let big = PipelineConfig { duration_insns: 250_000, ras_capacity: 48, ..PipelineConfig::default() };
+    let small = PipelineConfig { duration_insns: 250_000, ras_capacity: 8, ..PipelineConfig::default() };
+    let w = Workload::Make;
+    let r_big = Pipeline::new(w.spec(false), big).run().unwrap();
+    let r_small = Pipeline::new(w.spec(false), small).run().unwrap();
+    assert!(
+        r_small.record.alarms >= r_big.record.alarms,
+        "smaller RAS must not reduce alarms: {} vs {}",
+        r_small.record.alarms,
+        r_big.record.alarms
+    );
+    assert_eq!(r_small.attacks_confirmed(), 0);
+    assert_eq!(r_big.attacks_confirmed(), 0);
+    assert!(r_small.replay.verified && r_big.replay.verified);
+}
+
+#[test]
+fn report_json_is_well_formed() {
+    let report = Pipeline::new(
+        Workload::Radiosity.spec(false),
+        PipelineConfig { duration_insns: 120_000, ..PipelineConfig::default() },
+    )
+    .run()
+    .unwrap();
+    let json = report.to_json();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(value["record"]["workload"], "radiosity");
+    assert!(value["replay"]["verified"].as_bool().unwrap());
+}

@@ -1,0 +1,144 @@
+//! Property tests on the RAS models: the soundness invariant RnR-Safe rests
+//! on ("false negatives are not acceptable", §3.1).
+
+use proptest::prelude::*;
+use rnr_ras::{RasAttribution, RasConfig, RasOutcome, RasUnit, ShadowOutcome, ShadowRas, ThreadId, Whitelists};
+
+/// A benign instruction stream: calls and returns generated from an explicit
+/// ground-truth stack, interleaved with context switches.
+#[derive(Debug, Clone)]
+enum Event {
+    Call,
+    Ret,
+    Switch(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(Event::Call),
+            3 => Just(Event::Ret),
+            1 => (0u8..4).prop_map(Event::Switch),
+        ],
+        0..300,
+    )
+}
+
+/// Drives a full benign multithreaded execution against the lockstep
+/// analyzer: with BackRAS + whitelists and no hardware-capacity pressure
+/// (large RAS), a benign run must pass zero unexplained alarms.
+#[test]
+fn benign_streams_raise_no_unexplained_alarms() {
+    let mut runner = proptest::test_runner::TestRunner::default();
+    runner
+        .run(&event_strategy(), |events| {
+            let mut analyzer = RasAttribution::new(1024, Whitelists::new(), ThreadId(0));
+            // Ground truth: per-thread stacks of return addresses.
+            let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); 4];
+            let mut current = 0usize;
+            let mut next_addr = 0x1000u64;
+            for e in events {
+                match e {
+                    Event::Call => {
+                        next_addr += 8;
+                        stacks[current].push(next_addr);
+                        analyzer.on_call(next_addr);
+                    }
+                    Event::Ret => {
+                        if let Some(addr) = stacks[current].pop() {
+                            analyzer.on_ret(0x42, addr);
+                        }
+                    }
+                    Event::Switch(t) => {
+                        current = t as usize;
+                        analyzer.on_context_switch(ThreadId(t as u64));
+                    }
+                }
+            }
+            let report = analyzer.report();
+            prop_assert_eq!(report.passed(), 0, "benign run leaked alarms: {:?}", report);
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// Soundness: corrupting any pending return address forces an alarm — the
+/// RAS may be imprecise, but a hijacked return never predicts "hit".
+#[test]
+fn hijacked_returns_always_alarm() {
+    let mut runner = proptest::test_runner::TestRunner::default();
+    let strategy = (1usize..60, any::<u64>());
+    runner
+        .run(&strategy, |(depth, hijack_seed)| {
+            let mut ras = RasUnit::new(RasConfig::extended(128));
+            let mut truth = Vec::new();
+            for i in 0..depth {
+                let addr = 0x1000 + i as u64 * 8;
+                truth.push(addr);
+                ras.on_call(addr);
+            }
+            // The attacker overwrites the top return address with anything
+            // that is NOT the legitimate target.
+            let legit = *truth.last().unwrap();
+            let evil = {
+                let mut v = 0x9000 + (hijack_seed % 0xFFFF) * 8;
+                if v == legit {
+                    v += 8;
+                }
+                v
+            };
+            match ras.on_ret(0x5000, evil) {
+                RasOutcome::Mispredict(m) => {
+                    prop_assert_eq!(m.actual, evil);
+                    Ok(())
+                }
+                other => {
+                    prop_assert!(false, "hijack not detected: {:?}", other);
+                    Ok(())
+                }
+            }
+        })
+        .unwrap();
+}
+
+proptest! {
+    /// The software shadow RAS agrees with ground truth on arbitrary benign
+    /// nesting: balanced call/ret always hits, and per-slot tracking survives
+    /// non-local unwinds.
+    #[test]
+    fn shadow_ras_tracks_ground_truth(depths in prop::collection::vec(1usize..20, 1..20)) {
+        let mut shadow = ShadowRas::new(ThreadId(1), Whitelists::new());
+        let mut sp = 0x8000u64;
+        for (i, depth) in depths.iter().enumerate() {
+            // A call tree `depth` deep, then fully unwound.
+            let base = (i as u64 + 1) << 32;
+            let mut frames = Vec::new();
+            for d in 0..*depth {
+                sp -= 8;
+                let ret = base + d as u64 * 8;
+                shadow.on_call(ret, sp);
+                frames.push((ret, sp));
+            }
+            for (ret, slot) in frames.into_iter().rev() {
+                let out = shadow.on_ret(0x77, ret, slot);
+                prop_assert_eq!(out, ShadowOutcome::Hit { pruned: 0 });
+                sp += 8;
+            }
+        }
+        prop_assert_eq!(shadow.depth(), 0);
+    }
+
+    /// BackRAS save/restore round-trips arbitrary RAS contents.
+    #[test]
+    fn backras_round_trip(addrs in prop::collection::vec(any::<u64>(), 0..48)) {
+        let mut unit = RasUnit::new(RasConfig::extended(64));
+        for &a in &addrs {
+            unit.on_call(a);
+        }
+        let before = unit.snapshot();
+        let saved = unit.save_backras().unwrap();
+        prop_assert!(unit.ras().is_empty());
+        unit.restore_backras(&saved);
+        prop_assert_eq!(unit.snapshot(), before);
+    }
+}
