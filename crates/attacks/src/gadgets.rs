@@ -85,9 +85,9 @@ impl<'a> GadgetScanner<'a> {
 
     /// Finds a `pop <reg>; ret` gadget (Figure 10's G1).
     pub fn find_pop_ret(&self, reg: Reg) -> Option<Gadget> {
-        self.scan().into_iter().find(|g| {
-            g.body_len() == 1 && g.insns[0].op == Opcode::Pop && g.insns[0].rd == reg
-        })
+        self.scan()
+            .into_iter()
+            .find(|g| g.body_len() == 1 && g.insns[0].op == Opcode::Pop && g.insns[0].rd == reg)
     }
 
     /// Finds a `ld <rd>, [<base>+0]; ret` gadget (G2: load through a
@@ -104,10 +104,7 @@ impl<'a> GadgetScanner<'a> {
 
     /// Finds an indirect call through `reg` (G3). Returns its address.
     pub fn find_callr(&self, reg: Reg) -> Option<Addr> {
-        self.image
-            .iter_insns()
-            .find(|(_, i)| i.op == Opcode::CallR && i.rs1 == reg)
-            .map(|(a, _)| a)
+        self.image.iter_insns().find(|(_, i)| i.op == Opcode::CallR && i.rs1 == reg).map(|(a, _)| a)
     }
 
     /// Total `ret` instructions in the image (gadget supply, for reports).

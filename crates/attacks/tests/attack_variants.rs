@@ -29,7 +29,7 @@ proptest! {
         // otherwise the hijack must have alarmed.
         if rec.priv_flag == 0x1337 {
             prop_assert!(rec.alarms > 0, "escalation without an alarm = false negative");
-            let log = Arc::new(rec.log.clone());
+            let log = Arc::clone(&rec.log);
             let cfg = ReplayConfig {
                 checkpoint_interval: Some(VIRTUAL_HZ / 8),
                 ..ReplayConfig::default()
@@ -69,7 +69,7 @@ fn payload_shape_variants_are_convicted() {
         spec.net.injections.push(PacketInjection { at_cycle: 1_200_000, payload: plan.payload.clone() });
         let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, 900_000)).unwrap().run();
         assert!(rec.alarms > 0, "junk_seed {junk_seed}");
-        let log = Arc::new(rec.log.clone());
+        let log = Arc::clone(&rec.log);
         let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 8), ..ReplayConfig::default() };
         let out = Replayer::new(&spec, Arc::clone(&log), cfg.clone()).run().unwrap();
         let ar = AlarmReplayer::new(&spec, log).with_config(cfg);

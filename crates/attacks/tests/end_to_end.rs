@@ -44,7 +44,7 @@ fn benign_vulnerable_server_raises_no_mismatch_alarms() {
 #[test]
 fn checkpointing_replayer_escalates_the_attack_alarm() {
     let (spec, _plan, rec) = attack_recording();
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 8), ..ReplayConfig::default() };
     let mut cr = Replayer::new(&spec, log, cfg);
     cr.verify_against(rec.final_digest);
@@ -59,7 +59,7 @@ fn checkpointing_replayer_escalates_the_attack_alarm() {
 #[test]
 fn alarm_replayer_convicts_the_attack_and_characterizes_it() {
     let (spec, plan, rec) = attack_recording();
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 8), ..ReplayConfig::default() };
     let out = Replayer::new(&spec, Arc::clone(&log), cfg).run().unwrap();
     assert!(!out.alarm_cases.is_empty());
@@ -97,7 +97,7 @@ fn benign_alarms_resolve_as_false_positives() {
     let rec = Recorder::new(&spec, rc).unwrap().run();
     assert!(rec.fault.is_none());
     assert_eq!(rec.priv_flag, 0);
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig {
         checkpoint_interval: Some(VIRTUAL_HZ / 8),
         ras_capacity: 12,
@@ -107,10 +107,8 @@ fn benign_alarms_resolve_as_false_positives() {
     cr.verify_against(rec.final_digest);
     let out = cr.run().unwrap();
     assert_eq!(out.verified, Some(true));
-    let ar = AlarmReplayer::new(&spec, log).with_config(ReplayConfig {
-        ras_capacity: 12,
-        ..ReplayConfig::default()
-    });
+    let ar = AlarmReplayer::new(&spec, log)
+        .with_config(ReplayConfig { ras_capacity: 12, ..ReplayConfig::default() });
     for case in &out.alarm_cases {
         let (verdict, _) = ar.resolve(case).unwrap();
         assert!(

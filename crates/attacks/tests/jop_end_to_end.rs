@@ -23,7 +23,7 @@ fn jop_attack_is_detected_and_convicted() {
     let (spec, plan) = mount_jop(ATTACK_CYCLE);
     let rec = record(&spec, plan.hw_table_limit);
     // The CR lifts JOP cases from the log while verifying the replay.
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let mut cr = Replayer::new(&spec, log, ReplayConfig::default());
     cr.verify_against(rec.final_digest);
     let out = cr.run().unwrap();
@@ -55,7 +55,7 @@ fn benign_jop_server_raises_only_resolvable_alarms() {
     let (mut spec, plan) = mount_jop(ATTACK_CYCLE);
     spec.net.injections.clear(); // no attack packet
     let rec = record(&spec, plan.hw_table_limit);
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let out = Replayer::new(&spec, log, ReplayConfig::default()).run().unwrap();
     for case in &out.jop_cases {
         assert_eq!(resolve_jop(&spec, case), JopVerdict::FalsePositive, "{case:?}");
@@ -70,7 +70,7 @@ fn full_hardware_table_raises_no_benign_alarms() {
     rc.jop_common_functions = Some(usize::MAX); // perfect (expensive) hardware
     let rec = Recorder::new(&spec, rc).unwrap().run();
     assert!(rec.fault.is_none());
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let out = Replayer::new(&spec, log, ReplayConfig::default()).run().unwrap();
     assert!(out.jop_cases.is_empty(), "{:?}", out.jop_cases);
 }

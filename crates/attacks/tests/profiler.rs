@@ -13,7 +13,7 @@ use rnr_workloads::{Workload, WorkloadParams};
 fn profiling_does_not_perturb_determinism() {
     let spec = Workload::Mysql.spec(false);
     let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 3, 200_000)).unwrap().run();
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { profile_sample_every: Some(97), ..ReplayConfig::default() };
     let mut r = Replayer::new(&spec, log, cfg);
     r.verify_against(rec.final_digest);
@@ -38,7 +38,7 @@ fn dos_replay_role_identifies_the_spinning_code() {
     assert!(alarm_at > 0);
 
     // Replay with profiling (the "analysis" replayer of Table 1 row 3).
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { profile_sample_every: Some(101), ..ReplayConfig::default() };
     let out = Replayer::new(&spec, log, cfg).run().unwrap();
     // The dominant PC must be inside the spin loop of the malicious image.

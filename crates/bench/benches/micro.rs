@@ -117,15 +117,14 @@ fn bench_record_replay(c: &mut Criterion) {
     g.bench_function("record_mysql_100k_insns", |b| {
         let spec = Workload::Mysql.spec(false);
         b.iter(|| {
-            let out =
-                Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, INSNS)).unwrap().run();
+            let out = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, INSNS)).unwrap().run();
             std::hint::black_box(out.cycles);
         });
     });
     g.bench_function("replay_mysql_100k_insns", |b| {
         let spec = Workload::Mysql.spec(false);
         let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, INSNS)).unwrap().run();
-        let log = Arc::new(rec.log.clone());
+        let log = Arc::clone(&rec.log);
         b.iter(|| {
             let out = Replayer::new(&spec, Arc::clone(&log), ReplayConfig::default()).run().unwrap();
             std::hint::black_box(out.cycles);

@@ -11,12 +11,8 @@ use rnr_workloads::Workload;
 
 fn main() {
     // --- Ablation 1: which extension kills which false alarms ------------
-    let mut t = Table::new(&[
-        "workload",
-        "basic RAS alarms/1M (§4.2)",
-        "+whitelist (§4.4)",
-        "+BackRAS too (§4.3)",
-    ]);
+    let mut t =
+        Table::new(&["workload", "basic RAS alarms/1M (§4.2)", "+whitelist (§4.4)", "+BackRAS too (§4.3)"]);
     for w in Workload::ALL {
         let spec = w.spec(false);
         let mut rc = RecordConfig::new(RecordMode::Rec, SEED, run_insns());

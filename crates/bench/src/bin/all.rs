@@ -7,14 +7,17 @@ use std::process::Command;
 fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
-    let bins = ["table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "sec84", "ablation"];
+    let bins =
+        ["table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "sec84", "ablation"];
     for bin in bins {
         eprintln!("=== running {bin} ===");
         let status = Command::new(dir.join(bin)).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e} (build with `cargo build --release -p rnr-bench` first)"),
+            Err(e) => eprintln!(
+                "failed to launch {bin}: {e} (build with `cargo build --release -p rnr-bench` first)"
+            ),
         }
     }
 }

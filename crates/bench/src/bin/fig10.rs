@@ -6,7 +6,8 @@ use rnr_safe::{Pipeline, PipelineConfig, Verdict};
 use rnr_workloads::WorkloadParams;
 
 fn main() {
-    let (spec, plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("gadgets available");
+    let (spec, plan) =
+        mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("gadgets available");
 
     println!("## Figure 10 / §6: the kernel ROP attack\n");
     println!("### (a) Gadget scan of the kernel image");

@@ -39,9 +39,7 @@ fn main() {
         }
         fig5b.row(cells);
     }
-    fig5a.row(
-        std::iter::once("mean".to_string()).chain(means.iter().map(|m| format!("{m:.3}"))).collect(),
-    );
+    fig5a.row(std::iter::once("mean".to_string()).chain(means.iter().map(|m| format!("{m:.3}"))).collect());
     fig5b.row(
         std::iter::once("mean".to_string()).chain(mean_break.iter().map(|m| format!("{m:.1}"))).collect(),
     );

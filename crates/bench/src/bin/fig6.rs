@@ -10,7 +10,8 @@ fn main() {
         let out = record(w, RecordMode::Rec);
         let rate = mb_per_sec(out.log.total_bytes(), out.cycles);
         let net = out.log.bytes_for(rnr_log::Category::Network);
-        let share = if out.log.total_bytes() == 0 { 0.0 } else { net as f64 * 100.0 / out.log.total_bytes() as f64 };
+        let share =
+            if out.log.total_bytes() == 0 { 0.0 } else { net as f64 * 100.0 / out.log.total_bytes() as f64 };
         let backras = mb_per_sec(out.ras_counters.backras_bytes(), out.cycles);
         t.row(vec![
             w.label().to_string(),

@@ -6,13 +6,7 @@ use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
 use rnr_workloads::Workload;
 
 fn main() {
-    let mut t = Table::new(&[
-        "workload",
-        "whitelist/1M",
-        "backras/1M",
-        "passed/1M",
-        "passed (count)",
-    ]);
+    let mut t = Table::new(&["workload", "whitelist/1M", "backras/1M", "passed/1M", "passed (count)"]);
     for w in Workload::ALL {
         // The paper's functional environment (QEMU emulation mode, §7.2):
         // trap every call/return and run the counterfactual RAS analysis.

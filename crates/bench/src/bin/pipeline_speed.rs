@@ -1,0 +1,173 @@
+//! Wall-clock pipeline speed: per-phase times (record / CR / AR) for every
+//! workload, plus an optimized-vs-baseline comparison of the full attack
+//! pipeline. Unlike every other harness binary, this one measures *host*
+//! time — virtual-cycle figures are asserted identical across
+//! configurations, which is what makes the wall-clock comparison fair.
+//!
+//! Writes `BENCH_pipeline.json` at the repository root.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rnr_bench::{emit, run_insns, Table, SEED};
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_replay::{AlarmReplayer, ReplayConfig, Replayer};
+use rnr_safe::{Pipeline, PipelineConfig};
+use rnr_workloads::WorkloadParams;
+
+/// Phase wall-clock for one workload, optimized configuration (sequential
+/// phases, so each is attributable).
+#[derive(Debug, serde::Serialize)]
+struct PhaseTimes {
+    workload: String,
+    record_ms: f64,
+    cr_ms: f64,
+    ar_ms: f64,
+    alarms_escalated: usize,
+}
+
+/// The attack pipeline, baseline vs optimized.
+#[derive(Debug, serde::Serialize)]
+struct AttackComparison {
+    baseline_ms: f64,
+    optimized_ms: f64,
+    speedup: f64,
+    /// Full JSON reports byte-identical (cycles, verdicts, window).
+    reports_identical: bool,
+    attacks_confirmed: usize,
+    window_cycles: Option<u64>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Doc {
+    insns_per_workload: u64,
+    phases: Vec<PhaseTimes>,
+    attack: AttackComparison,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn phase_times(workload: rnr_workloads::Workload, insns: u64) -> PhaseTimes {
+    let spec = workload.spec(false);
+    let t = Instant::now();
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, SEED, insns))
+        .expect("record mode matches kernel")
+        .run();
+    let record_ms = ms(t);
+    assert!(rec.fault.is_none(), "{}: guest fault {:?}", workload.label(), rec.fault);
+
+    let cfg = ReplayConfig::default();
+    let t = Instant::now();
+    let mut cr = Replayer::new(&spec, Arc::clone(&rec.log), cfg.clone());
+    cr.verify_against(rec.final_digest);
+    let cr_out = cr.run().expect("CR replays the recording");
+    let cr_ms = ms(t);
+    assert_eq!(cr_out.verified, Some(true), "{}: digest mismatch", workload.label());
+
+    let ar = AlarmReplayer::new(&spec, Arc::clone(&rec.log)).with_config(cfg);
+    let t = Instant::now();
+    for case in &cr_out.alarm_cases {
+        ar.resolve(case).expect("AR resolves the case");
+    }
+    let ar_ms = ms(t);
+    PhaseTimes {
+        workload: workload.label().to_string(),
+        record_ms,
+        cr_ms,
+        ar_ms,
+        alarms_escalated: cr_out.alarm_cases.len(),
+    }
+}
+
+/// Runs the attack pipeline under `cfg` three times and reports the median
+/// wall-clock (the report itself is deterministic, asserted identical across
+/// iterations), so one noisy run cannot skew the comparison.
+fn attack_run(cfg: PipelineConfig) -> (String, usize, Option<u64>, f64) {
+    let mut times = Vec::new();
+    let mut result = None;
+    for _ in 0..3 {
+        let (spec, _plan) =
+            rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+        let t = Instant::now();
+        let report = Pipeline::new(spec, cfg.clone()).run().expect("attack pipeline completes");
+        times.push(ms(t));
+        let window = report.detection.as_ref().map(|d| d.window_cycles);
+        let outcome = (report.to_json(), report.attacks_confirmed(), window);
+        if let Some(prev) = &result {
+            assert_eq!(prev, &outcome, "pipeline must be deterministic across repeats");
+        } else {
+            result = Some(outcome);
+        }
+    }
+    times.sort_by(f64::total_cmp);
+    let (json, attacks, window) = result.expect("three runs completed");
+    (json, attacks, window, times[times.len() / 2])
+}
+
+fn main() {
+    let insns = run_insns();
+    let phases: Vec<PhaseTimes> = rnr_bench::workloads().into_iter().map(|w| phase_times(w, insns)).collect();
+
+    let mut t = Table::new(&["workload", "record ms", "CR ms", "AR ms", "escalated"]);
+    for p in &phases {
+        t.row(vec![
+            p.workload.clone(),
+            format!("{:.1}", p.record_ms),
+            format!("{:.1}", p.cr_ms),
+            format!("{:.1}", p.ar_ms),
+            p.alarms_escalated.to_string(),
+        ]);
+    }
+    emit("Pipeline phase wall-clock (optimized)", &t);
+
+    let attack_cfg = PipelineConfig {
+        duration_insns: 3_000_000,
+        checkpoint_interval_secs: Some(0.05),
+        ..PipelineConfig::default()
+    };
+    let baseline_cfg = PipelineConfig {
+        streaming: false,
+        decode_cache: false,
+        parallel_alarm_replay: false,
+        ar_workers: 1,
+        ..attack_cfg.clone()
+    };
+    let (base_json, base_attacks, base_window, baseline_ms) = attack_run(baseline_cfg);
+    let (opt_json, opt_attacks, opt_window, optimized_ms) = attack_run(attack_cfg);
+    assert_eq!(base_json, opt_json, "baseline and optimized reports must be identical");
+    assert_eq!(base_attacks, opt_attacks);
+    assert_eq!(base_window, opt_window);
+    let attack = AttackComparison {
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms,
+        reports_identical: true,
+        attacks_confirmed: opt_attacks,
+        window_cycles: opt_window,
+    };
+
+    let mut t = Table::new(&["config", "wall ms", "speedup", "attacks", "window cycles"]);
+    t.row(vec![
+        "baseline (no streaming, no decode cache, 1 AR)".into(),
+        format!("{baseline_ms:.1}"),
+        "1.00x".into(),
+        attack.attacks_confirmed.to_string(),
+        attack.window_cycles.map_or("-".into(), |w| w.to_string()),
+    ]);
+    t.row(vec![
+        "optimized (streaming + decode cache + AR pool)".into(),
+        format!("{optimized_ms:.1}"),
+        format!("{:.2}x", attack.speedup),
+        attack.attacks_confirmed.to_string(),
+        attack.window_cycles.map_or("-".into(), |w| w.to_string()),
+    ]);
+    emit("Attack pipeline: baseline vs optimized (identical reports)", &t);
+
+    let doc = Doc { insns_per_workload: insns, phases, attack };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("doc serializes"))
+        .expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

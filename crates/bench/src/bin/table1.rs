@@ -15,7 +15,11 @@ fn main() {
     let (spec, _plan) = rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
     let report = Pipeline::new(
         spec,
-        PipelineConfig { duration_insns: 900_000, checkpoint_interval_secs: Some(0.125), ..Default::default() },
+        PipelineConfig {
+            duration_insns: 900_000,
+            checkpoint_interval_secs: Some(0.125),
+            ..Default::default()
+        },
     )
     .run()
     .unwrap();
@@ -35,7 +39,7 @@ fn main() {
     let jop_rec = Recorder::new(&jop_spec, rc).unwrap().run();
     let jop_out = rnr_replay::Replayer::new(
         &jop_spec,
-        std::sync::Arc::new(jop_rec.log.clone()),
+        std::sync::Arc::clone(&jop_rec.log),
         rnr_replay::ReplayConfig::default(),
     )
     .run()

@@ -15,7 +15,9 @@ fn main() {
             ),
             Workload::Fileio => "random 4-sector reads + writes, 4 rdtsc per op".to_string(),
             Workload::Make => "job spawn/exit churn, setjmp/longjmp recovery, header reads".to_string(),
-            Workload::Mysql => "B-tree lookups + query compute, 2 rdtsc per transaction, 1/16 disk reads".to_string(),
+            Workload::Mysql => {
+                "B-tree lookups + query compute, 2 rdtsc per transaction, 1/16 disk reads".to_string()
+            }
             Workload::Radiosity => "pure compute: recursion depth 22 + xorshift loops".to_string(),
         };
         t.row(vec![w.label().to_string(), w.paper_parameters().to_string(), repro]);

@@ -85,7 +85,7 @@ pub fn replay(
         collect_cases: interval.is_some(),
         ..ReplayConfig::default()
     };
-    let mut r = Replayer::new(&spec, Arc::new(rec.log.clone()), cfg);
+    let mut r = Replayer::new(&spec, Arc::clone(&rec.log), cfg);
     r.verify_against(rec.final_digest);
     let out = r.run().unwrap_or_else(|e| panic!("{}: replay failed: {e}", workload.label()));
     assert_eq!(out.verified, Some(true), "{}: digest mismatch", workload.label());

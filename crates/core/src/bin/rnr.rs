@@ -99,13 +99,7 @@ fn cmd_attack(args: &[String]) -> CliResult {
     save_recording(spec, seed, insns, 48, &out)
 }
 
-fn save_recording(
-    spec: rnr_hypervisor::VmSpec,
-    seed: u64,
-    insns: u64,
-    ras: usize,
-    out: &str,
-) -> CliResult {
+fn save_recording(spec: rnr_hypervisor::VmSpec, seed: u64, insns: u64, ras: usize, out: &str) -> CliResult {
     let mut rc = RecordConfig::new(RecordMode::Rec, seed, insns);
     rc.ras_capacity = ras;
     let outcome = Recorder::new(&spec, rc)?.run();
@@ -152,7 +146,7 @@ fn cmd_replay(args: &[String], resolve: bool) -> CliResult {
     let session = Session::load(path)?;
     let spec = session.header.spec.clone();
     let digest = session.expected_digest();
-    let log = Arc::new(session.log);
+    let log = session.log;
     let cfg = replay_config(args)?;
     let mut r = Replayer::new(&spec, Arc::clone(&log), cfg.clone());
     r.verify_against(digest);
@@ -221,7 +215,11 @@ fn cmd_replay(args: &[String], resolve: bool) -> CliResult {
         }
     }
     let attacks = verdicts.iter().filter(|(_, v)| v.is_attack()).count();
-    println!("\n{} ROP alarm(s): {attacks} attack(s), {} false positive(s)", verdicts.len(), verdicts.len() - attacks);
+    println!(
+        "\n{} ROP alarm(s): {attacks} attack(s), {} false positive(s)",
+        verdicts.len(),
+        verdicts.len() - attacks
+    );
     Ok(())
 }
 
@@ -233,7 +231,7 @@ fn cmd_audit(args: &[String]) -> CliResult {
     }
     let session = Session::load(path)?;
     let spec = session.header.spec.clone();
-    let log = Arc::new(session.log);
+    let log = session.log;
     let cfg = ReplayConfig { checkpoint_interval: None, collect_cases: false, ..ReplayConfig::default() };
     let mut r = Replayer::new(&spec, log, cfg);
     r.stop_at_insn(insn);

@@ -4,10 +4,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
-use rnr_log::Category;
+use rnr_log::{log_channel, Category, DEFAULT_BATCH};
 use rnr_machine::CostModel;
 use rnr_ras::RasConfig;
-use rnr_replay::{AlarmReplayer, ReplayConfig, ReplayError, Replayer, Verdict, VIRTUAL_HZ};
+use rnr_replay::{AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, Verdict, VIRTUAL_HZ};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +31,19 @@ pub struct PipelineConfig {
     /// Resolve escalated alarms on parallel alarm replayers ("our design
     /// allows running multiple ARs concurrently", §6).
     pub parallel_alarm_replay: bool,
+    /// Alarm-replayer pool size when `parallel_alarm_replay` is set; `0`
+    /// sizes the pool to the host's available parallelism. Resolution order
+    /// (and therefore the report) is deterministic for any pool size.
+    pub ar_workers: usize,
+    /// Run the CR concurrently with the recorder, consuming the input log
+    /// as a live stream (the paper's deployment: recording and replay
+    /// proceed in parallel on separate machines, §4). `false` records to
+    /// completion first — the result is identical either way.
+    pub streaming: bool,
+    /// Use the predecoded instruction cache in the recorder and all
+    /// replayers (wall-clock optimization; virtual cycles, digests, and
+    /// verdicts are identical either way).
+    pub decode_cache: bool,
 }
 
 impl Default for PipelineConfig {
@@ -44,6 +57,9 @@ impl Default for PipelineConfig {
             costs: CostModel::default(),
             stall_on_alarm: false,
             parallel_alarm_replay: true,
+            ar_workers: 0,
+            streaming: true,
+            decode_cache: true,
         }
     }
 }
@@ -158,6 +174,9 @@ pub struct AlarmResolution {
     pub at_insn: u64,
     /// Cycle at which the recording logged it.
     pub at_cycle: u64,
+    /// The CR's own virtual clock when it escalated the alarm (its measured
+    /// position behind the recorded execution).
+    pub cr_cycle: u64,
     /// The serializable summary.
     pub summary: VerdictSummary,
     /// The full verdict (reports, gadget chains).
@@ -171,8 +190,12 @@ pub struct AlarmResolution {
 pub struct DetectionWindow {
     /// Virtual cycle when the recording logged the alarm.
     pub alarm_at_cycle: u64,
-    /// Estimated window between the alarm and the AR's confirmation, in
-    /// virtual cycles: the CR's lag at the alarm plus the AR's resolution
+    /// The CR's measured lag behind the recording at the alarm, in virtual
+    /// cycles: its own clock when it consumed the alarm record minus the
+    /// recording's clock when it logged it.
+    pub cr_lag_cycles: u64,
+    /// Window between the alarm and the AR's confirmation, in virtual
+    /// cycles: the CR's measured lag at the alarm plus the AR's resolution
     /// time (recording and replay run concurrently on separate machines).
     pub window_cycles: u64,
     /// Same, in virtual seconds.
@@ -247,57 +270,75 @@ impl Pipeline {
     /// failed final-state verification.
     pub fn run(&self) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
-        // Phase 1: monitored recording.
         let mut rc = RecordConfig::new(RecordMode::Rec, cfg.seed, cfg.duration_insns);
         rc.ras_capacity = cfg.ras_capacity;
         rc.costs = cfg.costs;
         rc.stall_on_alarm = cfg.stall_on_alarm;
-        let rec = Recorder::new(&self.spec, rc)?.run();
-        if let Some(fault) = rec.fault {
-            return Err(PipelineError::GuestFault(fault));
-        }
-        // Phase 2: checkpointing replay.
-        let log = Arc::new(rec.log.clone());
+        rc.decode_cache = cfg.decode_cache;
         let replay_cfg = ReplayConfig {
             checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
             retain: cfg.retain,
             ras_capacity: cfg.ras_capacity,
             costs: cfg.costs,
+            decode_cache: cfg.decode_cache,
             ..ReplayConfig::default()
         };
-        let mut cr = Replayer::new(&self.spec, Arc::clone(&log), replay_cfg.clone());
-        cr.verify_against(rec.final_digest);
-        let cr_out = cr.run()?;
-        if cr_out.verified != Some(true) {
-            return Err(PipelineError::VerificationFailed);
-        }
-        // Phase 3: alarm replay for every escalated case — concurrently
-        // when configured ("multiple ARs… in parallel", §6). Resolution
-        // order (and therefore the report) stays deterministic.
-        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&log)).with_config(replay_cfg);
+        // Phases 1 + 2: monitored recording and checkpointing replay —
+        // concurrent (the CR consumes the log as a live stream) or
+        // sequential, with identical results.
+        let (rec, cr_out) = if cfg.streaming {
+            self.record_and_replay_streaming(rc, replay_cfg.clone())?
+        } else {
+            self.record_and_replay_sequential(rc, replay_cfg.clone())?
+        };
+        // Phase 3: alarm replay for every escalated case — on a bounded
+        // worker pool when configured ("multiple ARs… in parallel", §6).
+        // Resolution order (and therefore the report) stays deterministic.
+        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log)).with_config(replay_cfg);
         let resolve_one = |case: &rnr_replay::AlarmCase| -> Result<AlarmResolution, ReplayError> {
             let (verdict, ar_out) = ar.resolve(case)?;
             Ok(AlarmResolution {
                 at_insn: case.alarm.at_insn,
                 at_cycle: case.alarm.at_cycle,
+                cr_cycle: case.cr_cycle,
                 summary: summarize(&verdict),
                 verdict,
                 ar_cycles: ar_out.cycles,
             })
         };
-        let resolutions: Vec<AlarmResolution> = if cfg.parallel_alarm_replay && cr_out.alarm_cases.len() > 1 {
+        let cases = &cr_out.alarm_cases;
+        let workers = ar_worker_count(cfg, cases.len());
+        let resolutions: Vec<AlarmResolution> = if workers > 1 {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let (tx, rx) = std::sync::mpsc::channel();
             std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    cr_out.alarm_cases.iter().map(|case| scope.spawn(|| resolve_one(case))).collect();
-                handles
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let resolve_one = &resolve_one;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(case) = cases.get(i) else { break };
+                        if tx.send((i, resolve_one(case))).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                let mut slots: Vec<Option<Result<AlarmResolution, ReplayError>>> =
+                    (0..cases.len()).map(|_| None).collect();
+                for (i, result) in rx {
+                    slots[i] = Some(result);
+                }
+                slots
                     .into_iter()
-                    .map(|h| h.join().expect("alarm replayer thread panicked"))
+                    .map(|s| s.expect("worker pool resolves every case"))
                     .collect::<Result<Vec<_>, _>>()
             })?
         } else {
-            cr_out.alarm_cases.iter().map(resolve_one).collect::<Result<Vec<_>, _>>()?
+            cases.iter().map(resolve_one).collect::<Result<Vec<_>, _>>()?
         };
-        let detection = detection_window(cfg, &rec, cr_out.cycles, &resolutions);
+        let detection = detection_window(cfg, &rec, &resolutions);
         Ok(PipelineReport {
             record: RecordSummary {
                 workload: self.spec.name.clone(),
@@ -324,6 +365,73 @@ impl Pipeline {
             detection,
         })
     }
+
+    /// Phases 1 + 2, sequential: record to completion, then replay the
+    /// finished log with digest verification armed up front.
+    fn record_and_replay_sequential(
+        &self,
+        rc: RecordConfig,
+        replay_cfg: ReplayConfig,
+    ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
+        let rec = Recorder::new(&self.spec, rc)?.run();
+        if let Some(fault) = rec.fault {
+            return Err(PipelineError::GuestFault(fault));
+        }
+        let mut cr = Replayer::new(&self.spec, Arc::clone(&rec.log), replay_cfg);
+        cr.verify_against(rec.final_digest);
+        let cr_out = cr.run()?;
+        if cr_out.verified != Some(true) {
+            return Err(PipelineError::VerificationFailed);
+        }
+        Ok((rec, cr_out))
+    }
+
+    /// Phases 1 + 2, concurrent: the recorder publishes each record to a
+    /// live stream as it is logged, and the CR consumes the stream on this
+    /// thread, trailing the recording (§4: recording and replay proceed in
+    /// parallel). The final digest is only known once recording ends, so
+    /// verification happens after the join; a guest fault while recording
+    /// takes precedence over whatever truncated-log error it induced in
+    /// the CR.
+    fn record_and_replay_streaming(
+        &self,
+        rc: RecordConfig,
+        replay_cfg: ReplayConfig,
+    ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
+        let mut recorder = Recorder::new(&self.spec, rc)?;
+        let (sink, stream) = log_channel(DEFAULT_BATCH);
+        recorder.stream_to(sink);
+        let (rec, cr_result) = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || recorder.run());
+            let cr = Replayer::new(&self.spec, stream, replay_cfg);
+            let cr_result = cr.run();
+            let rec = handle.join().expect("recorder thread panicked");
+            (rec, cr_result)
+        });
+        if let Some(fault) = rec.fault {
+            return Err(PipelineError::GuestFault(fault));
+        }
+        let cr_out = cr_result?;
+        if cr_out.final_digest != rec.final_digest {
+            return Err(PipelineError::VerificationFailed);
+        }
+        Ok((rec, cr_out))
+    }
+}
+
+/// Pool size for the alarm-replay phase: 1 unless parallel alarm replay is
+/// on, else the configured size (0 = the host's available parallelism),
+/// never more than there are cases.
+fn ar_worker_count(cfg: &PipelineConfig, cases: usize) -> usize {
+    if !cfg.parallel_alarm_replay || cases <= 1 {
+        return 1;
+    }
+    let configured = if cfg.ar_workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.ar_workers
+    };
+    configured.clamp(1, cases)
 }
 
 fn summarize(verdict: &Verdict) -> VerdictSummary {
@@ -347,19 +455,19 @@ fn summarize(verdict: &Verdict) -> VerdictSummary {
 fn detection_window(
     cfg: &PipelineConfig,
     rec: &RecordOutcome,
-    cr_cycles: u64,
     resolutions: &[AlarmResolution],
 ) -> Option<DetectionWindow> {
     let first_attack = resolutions.iter().find(|r| r.verdict.is_attack())?;
-    // The CR runs concurrently with recording; its lag at the alarm point
-    // scales with its relative slowdown.
-    let ratio = cr_cycles as f64 / rec.cycles.max(1) as f64;
-    let cr_lag = (first_attack.at_cycle as f64 * (ratio - 1.0)).max(0.0) as u64;
+    // The CR runs concurrently with recording; its lag at the alarm is
+    // measured directly — its own clock position when it consumed the alarm
+    // record, minus the recording's clock when it logged it.
+    let cr_lag = first_attack.cr_cycle.saturating_sub(first_attack.at_cycle);
     let window_cycles = cr_lag + first_attack.ar_cycles;
     let log_rate = rec.log.total_bytes() as f64 / rec.cycles.max(1) as f64;
     let interval = cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64).unwrap_or(VIRTUAL_HZ);
     Some(DetectionWindow {
         alarm_at_cycle: first_attack.at_cycle,
+        cr_lag_cycles: cr_lag,
         window_cycles,
         window_secs: window_cycles as f64 / VIRTUAL_HZ as f64,
         log_bytes_in_window: (log_rate * window_cycles as f64) as u64,

@@ -20,6 +20,7 @@
 use std::fmt;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use rnr_hypervisor::{RecordMode, RecordOutcome, VmSpec};
 use rnr_log::InputLog;
@@ -83,8 +84,8 @@ pub struct SessionHeader {
 pub struct Session {
     /// The header metadata.
     pub header: SessionHeader,
-    /// The input log.
-    pub log: InputLog,
+    /// The input log, shared so replayers can attach without copying it.
+    pub log: Arc<InputLog>,
 }
 
 impl Session {
@@ -103,7 +104,7 @@ impl Session {
                 final_digest: outcome.final_digest.0,
                 log_bytes: outcome.log.total_bytes(),
             },
-            log: outcome.log.clone(),
+            log: Arc::clone(&outcome.log),
         }
     }
 
@@ -118,8 +119,7 @@ impl Session {
     ///
     /// Fails on I/O errors.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SessionError> {
-        let header =
-            serde_json::to_vec(&self.header).map_err(|e| SessionError::Malformed(e.to_string()))?;
+        let header = serde_json::to_vec(&self.header).map_err(|e| SessionError::Malformed(e.to_string()))?;
         let mut file = std::fs::File::create(path)?;
         file.write_all(MAGIC)?;
         file.write_all(&(header.len() as u64).to_le_bytes())?;
@@ -165,7 +165,7 @@ impl Session {
         }
         let log = InputLog::from_bytes(log_bytes.into())
             .map_err(|e| SessionError::Malformed(format!("log decode: {e}")))?;
-        Ok(Session { header, log })
+        Ok(Session { header, log: Arc::new(log) })
     }
 }
 
@@ -195,11 +195,8 @@ mod tests {
         assert_eq!(loaded.expected_digest(), rec.final_digest);
 
         // A replay built purely from the file verifies.
-        let mut r = rnr_replay::Replayer::new(
-            &loaded.header.spec,
-            std::sync::Arc::new(loaded.log),
-            rnr_replay::ReplayConfig::default(),
-        );
+        let mut r =
+            rnr_replay::Replayer::new(&loaded.header.spec, loaded.log, rnr_replay::ReplayConfig::default());
         r.verify_against(rnr_machine::Digest(loaded.header.final_digest));
         let out = r.run().unwrap();
         assert_eq!(out.verified, Some(true));

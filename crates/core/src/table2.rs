@@ -57,11 +57,7 @@ pub fn rows() -> Vec<ConfigRow> {
             paper: "48 entries (simulated)",
             repro: format!("{} entries", RasConfig::DEFAULT_CAPACITY),
         },
-        ConfigRow {
-            name: "VM exit",
-            paper: "~1,000 cycles",
-            repro: format!("{} cycles", costs.vmexit),
-        },
+        ConfigRow { name: "VM exit", paper: "~1,000 cycles", repro: format!("{} cycles", costs.vmexit) },
         ConfigRow {
             name: "RAS save / restore",
             paper: "~200 / ~200 cycles",

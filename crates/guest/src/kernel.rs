@@ -8,8 +8,9 @@
 
 use rnr_isa::{Addr, Assembler, Image, Reg};
 use rnr_machine::{
-    MachineConfig, DISK_CMD_READ, DISK_CMD_WRITE, MMIO_NIC_RX_LEN, MMIO_NIC_RX_POP, PORT_CONSOLE, PORT_DISK_ADDR,
-    PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG,
+    MachineConfig, DISK_CMD_READ, DISK_CMD_WRITE, MMIO_NIC_RX_LEN, MMIO_NIC_RX_POP, PORT_CONSOLE,
+    PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD,
+    PORT_NIC_TX_LEN, PORT_RNG,
 };
 use rnr_ras::Whitelists;
 
@@ -739,8 +740,8 @@ fn emit_irq_handlers(a: &mut Assembler) {
     a.movi64(R5, MMIO_NIC_RX_POP);
     a.movi(R6, 1);
     a.st(R5, 0, R6); // MMIO write: pops the device mailbox
-    // Wake every thread blocked on the network (several server workers may
-    // be waiting at once).
+                     // Wake every thread blocked on the network (several server workers may
+                     // be waiting at once).
     a.lea(R5, "task_structs");
     zero(a, R6); // slot
     a.label("in_scan");

@@ -175,7 +175,7 @@ fn emit_compute(a: &mut Assembler) {
     a.muli(R5, Reg::R10, 24);
     a.movi(R6, layout::USER_HEAP as i32);
     a.add(R5, R5, R6); // &node[i]
-    // key = i * 2654435761 mod 2^32 (a scrambled but deterministic key)
+                       // key = i * 2654435761 mod 2^32 (a scrambled but deterministic key)
     a.muli(R7, Reg::R10, 0x9E3779B1u32 as i32);
     a.movi(R8, -1);
     a.shri(R8, R8, 32);

@@ -145,7 +145,10 @@ mod tests {
     fn out_of_range_sp_is_none() {
         let (intro, vm) = setup();
         assert_eq!(intro.thread_from_sp(&vm, 0x100), None);
-        assert_eq!(intro.thread_from_sp(&vm, layout::stack_top(layout::MAX_THREADS - 1) + layout::STACK_SIZE), None);
+        assert_eq!(
+            intro.thread_from_sp(&vm, layout::stack_top(layout::MAX_THREADS - 1) + layout::STACK_SIZE),
+            None
+        );
     }
 
     #[test]

@@ -90,8 +90,11 @@ impl NondetSource {
         self.packet_counter += 1;
         let large = profile.large_every.is_some_and(|n| n > 0 && self.packet_counter.is_multiple_of(n));
         let (lo, hi) = profile.size_range;
-        let len =
-            if large { rnr_guest::layout::NIC_MTU } else { self.rng.gen_range(lo.max(40)..=hi.max(lo.max(40))) };
+        let len = if large {
+            rnr_guest::layout::NIC_MTU
+        } else {
+            self.rng.gen_range(lo.max(40)..=hi.max(lo.max(40)))
+        };
         let mut p = vec![0u8; len];
         for b in p.iter_mut() {
             *b = self.rng.gen_range(0x20..0x7f); // printable, never 0

@@ -2,15 +2,16 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use rnr_guest::layout;
 use rnr_isa::Reg;
-use rnr_log::{AlarmInfo, Category, InputLog, Record};
+use rnr_log::{AlarmInfo, Category, InputLog, LogSink, Record};
 use rnr_machine::{
     CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
-    MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING, MMIO_NIC_RX_POP, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD,
-    PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG, IRQ_DISK,
-    IRQ_NIC, IRQ_TIMER,
+    IRQ_DISK, IRQ_NIC, IRQ_TIMER, MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING, MMIO_NIC_RX_POP, PORT_CONSOLE,
+    PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD,
+    PORT_NIC_TX_LEN, PORT_RNG,
 };
 use rnr_ras::{AttributionReport, BackRasTable, RasAttribution, RasConfig, RasCounters, ThreadId};
 
@@ -70,6 +71,9 @@ pub struct RecordConfig {
     /// analysis of Figure 8 (the paper's QEMU-emulation functional
     /// environment, §7.2). Only meaningful with [`RecordMode::Rec`].
     pub functional_ras_analysis: bool,
+    /// Use the predecoded instruction cache (wall-clock optimization; never
+    /// changes virtual cycles or digests).
+    pub decode_cache: bool,
     /// RAS capacity (the paper simulates 48).
     pub ras_capacity: usize,
     /// Cycle cost model.
@@ -96,6 +100,7 @@ impl RecordConfig {
             seed,
             until_retired,
             functional_ras_analysis: false,
+            decode_cache: true,
             ras_capacity: RasConfig::DEFAULT_CAPACITY,
             costs: CostModel::default(),
             trace: 0,
@@ -119,7 +124,11 @@ impl fmt::Display for RecordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecordError::KernelModeMismatch { want_pv } => {
-                write!(f, "recording mode requires a {} kernel", if *want_pv { "paravirtual" } else { "standard" })
+                write!(
+                    f,
+                    "recording mode requires a {} kernel",
+                    if *want_pv { "paravirtual" } else { "standard" }
+                )
             }
         }
     }
@@ -130,8 +139,9 @@ impl std::error::Error for RecordError {}
 /// Results of a recorded (or baseline) run.
 #[derive(Debug, Clone)]
 pub struct RecordOutcome {
-    /// The input log (empty for non-recording modes).
-    pub log: InputLog,
+    /// The input log (empty for non-recording modes), shared so replayers
+    /// can attach without copying it.
+    pub log: Arc<InputLog>,
     /// Total virtual cycles — the execution-time measure of every figure.
     pub cycles: u64,
     /// Retired guest instructions (the work measure held constant across
@@ -203,6 +213,7 @@ pub struct Recorder {
     nic: NicDevice,
     console: Vec<u8>,
     log: InputLog,
+    sink: Option<LogSink>,
     attribution: CycleAttribution,
     intro: Introspector,
     current_tid: ThreadId,
@@ -249,15 +260,14 @@ impl Recorder {
             evict_exiting: mode.has_ras_extension(),
             callret_trap: if config.functional_ras_analysis { CallRetTrap::All } else { CallRetTrap::None },
         };
-        let jop_table = config.jop_common_functions.map(|limit| {
-            crate::jop_table_from_spec(spec, limit)
-        });
+        let jop_table = config.jop_common_functions.map(|limit| crate::jop_table_from_spec(spec, limit));
         let machine = MachineConfig {
             syscall_entry: spec.kernel.syscall_entry(),
             ras,
             exits,
             jop_table,
             costs: config.costs,
+            decode_cache: config.decode_cache,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];
@@ -297,6 +307,7 @@ impl Recorder {
             nic: NicDevice::new(),
             console: Vec::new(),
             log: InputLog::new(),
+            sink: None,
             attribution: CycleAttribution::new(),
             intro,
             current_tid: ThreadId(1),
@@ -319,6 +330,22 @@ impl Recorder {
         })
     }
 
+    /// Attaches a live sink: every record is published to it as soon as it is
+    /// appended to the recorder's own log, so a concurrent checkpointing
+    /// replayer can consume the stream while recording is still in progress.
+    pub fn stream_to(&mut self, sink: LogSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Appends a record to the log, mirroring it to the live sink if one is
+    /// attached.
+    fn emit(&mut self, rec: Record) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.push(rec.clone());
+        }
+        self.log.push(rec);
+    }
+
     /// Runs to the instruction budget and returns the outcome.
     pub fn run(mut self) -> RecordOutcome {
         let until = self.config.until_retired;
@@ -332,12 +359,19 @@ impl Recorder {
             let exit = self
                 .vm
                 .run(rnr_machine::RunBudget { until_retired: Some(until), until_cycles: Some(deadline) });
-            if let Some(watch) = std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok()) {
+            if let Some(watch) =
+                std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok())
+            {
                 let val = self.vm.mem().read_u64(watch).unwrap_or(0);
                 if val != self.watch_last {
                     eprintln!(
                         "WATCH {:#x}: {} -> {} at insn {} pc {:#x} exit {:?}",
-                        watch, self.watch_last, val, self.vm.retired(), self.vm.cpu().pc, exit
+                        watch,
+                        self.watch_last,
+                        val,
+                        self.vm.retired(),
+                        self.vm.cpu().pc,
+                        exit
                     );
                     self.watch_last = val;
                 }
@@ -345,7 +379,10 @@ impl Recorder {
             self.handle_exit(exit);
         }
         if self.config.mode.is_recording() {
-            self.log.push(Record::End { at_insn: self.vm.retired(), at_cycle: self.vm.cycles() });
+            self.emit(Record::End { at_insn: self.vm.retired(), at_cycle: self.vm.cycles() });
+        }
+        if let Some(sink) = self.sink.take() {
+            sink.finish();
         }
         if let Some(f) = self.fig8.as_mut() {
             f.add_instructions(self.vm.retired());
@@ -381,15 +418,13 @@ impl Recorder {
             }),
             priv_flag: self.intro.priv_flag(&self.vm),
             ops: (0..rnr_guest::layout::MAX_THREADS as u64)
-                .map(|slot| {
-                    self.vm.mem().read_u64(rnr_guest::layout::OPS_BASE + (slot + 1) * 8).unwrap_or(0)
-                })
+                .map(|slot| self.vm.mem().read_u64(rnr_guest::layout::OPS_BASE + (slot + 1) * 8).unwrap_or(0))
                 .sum(),
             context_switches: self.context_switches,
             watch_hits: self.vm.watch_hits().to_vec(),
             switch_trace: self.switch_trace,
             console: self.console,
-            log: self.log,
+            log: Arc::new(self.log),
             attribution: self.attribution,
         }
     }
@@ -429,8 +464,7 @@ impl Recorder {
             }
             let payload = self.nondet.benign_packet(&self.net);
             self.nic.enqueue_rx(payload);
-            self.next_packet =
-                self.net.mean_interarrival.map(|m| at + self.nondet.packet_gap(m));
+            self.next_packet = self.net.mean_interarrival.map(|m| at + self.nondet.packet_gap(m));
         }
         // Crafted injections.
         while self.injections.front().is_some_and(|i| i.at_cycle <= now) {
@@ -450,7 +484,7 @@ impl Recorder {
                     at_insn: self.vm.retired(),
                 };
                 self.charge(Category::Network, self.config.costs.log_append(rec.encoded_len()));
-                self.log.push(rec);
+                self.emit(rec);
             }
             self.pending_irqs.push_back(IRQ_NIC);
         }
@@ -471,7 +505,7 @@ impl Recorder {
                             Category::Interrupt,
                             self.config.costs.vmexit + self.config.costs.log_append(rec.encoded_len()),
                         );
-                        self.log.push(rec);
+                        self.emit(rec);
                     } else {
                         self.charge(Category::Interrupt, self.config.costs.irq_virtualized);
                     }
@@ -510,7 +544,7 @@ impl Recorder {
                 if recording {
                     let rec = Record::Rdtsc { value };
                     self.charge(Category::Rdtsc, costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
                 self.vm.finish_io(FinishIo::Read { rd, value });
             }
@@ -523,7 +557,7 @@ impl Recorder {
                 if recording {
                     let rec = Record::PioIn { port, value };
                     self.charge(Category::PioMmio, costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
                 self.vm.finish_io(FinishIo::Read { rd, value });
             }
@@ -564,7 +598,7 @@ impl Recorder {
                 if recording {
                     let rec = Record::MmioRead { addr, value };
                     self.charge(Category::PioMmio, costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
                 self.vm.finish_io(FinishIo::Read { rd, value });
             }
@@ -587,7 +621,7 @@ impl Recorder {
                 if recording {
                     let rec = Record::Evict { tid: self.current_tid, addr: evicted };
                     self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
             }
             Exit::JopAlarm { branch_pc, target } => {
@@ -604,7 +638,7 @@ impl Recorder {
                         at_cycle: self.vm.cycles(),
                     };
                     self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
             }
             Exit::RasMispredict(m) => {
@@ -623,7 +657,7 @@ impl Recorder {
                         at_cycle: self.vm.cycles(),
                     });
                     self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
-                    self.log.push(rec);
+                    self.emit(rec);
                 }
             }
             Exit::CallTrap { ret_addr, .. } => {

@@ -195,19 +195,7 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            Call | CallR
-                | Ret
-                | Jmp
-                | JmpR
-                | Beq
-                | Bne
-                | Blt
-                | Bge
-                | Bltu
-                | Bgeu
-                | Syscall
-                | Sysret
-                | Iret
+            Call | CallR | Ret | Jmp | JmpR | Beq | Bne | Blt | Bge | Bltu | Bgeu | Syscall | Sysret | Iret
         )
     }
 

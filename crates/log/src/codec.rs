@@ -266,7 +266,12 @@ mod tests {
         }));
         round_trip(Record::Alarm(AlarmInfo {
             tid: ThreadId(9),
-            mispredict: Mispredict { ret_pc: 0x100, predicted: None, actual: 0x666, kind: MispredictKind::Underflow },
+            mispredict: Mispredict {
+                ret_pc: 0x100,
+                predicted: None,
+                actual: 0x666,
+                kind: MispredictKind::Underflow,
+            },
             at_insn: 1,
             at_cycle: 2,
         }));

@@ -15,6 +15,10 @@
 //!   Figure 6(a) and the overhead attribution of Figure 5(b)).
 //! * [`LogCursor`] — the replayers' read position; checkpoints store a
 //!   cursor as their `InputLogPtr` (Figure 4).
+//! * [`log_channel`] / [`LogSink`] / [`LogStream`] / [`LogSource`] — the
+//!   streaming transport that lets the checkpointing replayer consume the
+//!   log concurrently with its generation (§4.6.1), instead of waiting for
+//!   the recording to finish.
 //! * a compact binary codec ([`InputLog::to_bytes`] /
 //!   [`InputLog::from_bytes`]) so log sizes are measured, not estimated.
 
@@ -24,9 +28,13 @@
 mod codec;
 mod cursor;
 mod record;
+mod source;
+mod stream;
 mod writer;
 
 pub use codec::CodecError;
 pub use cursor::LogCursor;
 pub use record::{AlarmInfo, Category, DmaSource, Record};
+pub use source::LogSource;
+pub use stream::{log_channel, LogSink, LogStream, DEFAULT_BATCH};
 pub use writer::{InputLog, LogWriter};

@@ -1,0 +1,85 @@
+//! A replayer's view of the input log: complete or still streaming.
+
+use std::sync::Arc;
+
+use crate::{InputLog, LogStream, Record};
+
+/// Where a replayer reads its records from.
+///
+/// The checkpointing replayer can consume the log **live** while the
+/// recorder is still producing it ([`LogSource::Streaming`], §4.6.1's
+/// concurrent CR), or replay a finished recording ([`LogSource::Complete`] —
+/// alarm replayers and offline audits always use this form, since they start
+/// from checkpoints of an already-consumed prefix).
+#[derive(Debug)]
+pub enum LogSource {
+    /// A finished recording, shared without copying.
+    Complete(Arc<InputLog>),
+    /// A live recording; reads block until the recorder catches up.
+    Streaming(LogStream),
+}
+
+impl LogSource {
+    /// The record at `index`. For a streaming source this blocks until the
+    /// record arrives; `None` means the log ended before `index`.
+    pub fn get(&mut self, index: usize) -> Option<&Record> {
+        match self {
+            LogSource::Complete(log) => log.records().get(index),
+            LogSource::Streaming(stream) => stream.get(index),
+        }
+    }
+
+    /// Records known so far (all of them for a complete source) — does not
+    /// block.
+    pub fn len_so_far(&mut self) -> usize {
+        match self {
+            LogSource::Complete(log) => log.len(),
+            LogSource::Streaming(stream) => stream.received().len(),
+        }
+    }
+}
+
+impl From<Arc<InputLog>> for LogSource {
+    fn from(log: Arc<InputLog>) -> LogSource {
+        LogSource::Complete(log)
+    }
+}
+
+impl From<InputLog> for LogSource {
+    fn from(log: InputLog) -> LogSource {
+        LogSource::Complete(Arc::new(log))
+    }
+}
+
+impl From<LogStream> for LogSource {
+    fn from(stream: LogStream) -> LogSource {
+        LogSource::Streaming(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log_channel;
+
+    #[test]
+    fn complete_source_reads_by_index() {
+        let log: InputLog =
+            vec![Record::Rdtsc { value: 1 }, Record::End { at_insn: 1, at_cycle: 1 }].into_iter().collect();
+        let mut src = LogSource::from(Arc::new(log));
+        assert_eq!(src.get(0), Some(&Record::Rdtsc { value: 1 }));
+        assert!(matches!(src.get(1), Some(Record::End { .. })));
+        assert_eq!(src.get(2), None);
+        assert_eq!(src.len_so_far(), 2);
+    }
+
+    #[test]
+    fn streaming_source_sees_published_records() {
+        let (mut sink, stream) = log_channel(1);
+        sink.push(Record::Rdtsc { value: 5 });
+        sink.finish();
+        let mut src = LogSource::from(stream);
+        assert_eq!(src.get(0), Some(&Record::Rdtsc { value: 5 }));
+        assert_eq!(src.get(1), None);
+    }
+}

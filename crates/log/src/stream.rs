@@ -1,0 +1,175 @@
+//! Streaming transport between the recorder and a live consumer.
+//!
+//! During monitored recording the paper's replayers do not wait for the
+//! recording to end: "the CR continuously consumes the input log as it is
+//! generated" (§4.6.1). [`log_channel`] gives that shape to the simulator —
+//! the recorder publishes records through a [`LogSink`] as it appends them,
+//! and the checkpointing replayer pulls them from the matching [`LogStream`]
+//! on another thread, blocking only when it has caught up with the recording.
+//!
+//! Records travel in batches to keep the synchronization cost per record
+//! negligible; the stream re-assembles them into a growing [`InputLog`] so
+//! byte accounting on the consumer side is exact, identical to the
+//! recorder's own log.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::{InputLog, Record};
+
+/// Default number of records per transport batch.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Creates a connected sink/stream pair carrying record batches of at most
+/// `batch_size` records (0 is treated as 1: unbatched).
+pub fn log_channel(batch_size: usize) -> (LogSink, LogStream) {
+    let (tx, rx) = channel();
+    (
+        LogSink { tx, batch: Vec::new(), batch_size: batch_size.max(1) },
+        LogStream { rx, log: InputLog::new(), finished: false },
+    )
+}
+
+/// The write side: the recorder pushes records here as it logs them.
+///
+/// The channel is unbounded, so the recorder never blocks on a slow
+/// consumer; dropping the sink (or calling [`LogSink::finish`]) flushes the
+/// pending batch and signals end-of-stream.
+#[derive(Debug)]
+pub struct LogSink {
+    tx: Sender<Vec<Record>>,
+    batch: Vec<Record>,
+    batch_size: usize,
+}
+
+impl LogSink {
+    /// Publishes one record, flushing when the batch fills.
+    pub fn push(&mut self, record: Record) {
+        self.batch.push(record);
+        if self.batch.len() >= self.batch_size {
+            self.flush();
+        }
+    }
+
+    /// Sends any batched records immediately.
+    pub fn flush(&mut self) {
+        if !self.batch.is_empty() {
+            // A send can only fail when the stream was dropped; the recorder
+            // keeps its own complete log either way.
+            let _ = self.tx.send(std::mem::take(&mut self.batch));
+        }
+    }
+
+    /// Flushes and closes the stream (consuming the sink hangs up the
+    /// channel, which is what wakes a blocked consumer for the last time).
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+impl Drop for LogSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// The read side: a growing [`InputLog`] fed by a [`LogSink`].
+///
+/// [`LogStream::get`] blocks until the requested record has been published
+/// or the producer has hung up, so a consumer can simply walk indices
+/// `0, 1, 2, …` and observe exactly the record sequence the recorder wrote.
+#[derive(Debug)]
+pub struct LogStream {
+    rx: Receiver<Vec<Record>>,
+    log: InputLog,
+    finished: bool,
+}
+
+impl LogStream {
+    /// Blocks until record `index` is available; `None` once the producer
+    /// has finished without publishing that many records.
+    pub fn get(&mut self, index: usize) -> Option<&Record> {
+        while self.log.len() <= index && !self.finished {
+            match self.rx.recv() {
+                Ok(batch) => self.log.extend(batch),
+                Err(_) => self.finished = true,
+            }
+        }
+        self.log.records().get(index)
+    }
+
+    /// The records received so far, without blocking.
+    pub fn received(&mut self) -> &InputLog {
+        while let Ok(batch) = self.rx.try_recv() {
+            self.log.extend(batch);
+        }
+        &self.log
+    }
+
+    /// Drains the remainder of the stream and returns the complete log.
+    pub fn into_log(mut self) -> InputLog {
+        while let Ok(batch) = self.rx.recv() {
+            self.log.extend(batch);
+        }
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_batches_and_stream_reassembles() {
+        let (mut sink, mut stream) = log_channel(3);
+        for v in 0..7 {
+            sink.push(Record::Rdtsc { value: v });
+        }
+        sink.finish();
+        for v in 0..7 {
+            assert_eq!(stream.get(v as usize), Some(&Record::Rdtsc { value: v }));
+        }
+        assert_eq!(stream.get(7), None);
+    }
+
+    #[test]
+    fn get_blocks_across_thread_boundary() {
+        let (mut sink, mut stream) = log_channel(2);
+        let producer = std::thread::spawn(move || {
+            for v in 0..100 {
+                sink.push(Record::Rdtsc { value: v });
+            }
+            sink.finish();
+        });
+        // Consume concurrently; get() must block until each arrives.
+        for v in 0..100 {
+            assert_eq!(stream.get(v as usize), Some(&Record::Rdtsc { value: v }));
+        }
+        assert_eq!(stream.get(100), None);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn into_log_preserves_byte_accounting() {
+        let (mut sink, stream) = log_channel(4);
+        let mut reference = InputLog::new();
+        for v in 0..10 {
+            let r = Record::Rdtsc { value: v };
+            reference.push(r.clone());
+            sink.push(r);
+        }
+        sink.finish();
+        let collected = stream.into_log();
+        assert_eq!(collected.records(), reference.records());
+        assert_eq!(collected.total_bytes(), reference.total_bytes());
+        assert_eq!(collected.to_bytes(), reference.to_bytes());
+    }
+
+    #[test]
+    fn dropping_sink_flushes_partial_batch() {
+        let (mut sink, mut stream) = log_channel(100);
+        sink.push(Record::Rdtsc { value: 9 });
+        drop(sink);
+        assert_eq!(stream.get(0), Some(&Record::Rdtsc { value: 9 }));
+        assert_eq!(stream.get(1), None);
+    }
+}

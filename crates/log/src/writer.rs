@@ -208,7 +208,8 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let log: InputLog = vec![Record::Rdtsc { value: 1 }, Record::Rdtsc { value: 2 }].into_iter().collect();
+        let log: InputLog =
+            vec![Record::Rdtsc { value: 1 }, Record::Rdtsc { value: 2 }].into_iter().collect();
         assert_eq!(log.len(), 2);
     }
 

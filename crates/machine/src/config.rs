@@ -26,6 +26,10 @@ pub struct MachineConfig {
     pub jop_table: Option<crate::JopTable>,
     /// Cycle cost model.
     pub costs: CostModel,
+    /// Use the predecoded instruction cache ([`crate::DecodeCache`]). A pure
+    /// host-side (wall-clock) optimization: virtual cycles, digests, and
+    /// exits are identical either way while [`CostModel::decode`] is 0.
+    pub decode_cache: bool,
 }
 
 impl MachineConfig {
@@ -50,6 +54,7 @@ impl Default for MachineConfig {
             exits: ExitControls::default(),
             jop_table: None,
             costs: CostModel::default(),
+            decode_cache: true,
         }
     }
 }

@@ -45,6 +45,23 @@ impl Fnv1a {
         self.update(&v.to_le_bytes());
     }
 
+    /// Absorbs bytes word-at-a-time: FNV-1a over little-endian `u64` words
+    /// rather than bytes. A *different* stream than [`Fnv1a::update`] — the
+    /// two must not be mixed for the same data — but ~8× the throughput,
+    /// which matters when hashing all of guest memory and disk for replay
+    /// verification. Any single-bit difference still changes the digest.
+    pub fn update_words(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.state = (self.state ^ w).wrapping_mul(FNV_PRIME);
+        }
+        for &b in chunks.remainder() {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
     /// The digest of everything absorbed so far.
     pub fn finish(&self) -> Digest {
         Digest(self.state)
@@ -80,6 +97,29 @@ mod tests {
     fn sensitive_to_every_byte() {
         assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
         assert_ne!(fnv1a(b"abc"), fnv1a(b"ab"));
+    }
+
+    #[test]
+    fn word_hash_sensitive_to_every_bit() {
+        let mut base = [0u8; 64];
+        let mut h0 = Fnv1a::new();
+        h0.update_words(&base);
+        for bit in 0..512 {
+            base[bit / 8] ^= 1 << (bit % 8);
+            let mut h = Fnv1a::new();
+            h.update_words(&base);
+            assert_ne!(h.finish(), h0.finish(), "bit {bit} did not change the digest");
+            base[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+
+    #[test]
+    fn word_hash_remainder_covered() {
+        let mut a = Fnv1a::new();
+        a.update_words(b"0123456789"); // 8-byte word + 2-byte tail
+        let mut b = Fnv1a::new();
+        b.update_words(b"0123456798");
+        assert_ne!(a.finish(), b.finish());
     }
 
     #[test]

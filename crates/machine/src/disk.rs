@@ -65,7 +65,10 @@ impl BlockStore {
         if sector >= self.sector_count() {
             return Err(SectorOutOfRange { sector });
         }
-        Ok((sector as usize / Self::SECTORS_PER_BLOCK, (sector as usize % Self::SECTORS_PER_BLOCK) * SECTOR_SIZE))
+        Ok((
+            sector as usize / Self::SECTORS_PER_BLOCK,
+            (sector as usize % Self::SECTORS_PER_BLOCK) * SECTOR_SIZE,
+        ))
     }
 
     /// Reads one sector into `buf` (must be [`SECTOR_SIZE`] bytes).
@@ -132,7 +135,7 @@ impl BlockStore {
     pub fn digest(&self) -> crate::Digest {
         let mut h = crate::digest::Fnv1a::new();
         for b in &self.blocks {
-            h.update(&b[..]);
+            h.update_words(&b[..]);
         }
         h.finish()
     }

@@ -1,0 +1,153 @@
+//! The predecoded instruction cache.
+//!
+//! The interpreter's hot loop used to fetch 8 bytes from guest memory and
+//! re-decode them on **every** executed instruction. Real processors (and
+//! fast emulators — QEMU's TB cache plays this role in the paper's setup)
+//! decode each instruction once and reuse the result until the code is
+//! overwritten. [`DecodeCache`] does the same for the simulator: a per-page
+//! array of decoded instructions, filled lazily on first execution and
+//! invalidated wholesale when the page's write-version
+//! ([`Memory::page_version`]) moves — which is what makes self-modifying
+//! code (and checkpoint restores) correct without any explicit flush
+//! protocol.
+//!
+//! Only 8-byte-aligned PCs are cached: aligned fetches never straddle a
+//! page, so one `(page, slot)` pair identifies the instruction. Unaligned
+//! PCs (possible targets of a hijacked return) fall back to the slow
+//! fetch+decode path. Decoding is architecturally free in the cost model by
+//! default ([`crate::CostModel::decode`] is 0), so caching changes wall-clock
+//! time only, never virtual cycles.
+
+use rnr_isa::{Addr, Instruction};
+
+use crate::mem::{Memory, PAGE_SIZE};
+
+/// Decoded slots per page (8-byte instructions).
+const SLOTS: usize = PAGE_SIZE / 8;
+
+/// One page's worth of predecoded instructions, valid for a single write
+/// version of the backing page.
+#[derive(Debug, Clone)]
+struct PageCache {
+    version: u64,
+    slots: Box<[Option<Instruction>; SLOTS]>,
+}
+
+impl PageCache {
+    fn new(version: u64) -> PageCache {
+        PageCache { version, slots: Box::new([None; SLOTS]) }
+    }
+}
+
+/// A lazily filled, version-checked decode cache over guest memory.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    pages: Vec<Option<PageCache>>,
+}
+
+impl DecodeCache {
+    /// An empty cache (sized on first use).
+    pub fn new() -> DecodeCache {
+        DecodeCache::default()
+    }
+
+    /// The cached decode of the instruction at `pc`, if still valid.
+    ///
+    /// Returns `None` for unaligned or out-of-range PCs, for never-decoded
+    /// slots, and whenever the page has been written since the decode.
+    #[inline]
+    pub fn get(&self, pc: Addr, mem: &Memory) -> Option<Instruction> {
+        if pc & 7 != 0 {
+            return None;
+        }
+        let page = (pc as usize) / PAGE_SIZE;
+        let cached = self.pages.get(page)?.as_ref()?;
+        if cached.version != mem.page_version(page) {
+            return None;
+        }
+        cached.slots[(pc as usize % PAGE_SIZE) / 8]
+    }
+
+    /// Stores a fresh decode of the instruction at `pc`.
+    ///
+    /// If the page's cache is stale it is reset to the current version
+    /// first, dropping every slot decoded against old bytes.
+    pub fn insert(&mut self, pc: Addr, insn: Instruction, mem: &Memory) {
+        if pc & 7 != 0 {
+            return;
+        }
+        let page = (pc as usize) / PAGE_SIZE;
+        if page >= mem.page_count() {
+            return;
+        }
+        if self.pages.len() < mem.page_count() {
+            self.pages.resize(mem.page_count(), None);
+        }
+        let version = mem.page_version(page);
+        let cached = match &mut self.pages[page] {
+            Some(c) if c.version == version => c,
+            slot => slot.insert(PageCache::new(version)),
+        };
+        cached.slots[(pc as usize % PAGE_SIZE) / 8] = Some(insn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnr_isa::{Opcode, Reg};
+
+    fn insn(imm: i32) -> Instruction {
+        Instruction::new(Opcode::MovImm, Reg::R1, Reg::R0, Reg::R0, imm)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mem = Memory::new(PAGE_SIZE * 2);
+        let mut cache = DecodeCache::new();
+        assert_eq!(cache.get(0x8, &mem), None);
+        cache.insert(0x8, insn(1), &mem);
+        assert_eq!(cache.get(0x8, &mem), Some(insn(1)));
+        assert_eq!(cache.get(0x10, &mem), None, "other slots stay cold");
+    }
+
+    #[test]
+    fn unaligned_pcs_are_never_cached() {
+        let mem = Memory::new(PAGE_SIZE);
+        let mut cache = DecodeCache::new();
+        cache.insert(0x9, insn(1), &mem);
+        assert_eq!(cache.get(0x9, &mem), None);
+    }
+
+    #[test]
+    fn write_to_page_invalidates_its_decodes() {
+        let mut mem = Memory::new(PAGE_SIZE * 2);
+        let mut cache = DecodeCache::new();
+        cache.insert(0x8, insn(1), &mem);
+        cache.insert(PAGE_SIZE as u64 + 8, insn(2), &mem);
+        mem.write_u8(0x8, 0xff).unwrap();
+        assert_eq!(cache.get(0x8, &mem), None, "written page drops");
+        assert_eq!(cache.get(PAGE_SIZE as u64 + 8, &mem), Some(insn(2)), "other page survives");
+        // Re-inserting against the new version works.
+        cache.insert(0x8, insn(3), &mem);
+        assert_eq!(cache.get(0x8, &mem), Some(insn(3)));
+    }
+
+    #[test]
+    fn restore_invalidates_everything() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        let snap = mem.snapshot_pages();
+        let mut cache = DecodeCache::new();
+        cache.insert(0x0, insn(1), &mem);
+        mem.restore_pages(snap);
+        assert_eq!(cache.get(0x0, &mem), None);
+    }
+
+    #[test]
+    fn out_of_range_pc_is_ignored() {
+        let mem = Memory::new(PAGE_SIZE);
+        let mut cache = DecodeCache::new();
+        cache.insert(PAGE_SIZE as u64 * 10, insn(1), &mem);
+        assert_eq!(cache.get(PAGE_SIZE as u64 * 10, &mem), None);
+    }
+}

@@ -35,6 +35,7 @@ mod cpu;
 mod digest;
 mod disk;
 mod exit;
+mod icache;
 mod jop;
 mod mem;
 mod ports;
@@ -46,6 +47,7 @@ pub use cpu::{Cpu, CpuState, Mode};
 pub use digest::{fnv1a, Digest, Fnv1a};
 pub use disk::BlockStore;
 pub use exit::{CallRetTrap, Exit, ExitControls, FaultKind, FinishIo};
+pub use icache::DecodeCache;
 pub use jop::JopTable;
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use ports::*;

@@ -50,6 +50,7 @@ impl std::error::Error for MemError {}
 pub struct Memory {
     pages: Vec<Arc<Page>>,
     dirty_epoch: Vec<u64>,
+    versions: Vec<u64>,
     epoch: u64,
     cow_faults: u64,
 }
@@ -60,7 +61,13 @@ impl Memory {
         let n = bytes.div_ceil(PAGE_SIZE);
         let zero: Arc<Page> = Arc::new([0u8; PAGE_SIZE]);
         // Epoch 0 means "never written"; execution starts in epoch 1.
-        Memory { pages: vec![zero; n], dirty_epoch: vec![0; n], epoch: 1, cow_faults: 0 }
+        Memory {
+            pages: vec![zero; n],
+            dirty_epoch: vec![0; n],
+            versions: vec![0; n],
+            epoch: 1,
+            cow_faults: 0,
+        }
     }
 
     /// Total size in bytes.
@@ -93,7 +100,16 @@ impl Memory {
             self.cow_faults += 1;
             self.dirty_epoch[index] = self.epoch;
         }
+        self.versions[index] = self.versions[index].wrapping_add(1);
         Arc::make_mut(&mut self.pages[index])
+    }
+
+    /// Monotonic write-version of a page: bumped on every mutation of the
+    /// page (including checkpoint restores), so caches of derived per-page
+    /// state — the predecoded instruction cache — can detect staleness with
+    /// one comparison.
+    pub fn page_version(&self, index: usize) -> u64 {
+        self.versions[index]
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -142,6 +158,15 @@ impl Memory {
     ///
     /// Fails with [`MemError::OutOfBounds`].
     pub fn read_u64(&self, addr: Addr) -> Result<u64, MemError> {
+        // Fast path: the word lies within one page (the overwhelmingly
+        // common case — stacks and code are 8-aligned).
+        let off = addr as usize;
+        let in_page = off % PAGE_SIZE;
+        if in_page <= PAGE_SIZE - 8 {
+            let page = self.pages.get(off / PAGE_SIZE).ok_or(MemError::OutOfBounds { addr, len: 8 })?;
+            let b: [u8; 8] = page[in_page..in_page + 8].try_into().expect("8-byte slice");
+            return Ok(u64::from_le_bytes(b));
+        }
         let mut b = [0u8; 8];
         self.read_bytes(addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
@@ -153,6 +178,13 @@ impl Memory {
     ///
     /// Fails with [`MemError::OutOfBounds`].
     pub fn write_u64(&mut self, addr: Addr, value: u64) -> Result<(), MemError> {
+        // Fast path mirroring `read_u64`.
+        let off = addr as usize;
+        let in_page = off % PAGE_SIZE;
+        if in_page <= PAGE_SIZE - 8 && off / PAGE_SIZE < self.pages.len() {
+            self.page_mut(off / PAGE_SIZE)[in_page..in_page + 8].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
         self.write_bytes(addr, &value.to_le_bytes())
     }
 
@@ -210,6 +242,10 @@ impl Memory {
         // All restored pages belong to the new epoch's baseline.
         let e = self.epoch;
         self.dirty_epoch.fill(e);
+        // Every page may have changed: invalidate derived per-page caches.
+        for v in &mut self.versions {
+            *v = v.wrapping_add(1);
+        }
     }
 }
 
@@ -272,6 +308,24 @@ mod tests {
         assert!(dirty.is_empty());
         m.write_u8(PAGE_SIZE as u64, 1).unwrap();
         assert_eq!(m.begin_epoch(), vec![1]);
+    }
+
+    #[test]
+    fn page_versions_track_writes_and_restores() {
+        let mut m = Memory::new(PAGE_SIZE * 2);
+        let v0 = m.page_version(0);
+        m.write_u8(0, 1).unwrap();
+        let v1 = m.page_version(0);
+        assert_ne!(v0, v1);
+        assert_eq!(m.page_version(1), 0, "untouched page keeps its version");
+        let snap = m.snapshot_pages();
+        m.write_u8(0, 2).unwrap();
+        let v2 = m.page_version(0);
+        assert_ne!(v1, v2);
+        m.restore_pages(snap);
+        // A restore invalidates every page, even ones that look unchanged.
+        assert_ne!(m.page_version(0), v2);
+        assert_ne!(m.page_version(1), 0);
     }
 
     #[test]

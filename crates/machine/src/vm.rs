@@ -1,14 +1,15 @@
 //! The guest VM: interpreter loop, exits, interrupt injection.
 
-use std::collections::HashSet;
 use std::fmt;
 
 use rnr_isa::{Addr, Image, Instruction, Opcode, Reg};
 use rnr_ras::RasOutcome;
 
 use crate::digest::Fnv1a;
+use crate::icache::DecodeCache;
 use crate::{
-    is_mmio, CallRetTrap, Cpu, Digest, Exit, ExitControls, FaultKind, FinishIo, MachineConfig, MemError, Memory, Mode,
+    is_mmio, CallRetTrap, Cpu, Digest, Exit, ExitControls, FaultKind, FinishIo, MachineConfig, MemError,
+    Memory, Mode,
 };
 
 /// Run budget for [`GuestVm::run`].
@@ -82,10 +83,14 @@ pub struct GuestVm {
     cpu: Cpu,
     mem: Memory,
     config: MachineConfig,
+    icache: DecodeCache,
     cycles: u64,
     retired: u64,
-    breakpoints: HashSet<Addr>,
-    skip_bp_at: HashSet<Addr>,
+    // Breakpoints and armed skips are tiny sets (the hypervisor installs
+    // three interposition traps); linear scans beat hashing on the
+    // every-instruction fast path.
+    breakpoints: Vec<Addr>,
+    skip_bp_at: Vec<Addr>,
     pending_io: Option<PendingIo>,
     interrupt_window: bool,
     trace: std::collections::VecDeque<Addr>,
@@ -111,10 +116,11 @@ impl GuestVm {
             cpu,
             mem,
             config,
+            icache: DecodeCache::new(),
             cycles: 0,
             retired: 0,
-            breakpoints: HashSet::new(),
-            skip_bp_at: HashSet::new(),
+            breakpoints: Vec::new(),
+            skip_bp_at: Vec::new(),
             pending_io: None,
             interrupt_window: false,
             trace: std::collections::VecDeque::new(),
@@ -206,12 +212,14 @@ impl GuestVm {
     /// Installs a breakpoint: the instruction at `pc` exits *before*
     /// executing (context-switch interposition, §5.2.1).
     pub fn add_breakpoint(&mut self, pc: Addr) {
-        self.breakpoints.insert(pc);
+        if !self.breakpoints.contains(&pc) {
+            self.breakpoints.push(pc);
+        }
     }
 
     /// Removes a breakpoint.
     pub fn remove_breakpoint(&mut self, pc: Addr) {
-        self.breakpoints.remove(&pc);
+        self.breakpoints.retain(|&bp| bp != pc);
     }
 
     /// Resume helper: the next execution of the *current* instruction does
@@ -221,7 +229,9 @@ impl GuestVm {
     /// until control returns there — even across other breakpoints trapping
     /// in between — so no breakpoint double-fires or leaks onto other code.
     pub fn skip_breakpoint_once(&mut self) {
-        self.skip_bp_at.insert(self.cpu.pc);
+        if !self.skip_bp_at.contains(&self.cpu.pc) {
+            self.skip_bp_at.push(self.cpu.pc);
+        }
     }
 
     /// Asks for an [`Exit::InterruptWindow`] as soon as the guest can accept
@@ -246,8 +256,10 @@ impl GuestVm {
         if !self.can_inject() {
             return Err(InjectError::Disabled);
         }
-        let handler =
-            self.mem.read_u64(self.config.ivt_base + irq as u64 * 8).map_err(|_| InjectError::BadVector(irq))?;
+        let handler = self
+            .mem
+            .read_u64(self.config.ivt_base + irq as u64 * 8)
+            .map_err(|_| InjectError::BadVector(irq))?;
         if handler == 0 {
             return Err(InjectError::BadVector(irq));
         }
@@ -293,7 +305,7 @@ impl GuestVm {
         h.update_u64(self.cpu.interrupts_enabled as u64);
         h.update_u64(self.cpu.halted as u64);
         for page in self.mem.snapshot_pages() {
-            h.update(&page[..]);
+            h.update_words(&page[..]);
         }
         h.finish()
     }
@@ -355,18 +367,14 @@ impl GuestVm {
     /// Executes one instruction; returns an exit if one was raised.
     fn step(&mut self) -> Option<Exit> {
         let pc = self.cpu.pc;
-        if self.skip_bp_at.remove(&pc) {
+        if self.take_skip(pc) {
             // Armed single-step-over: fall through to execution.
         } else if self.breakpoints.contains(&pc) {
             return Some(Exit::Breakpoint { pc });
         }
-        let mut fetch = [0u8; 8];
-        if self.mem.read_bytes(pc, &mut fetch).is_err() {
-            return Some(Exit::Fault(FaultKind::BadMemory { addr: pc }));
-        }
-        let insn = match Instruction::decode(&fetch) {
+        let insn = match self.fetch_decode(pc) {
             Ok(i) => i,
-            Err(_) => return Some(Exit::Fault(FaultKind::BadInstruction { pc })),
+            Err(exit) => return Some(exit),
         };
         if self.trace_cap > 0 {
             if self.trace.len() == self.trace_cap {
@@ -377,6 +385,48 @@ impl GuestVm {
         self.execute(pc, insn)
     }
 
+    /// Consumes an armed single-step-over for `pc`, if any.
+    #[inline]
+    fn take_skip(&mut self, pc: Addr) -> bool {
+        if self.skip_bp_at.is_empty() {
+            return false;
+        }
+        match self.skip_bp_at.iter().position(|&a| a == pc) {
+            Some(i) => {
+                self.skip_bp_at.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The instruction at `pc`: from the decode cache when enabled and warm,
+    /// otherwise fetched from memory, decoded, and (when enabled) cached.
+    #[inline]
+    fn fetch_decode(&mut self, pc: Addr) -> Result<Instruction, Exit> {
+        if self.config.decode_cache {
+            if let Some(insn) = self.icache.get(pc, &self.mem) {
+                return Ok(insn);
+            }
+        }
+        let mut fetch = [0u8; 8];
+        if self.mem.read_bytes(pc, &mut fetch).is_err() {
+            return Err(Exit::Fault(FaultKind::BadMemory { addr: pc }));
+        }
+        let insn = match Instruction::decode(&fetch) {
+            Ok(i) => i,
+            Err(_) => return Err(Exit::Fault(FaultKind::BadInstruction { pc })),
+        };
+        // Decode-cache misses (every instruction, with the cache off) may
+        // carry a front-end cost; it defaults to 0 so virtual time is
+        // independent of the cache.
+        self.cycles += self.config.costs.decode;
+        if self.config.decode_cache {
+            self.icache.insert(pc, insn, &self.mem);
+        }
+        Ok(insn)
+    }
+
     #[allow(clippy::too_many_lines)]
     fn execute(&mut self, pc: Addr, insn: Instruction) -> Option<Exit> {
         use Opcode::*;
@@ -385,9 +435,7 @@ impl GuestVm {
         let rs2 = self.cpu.reg(insn.rs2);
 
         // Privilege check for kernel-only instructions.
-        if self.cpu.mode == Mode::User
-            && matches!(insn.op, Hlt | In | Out | Vmcall | Iret | Cli | Sti)
-        {
+        if self.cpu.mode == Mode::User && matches!(insn.op, Hlt | In | Out | Vmcall | Iret | Cli | Sti) {
             return Some(Exit::Fault(FaultKind::Privilege { pc }));
         }
 
@@ -900,6 +948,61 @@ mod tests {
         assert_eq!(underflows, 4);
         // All returns went to the right place despite mispredictions.
         assert_eq!(vm.cpu().reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn self_modifying_code_invalidates_decode_cache() {
+        // The first pass executes (and caches) `movi r2, 11`, then patches
+        // that very instruction to `movi r2, 22` and jumps back to it. The
+        // store bumps the page version, so the second pass must re-decode.
+        let patched =
+            u64::from_le_bytes(Instruction::new(Opcode::MovImm, Reg::R2, Reg::R0, Reg::R0, 22).encode());
+        let build = move |a: &mut Assembler| {
+            a.label("patchme");
+            a.movi(Reg::R2, 11);
+            a.movi(Reg::R6, 0);
+            a.bne(Reg::R3, Reg::R6, "done");
+            a.movi(Reg::R3, 1);
+            a.movi64(Reg::R5, patched);
+            a.movi64(Reg::R4, 0x1000);
+            a.st(Reg::R4, 0, Reg::R5);
+            a.jmp("patchme");
+            a.label("done");
+            a.hlt();
+        };
+        let run = |decode_cache: bool| {
+            let mut vm = vm_with(build);
+            vm.config.decode_cache = decode_cache;
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+            vm
+        };
+        let cached = run(true);
+        let fresh = run(false);
+        assert_eq!(cached.cpu().reg(Reg::R2), 22, "stale decode executed");
+        assert_eq!(cached.digest(), fresh.digest());
+        assert_eq!(cached.retired(), fresh.retired());
+        assert_eq!(cached.cycles(), fresh.cycles());
+    }
+
+    #[test]
+    fn decode_cache_does_not_change_execution() {
+        let build = |a: &mut Assembler| {
+            a.movi(Reg::R1, 50);
+            a.label("loop");
+            a.st(Reg::SP, -64, Reg::R1);
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.movi(Reg::R2, 0);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+        };
+        let mut cached = vm_with(build);
+        let mut fresh = vm_with(build);
+        fresh.config.decode_cache = false;
+        assert_eq!(cached.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(fresh.run(RunBudget::unbounded()), Exit::Halt);
+        assert_eq!(cached.digest(), fresh.digest());
+        assert_eq!(cached.cycles(), fresh.cycles());
+        assert_eq!(cached.retired(), fresh.retired());
     }
 
     #[test]

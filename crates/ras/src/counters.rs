@@ -67,14 +67,24 @@ mod tests {
 
     #[test]
     fn mispredictions_sum() {
-        let c = RasCounters { underflows: 2, target_mismatches: 3, whitelist_violations: 1, ..Default::default() };
+        let c = RasCounters {
+            underflows: 2,
+            target_mismatches: 3,
+            whitelist_violations: 1,
+            ..Default::default()
+        };
         assert_eq!(c.mispredictions(), 6);
     }
 
     #[test]
     fn merge_adds_fields() {
         let mut a = RasCounters { calls: 1, backras_saved_bytes: 100, ..Default::default() };
-        let b = RasCounters { calls: 2, backras_saved_bytes: 50, backras_restored_bytes: 25, ..Default::default() };
+        let b = RasCounters {
+            calls: 2,
+            backras_saved_bytes: 50,
+            backras_restored_bytes: 25,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.calls, 3);
         assert_eq!(a.backras_bytes(), 175);

@@ -83,7 +83,8 @@ impl ShadowRas {
         current_ras: &[Addr],
         whitelists: Whitelists,
     ) -> ShadowRas {
-        let seed = |entries: &[Addr]| entries.iter().map(|&ret| Frame { ret, slot: None }).collect::<Vec<_>>();
+        let seed =
+            |entries: &[Addr]| entries.iter().map(|&ret| Frame { ret, slot: None }).collect::<Vec<_>>();
         let mut stacks: HashMap<ThreadId, Vec<Frame>> =
             table.iter().map(|(tid, e)| (tid, seed(e.entries()))).collect();
         stacks.insert(current, seed(current_ras));
@@ -239,8 +240,8 @@ mod tests {
         s.on_call(0x10, SP0 - 8); // outer frame
         s.on_call(0x20, SP0 - 16); // dead after unwind
         s.on_call(0x30, SP0 - 24); // dead after unwind
-        // A return at the outer slot (e.g. after an exception unwind): the
-        // deeper frames are pruned, the outer entry still matches.
+                                   // A return at the outer slot (e.g. after an exception unwind): the
+                                   // deeper frames are pruned, the outer entry still matches.
         assert_eq!(s.on_ret(0x1, 0x10, SP0 - 8), ShadowOutcome::Hit { pruned: 2 });
     }
 

@@ -136,7 +136,12 @@ pub struct RasUnit {
 impl RasUnit {
     /// Creates a unit with empty whitelists.
     pub fn new(config: RasConfig) -> RasUnit {
-        RasUnit { ras: Ras::new(config.capacity), config, whitelists: Whitelists::new(), counters: RasCounters::default() }
+        RasUnit {
+            ras: Ras::new(config.capacity),
+            config,
+            whitelists: Whitelists::new(),
+            counters: RasCounters::default(),
+        }
     }
 
     /// Programs the whitelist tables (hypervisor-only operation, §5.1).
@@ -214,7 +219,12 @@ impl RasUnit {
         match self.ras.pop() {
             None => {
                 self.counters.underflows += 1;
-                RasOutcome::Mispredict(Mispredict { ret_pc, predicted: None, actual, kind: MispredictKind::Underflow })
+                RasOutcome::Mispredict(Mispredict {
+                    ret_pc,
+                    predicted: None,
+                    actual,
+                    kind: MispredictKind::Underflow,
+                })
             }
             Some(pred) if pred == actual => {
                 self.counters.hits += 1;

@@ -158,8 +158,13 @@ impl<'a> AlarmReplayer<'a> {
     ///
     /// Propagates replay divergence/fault errors.
     pub fn resolve(&self, case: &AlarmCase) -> Result<(Verdict, ReplayOutcome), ReplayError> {
-        let mut replayer =
-            Replayer::from_checkpoint(self.spec, Arc::clone(&self.log), self.config.clone(), &case.checkpoint, true);
+        let mut replayer = Replayer::from_checkpoint(
+            self.spec,
+            Arc::clone(&self.log),
+            self.config.clone(),
+            &case.checkpoint,
+            true,
+        );
         replayer.stop_after_record(case.alarm_index);
         let outcome = replayer.run()?;
         let verdict = self.classify(case, &outcome);
@@ -177,12 +182,13 @@ impl<'a> AlarmReplayer<'a> {
             // The software RAS predicted this return correctly: bounded-
             // hardware artifact.
             None => Verdict::FalsePositive(FalsePositiveKind::HardwareCapacity),
-            Some(ShadowEventKind::UnderflowMatched) => Verdict::FalsePositive(FalsePositiveKind::MatchedEvict),
+            Some(ShadowEventKind::UnderflowMatched) => {
+                Verdict::FalsePositive(FalsePositiveKind::MatchedEvict)
+            }
             Some(ShadowEventKind::MismatchUnwound { frames }) => {
                 Verdict::FalsePositive(FalsePositiveKind::ImperfectNesting { unwound_frames: frames })
             }
-            Some(ShadowEventKind::UnderflowUnexplained)
-            | Some(ShadowEventKind::WhitelistViolation) => {
+            Some(ShadowEventKind::UnderflowUnexplained) | Some(ShadowEventKind::WhitelistViolation) => {
                 Verdict::RopAttack(Box::new(self.build_report(case, outcome, None)))
             }
             Some(ShadowEventKind::MismatchUnexplained { predicted }) => {

@@ -2,13 +2,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnr_hypervisor::{CycleAttribution, DiskDevice, Introspector, VmSpec};
 use rnr_isa::Addr;
-use rnr_log::{AlarmInfo, Category, InputLog, LogCursor, Record};
+use rnr_log::{AlarmInfo, Category, LogCursor, LogSource, Record};
 use rnr_machine::{
     CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
     RunBudget, IRQ_DISK, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR,
@@ -41,6 +40,9 @@ pub struct ReplayConfig {
     /// (`longjmp` implementations), identified from the binary images; the
     /// software RAS treats them as stack unwinds, not hijacks (§4.5).
     pub nesting_ret_sites: Vec<Addr>,
+    /// Use the predecoded instruction cache (wall-clock optimization; never
+    /// changes virtual cycles or digests).
+    pub decode_cache: bool,
     /// Sample the guest PC every `n` retired instructions — a heavier
     /// instrumentation level for re-running alarm replayers ("with
     /// increasing levels of instrumentation", §4.6.2) and for the DOS
@@ -60,6 +62,7 @@ impl Default for ReplayConfig {
             landing_seed: 0x1a5d,
             collect_cases: true,
             nesting_ret_sites: Vec::new(),
+            decode_cache: true,
             profile_sample_every: None,
         }
     }
@@ -90,6 +93,10 @@ pub struct AlarmCase {
     pub alarm: AlarmInfo,
     /// Index of the alarm record in the input log.
     pub alarm_index: usize,
+    /// The CR's own virtual clock when it processed the alarm record — the
+    /// measured CR position behind the recorded execution, used for the §8.4
+    /// detection window.
+    pub cr_cycle: u64,
 }
 
 /// Replay failures.
@@ -207,7 +214,7 @@ pub struct Replayer {
     backras: BackRasTable,
     current_tid: ThreadId,
     dying: Option<ThreadId>,
-    log: Arc<InputLog>,
+    source: LogSource,
     cursor: LogCursor,
     store: CheckpointStore,
     evict_store: HashMap<ThreadId, Vec<Addr>>,
@@ -233,16 +240,18 @@ pub struct Replayer {
 
 impl Replayer {
     /// A replayer starting from the initial VM state (the CR, §4.6.1).
-    pub fn new(spec: &VmSpec, log: Arc<InputLog>, cfg: ReplayConfig) -> Replayer {
+    ///
+    /// The log may be a complete [`Arc<InputLog>`] or a live
+    /// [`rnr_log::LogStream`] fed by a still-running recorder — replay is
+    /// identical either way; a streaming source simply blocks when it
+    /// catches up to the recorder.
+    pub fn new(spec: &VmSpec, log: impl Into<LogSource>, cfg: ReplayConfig) -> Replayer {
         let machine = MachineConfig {
             syscall_entry: spec.kernel.syscall_entry(),
             ras: RasConfig::replay(cfg.ras_capacity),
-            exits: ExitControls {
-                rdtsc_exiting: true,
-                evict_exiting: false,
-                callret_trap: cfg.callret,
-            },
+            exits: ExitControls { rdtsc_exiting: true, evict_exiting: false, callret_trap: cfg.callret },
             costs: cfg.costs,
+            decode_cache: cfg.decode_cache,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];
@@ -253,7 +262,8 @@ impl Replayer {
         vm.set_entry(spec.kernel.entry());
         vm.cpu_mut().ras.set_whitelists(spec.kernel.whitelists());
         let intro = Introspector::new(&spec.kernel);
-        Self::finish_setup(vm, spec, intro, log, cfg)
+        let disk = DiskDevice::new(spec.disk_bytes, spec.disk_seed);
+        Self::finish_setup(vm, intro, disk, log.into(), cfg)
     }
 
     /// A replayer resuming from a checkpoint (the AR, §4.6.2). When
@@ -261,7 +271,7 @@ impl Replayer {
     /// from the checkpoint's BackRAS.
     pub fn from_checkpoint(
         spec: &VmSpec,
-        log: Arc<InputLog>,
+        log: impl Into<LogSource>,
         cfg: ReplayConfig,
         checkpoint: &Checkpoint,
         shadow: bool,
@@ -269,12 +279,9 @@ impl Replayer {
         let machine = MachineConfig {
             syscall_entry: spec.kernel.syscall_entry(),
             ras: RasConfig::replay(cfg.ras_capacity),
-            exits: ExitControls {
-                rdtsc_exiting: true,
-                evict_exiting: false,
-                callret_trap: cfg.callret,
-            },
+            exits: ExitControls { rdtsc_exiting: true, evict_exiting: false, callret_trap: cfg.callret },
             costs: cfg.costs,
+            decode_cache: cfg.decode_cache,
             ..MachineConfig::default()
         };
         let mut vm = GuestVm::new(machine, &[]);
@@ -283,8 +290,10 @@ impl Replayer {
         vm.cpu_mut().ras.set_whitelists(spec.kernel.whitelists());
         vm.restore_counters(checkpoint.at_insn, checkpoint.at_cycle);
         let intro = Introspector::new(&spec.kernel);
-        let mut r = Self::finish_setup(vm, spec, intro, log, cfg);
-        r.disk = checkpoint.disk.clone();
+        // The checkpoint's disk replaces the boot image outright — building
+        // (and deterministically filling) a fresh one here would be pure
+        // waste, and it used to dominate alarm-replay setup time.
+        let mut r = Self::finish_setup(vm, intro, checkpoint.disk.clone(), log.into(), cfg);
         r.backras = checkpoint.backras.clone();
         r.current_tid = checkpoint.current_tid;
         r.dying = checkpoint.dying;
@@ -307,9 +316,9 @@ impl Replayer {
 
     fn finish_setup(
         mut vm: GuestVm,
-        spec: &VmSpec,
         intro: Introspector,
-        log: Arc<InputLog>,
+        disk: DiskDevice,
+        source: LogSource,
         cfg: ReplayConfig,
     ) -> Replayer {
         vm.add_breakpoint(intro.switch_sp_trap());
@@ -318,14 +327,14 @@ impl Replayer {
         let landing = StdRng::seed_from_u64(cfg.landing_seed);
         Replayer {
             vm,
-            disk: DiskDevice::new(spec.disk_bytes, spec.disk_seed),
+            disk,
             console: Vec::new(),
             intro,
             backras: BackRasTable::new(),
             current_tid: ThreadId(1),
             dying: None,
-            cursor: log.cursor(),
-            log,
+            cursor: LogCursor::new(0),
+            source,
             store: CheckpointStore::new(cfg.retain),
             evict_store: HashMap::new(),
             attribution: CycleAttribution::new(),
@@ -394,17 +403,18 @@ impl Replayer {
                 }
                 // Do not run past the audit point for records with a known
                 // injection/arrival instruction.
-                if let Some(at) = self.cursor.peek(&self.log).and_then(rnr_log::Record::at_insn) {
+                let idx = self.cursor.index();
+                if let Some(at) = self.source.get(idx).and_then(rnr_log::Record::at_insn) {
                     if at > stop {
                         self.run_to(stop)?;
                         return Ok(self.finish(None));
                     }
                 }
             }
-            let Some(record) = self.cursor.peek(&self.log).cloned() else {
+            let index = self.cursor.index();
+            let Some(record) = self.source.get(index).cloned() else {
                 return Err(ReplayError::UnexpectedEndOfLog);
             };
-            let index = self.cursor.index();
             match record {
                 Record::End { at_insn, .. } => {
                     self.run_to(at_insn)?;
@@ -471,7 +481,9 @@ impl Replayer {
                             self.charge(Category::PioMmio, self.cfg.costs.vmexit);
                             self.vm.finish_io(FinishIo::Read { rd, value });
                         }
-                        other => return Err(self.diverge_msg(format!("expected in({port:#x}), got {other:?}"))),
+                        other => {
+                            return Err(self.diverge_msg(format!("expected in({port:#x}), got {other:?}")))
+                        }
                     }
                     self.cursor.advance();
                 }
@@ -482,7 +494,9 @@ impl Replayer {
                             self.vm.finish_io(FinishIo::Read { rd, value });
                         }
                         other => {
-                            return Err(self.diverge_msg(format!("expected mmio read {addr:#x}, got {other:?}")))
+                            return Err(
+                                self.diverge_msg(format!("expected mmio read {addr:#x}, got {other:?}"))
+                            )
                         }
                     }
                     self.cursor.advance();
@@ -569,7 +583,12 @@ impl Replayer {
         if self.cfg.collect_cases {
             let checkpoint =
                 self.store.before(info.at_insn).cloned().expect("initial checkpoint always exists");
-            self.cases.push(AlarmCase { checkpoint, alarm: info, alarm_index: index });
+            self.cases.push(AlarmCase {
+                checkpoint,
+                alarm: info,
+                alarm_index: index,
+                cr_cycle: self.vm.cycles(),
+            });
         }
     }
 
@@ -649,7 +668,9 @@ impl Replayer {
     fn run_to_sync(&mut self) -> Result<Exit, ReplayError> {
         loop {
             let stop = self.next_profile_stop(None);
-            let exit = self.vm.run(RunBudget { until_retired: (stop != u64::MAX).then_some(stop), until_cycles: None });
+            let exit = self
+                .vm
+                .run(RunBudget { until_retired: (stop != u64::MAX).then_some(stop), until_cycles: None });
             match exit {
                 Exit::BudgetExhausted => self.take_profile_sample(),
                 Exit::Rdtsc { .. } | Exit::PioIn { .. } | Exit::MmioRead { .. } => return Ok(exit),
@@ -797,5 +818,4 @@ impl Replayer {
         }
         self.vm.skip_breakpoint_once();
     }
-
 }

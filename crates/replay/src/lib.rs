@@ -33,9 +33,9 @@ mod alarm;
 mod checkpoint;
 mod engine;
 
+pub use alarm::{resolve_jop, JopVerdict};
 pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
 pub use checkpoint::{Checkpoint, CheckpointStore};
-pub use alarm::{resolve_jop, JopVerdict};
 pub use engine::{AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, Replayer};
 
 /// Virtual cycles per "second" of guest time. The paper quotes checkpoint

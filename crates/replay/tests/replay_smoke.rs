@@ -18,7 +18,7 @@ fn record(w: Workload, insns: u64) -> (rnr_hypervisor::VmSpec, rnr_hypervisor::R
 fn all_workloads_replay_bit_exact() {
     for w in Workload::ALL {
         let (spec, rec) = record(w, 300_000);
-        let log = Arc::new(rec.log.clone());
+        let log = Arc::clone(&rec.log);
         let mut replayer = Replayer::new(&spec, log, ReplayConfig::default());
         replayer.verify_against(rec.final_digest);
         let out = replayer.run().unwrap_or_else(|e| panic!("{}: {e}", w.label()));
@@ -32,7 +32,7 @@ fn all_workloads_replay_bit_exact() {
 #[test]
 fn checkpointing_replay_is_slower_than_norec_but_comparable_to_rec() {
     let (spec, rec) = record(Workload::Fileio, 400_000);
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 4), ..ReplayConfig::default() };
     let out = Replayer::new(&spec, log, cfg).run().unwrap();
     assert!(out.checkpoints_taken >= 2, "expected periodic checkpoints, got {}", out.checkpoints_taken);
@@ -45,7 +45,7 @@ fn checkpointing_replay_is_slower_than_norec_but_comparable_to_rec() {
 #[test]
 fn rep_no_chk_takes_only_initial_checkpoint() {
     let (spec, rec) = record(Workload::Radiosity, 200_000);
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: None, ..ReplayConfig::default() };
     let mut r = Replayer::new(&spec, log, cfg);
     r.verify_against(rec.final_digest);
@@ -57,7 +57,7 @@ fn rep_no_chk_takes_only_initial_checkpoint() {
 #[test]
 fn kernel_callret_trapping_slows_replay_down() {
     let (spec, rec) = record(Workload::Mysql, 300_000);
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let plain = Replayer::new(
         &spec,
         Arc::clone(&log),
@@ -98,7 +98,7 @@ fn benign_apache_alarms_resolve_via_evict_matching() {
     rc.ras_capacity = 16;
     let rec = Recorder::new(&spec, rc).unwrap().run();
     assert!(rec.fault.is_none());
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { ras_capacity: 16, ..ReplayConfig::default() };
     let mut r = Replayer::new(&spec, log, cfg);
     r.verify_against(rec.final_digest);

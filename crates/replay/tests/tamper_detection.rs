@@ -15,7 +15,11 @@ fn recording() -> (rnr_hypervisor::VmSpec, rnr_hypervisor::RecordOutcome) {
     (spec, rec)
 }
 
-fn replay_with(spec: &rnr_hypervisor::VmSpec, log: InputLog, digest: rnr_machine::Digest) -> Result<Option<bool>, ReplayError> {
+fn replay_with(
+    spec: &rnr_hypervisor::VmSpec,
+    log: InputLog,
+    digest: rnr_machine::Digest,
+) -> Result<Option<bool>, ReplayError> {
     let mut r = Replayer::new(spec, Arc::new(log), ReplayConfig::default());
     r.verify_against(digest);
     r.run().map(|o| o.verified)
@@ -52,10 +56,8 @@ fn tampered_rng_value_fails_verification() {
 fn shifted_interrupt_injection_point_is_caught() {
     let (spec, rec) = recording();
     let mut records: Vec<Record> = rec.log.records().to_vec();
-    let idx = records
-        .iter()
-        .position(|r| matches!(r, Record::Interrupt { .. }))
-        .expect("timer interrupts exist");
+    let idx =
+        records.iter().position(|r| matches!(r, Record::Interrupt { .. })).expect("timer interrupts exist");
     if let Record::Interrupt { at_insn, .. } = &mut records[idx] {
         *at_insn += 37; // land the asynchronous event at the wrong instruction
     }

@@ -102,7 +102,9 @@ impl Workload {
                 "--file-total-size=6G --file-test-mode=rndrw --file-extra-flags=direct --max-requests=10000"
             }
             Workload::Make => "linux-4.0 config with all-no",
-            Workload::Mysql => "--test=oltp --oltp-test-mode=simple --max-requests=500000 --table-size=4000000",
+            Workload::Mysql => {
+                "--test=oltp --oltp-test-mode=simple --max-requests=500000 --table-size=4000000"
+            }
             Workload::Radiosity => "-p1 -bf 0.005 -batch -largeroom",
         }
     }
@@ -131,7 +133,8 @@ fn build_spec(kind: Workload, pv: bool, params: &WorkloadParams, vulnerable: boo
     let image = build_user_image(kind, params, vulnerable);
     let entry = |sym: &str| image.require_symbol(sym);
 
-    let mut spec = VmSpec::new(kernel, if vulnerable { "apache-vuln".to_string() } else { kind.label().to_string() });
+    let mut spec =
+        VmSpec::new(kernel, if vulnerable { "apache-vuln".to_string() } else { kind.label().to_string() });
     spec.timer_period = params.timer_period;
     spec.extra_images.push(image.clone());
 

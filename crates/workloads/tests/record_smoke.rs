@@ -44,12 +44,8 @@ fn apache_logs_network_payloads() {
 fn fileio_performs_disk_io() {
     let out = record(Workload::Fileio, RecordMode::Rec, 600_000);
     assert!(out.fault.is_none());
-    let interrupts = out
-        .log
-        .records()
-        .iter()
-        .filter(|r| matches!(r, rnr_log::Record::Interrupt { irq: 1, .. }))
-        .count();
+    let interrupts =
+        out.log.records().iter().filter(|r| matches!(r, rnr_log::Record::Interrupt { irq: 1, .. })).count();
     assert!(interrupts > 0, "disk completion interrupts expected");
 }
 

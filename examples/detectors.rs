@@ -22,9 +22,8 @@ fn main() {
     rc.jop_common_functions = Some(plan.hw_table_limit);
     let rec = Recorder::new(&spec, rc).expect("spec ok").run();
     println!("JOP: hardware table of {} functions; {} alarms recorded", plan.hw_table_limit, rec.alarms);
-    let out = Replayer::new(&spec, std::sync::Arc::new(rec.log.clone()), ReplayConfig::default())
-        .run()
-        .expect("replay");
+    let out =
+        Replayer::new(&spec, std::sync::Arc::clone(&rec.log), ReplayConfig::default()).run().expect("replay");
     let mut convicted = 0;
     for case in &out.jop_cases {
         match resolve_jop(&spec, case) {

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // that overflows the kernel's 128-byte message buffer (Figure 10),
     // chaining: pop r1; ret -> ld r9,[r1]; ret -> callr r9 -> grant_root.
     let (spec, plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000)?;
-    println!("attack mounted: G1={:#x} G2={:#x} G3={:#x} -> grant_root={:#x}", plan.g1, plan.g2, plan.g3, plan.grant_root);
+    println!(
+        "attack mounted: G1={:#x} G2={:#x} G3={:#x} -> grant_root={:#x}",
+        plan.g1, plan.g2, plan.g3, plan.grant_root
+    );
 
     let config = PipelineConfig {
         duration_insns: 900_000,
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let Verdict::RopAttack(rop) = &attack.verdict else { unreachable!() };
 
     println!("\n--- attack characterization (the §6 questions) ---");
-    println!("HOW:  buffer overflow in {:?}, return hijacked to {:#x}", rop.vulnerable_symbol, rop.actual_target);
+    println!(
+        "HOW:  buffer overflow in {:?}, return hijacked to {:#x}",
+        rop.vulnerable_symbol, rop.actual_target
+    );
     println!("WHO:  thread {} (live threads at the attack: {:?})", rop.tid, rop.threads);
     println!("WHAT: decoded gadget chain from the corrupted stack:");
     for g in rop.gadget_chain.iter().take(6) {
@@ -51,8 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let Some(w) = &report.detection {
-        println!("\ndetection window: {:.3} virtual seconds; log in window: {} bytes; checkpoints needed: {}",
-            w.window_secs, w.log_bytes_in_window, w.checkpoints_needed);
+        println!(
+            "\ndetection window: {:.3} virtual seconds; log in window: {} bytes; checkpoints needed: {}",
+            w.window_secs, w.log_bytes_in_window, w.checkpoints_needed
+        );
     }
     Ok(())
 }

@@ -20,10 +20,17 @@ fn main() -> Result<(), rnr_safe::PipelineError> {
     let report = Pipeline::new(spec, config).run()?;
 
     println!("workload:            {}", report.record.workload);
-    println!("recorded:            {} instructions in {} virtual cycles", report.record.retired, report.record.cycles);
+    println!(
+        "recorded:            {} instructions in {} virtual cycles",
+        report.record.retired, report.record.cycles
+    );
     println!("input log:           {} bytes", report.record.log_bytes);
     println!("replay verified:     {}", report.replay.verified);
-    println!("replay cycles:       {} ({:.2}x of recording)", report.replay.cycles, report.replay.cycles as f64 / report.record.cycles as f64);
+    println!(
+        "replay cycles:       {} ({:.2}x of recording)",
+        report.replay.cycles,
+        report.replay.cycles as f64 / report.record.cycles as f64
+    );
     println!("checkpoints taken:   {}", report.replay.checkpoints_taken);
     println!("alarms in log:       {}", report.record.alarms);
     println!("  cancelled by CR:   {}", report.replay.underflows_cancelled);

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The checkpointing replayer runs continuously, keeping a window of
     // checkpoints and escalating unresolved alarms.
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: Some(VIRTUAL_HZ / 8), ..ReplayConfig::default() };
     let mut cr = Replayer::new(&spec, Arc::clone(&log), cfg.clone());
     cr.verify_against(rec.final_digest);

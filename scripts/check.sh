@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI: format, lint, test. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo test --workspace -q --offline

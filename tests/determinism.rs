@@ -23,7 +23,7 @@ proptest! {
             .unwrap()
             .run();
         prop_assert!(rec.fault.is_none());
-        let mut r = Replayer::new(&spec, Arc::new(rec.log.clone()), ReplayConfig::default());
+        let mut r = Replayer::new(&spec, Arc::clone(&rec.log), ReplayConfig::default());
         r.verify_against(rec.final_digest);
         let out = r.run().unwrap();
         prop_assert_eq!(out.verified, Some(true));
@@ -51,7 +51,7 @@ proptest! {
 fn checkpoint_interval_does_not_change_replayed_state() {
     let spec = Workload::Fileio.spec(false);
     let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 7, 200_000)).unwrap().run();
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let mut digests = Vec::new();
     for interval in [None, Some(100_000), Some(400_000), Some(2_000_000)] {
         let cfg = ReplayConfig { checkpoint_interval: interval, ..ReplayConfig::default() };
@@ -70,7 +70,7 @@ fn replay_from_checkpoint_converges() {
     use rnr_workloads::WorkloadParams;
     let (spec, _plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
     let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, 700_000)).unwrap().run();
-    let log = Arc::new(rec.log.clone());
+    let log = Arc::clone(&rec.log);
     let cfg = ReplayConfig { checkpoint_interval: Some(400_000), ..ReplayConfig::default() };
     let cr = Replayer::new(&spec, Arc::clone(&log), cfg.clone()).run().unwrap();
     assert_eq!(cr.final_digest, rec.final_digest);

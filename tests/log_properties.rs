@@ -19,7 +19,15 @@ fn record_strategy() -> impl Strategy<Value = Record> {
             }
         ),
         (any::<u64>(), any::<u64>()).prop_map(|(tid, addr)| Record::Evict { tid: ThreadId(tid), addr }),
-        (any::<u64>(), any::<u64>(), proptest::option::of(any::<u64>()), any::<u64>(), 0u8..3, any::<u64>(), any::<u64>())
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u64>()),
+            any::<u64>(),
+            0u8..3,
+            any::<u64>(),
+            any::<u64>()
+        )
             .prop_map(|(tid, ret_pc, predicted, actual, kind, at_insn, at_cycle)| {
                 Record::Alarm(AlarmInfo {
                     tid: ThreadId(tid),

@@ -1,0 +1,112 @@
+//! Equivalence of the pipeline's host-side execution strategies: streaming
+//! vs sequential record+replay, AR pool sizes, and the decode cache are all
+//! wall-clock knobs — every one of them must leave the recorded log, the
+//! virtual-cycle figures, and the verdicts bit-identical.
+
+use std::sync::Arc;
+
+use rnr_attacks::mount_kernel_rop;
+use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+use rnr_log::log_channel;
+use rnr_safe::{Pipeline, PipelineConfig};
+use rnr_workloads::{Workload, WorkloadParams};
+
+/// A recorder with a live sink publishes exactly the log it keeps: the
+/// streamed copy is byte-identical to the recording's own.
+#[test]
+fn streamed_log_is_byte_identical() {
+    let spec = Workload::Mysql.spec(false);
+    let plain = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, 120_000)).unwrap().run();
+
+    let mut recorder = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 42, 120_000)).unwrap();
+    let (sink, stream) = log_channel(8);
+    recorder.stream_to(sink);
+    let consumer = std::thread::spawn(move || stream.into_log());
+    let streamed = recorder.run();
+    let side_channel = consumer.join().unwrap();
+
+    assert_eq!(plain.log.to_bytes(), streamed.log.to_bytes());
+    assert_eq!(side_channel.to_bytes(), streamed.log.to_bytes());
+    assert_eq!(plain.final_digest, streamed.final_digest);
+}
+
+/// Streaming and sequential pipelines produce byte-identical reports on a
+/// benign run.
+#[test]
+fn benign_pipeline_streaming_matches_sequential() {
+    let run = |streaming: bool| {
+        let spec = Workload::Mysql.spec(false);
+        let cfg = PipelineConfig { duration_insns: 250_000, streaming, ..PipelineConfig::default() };
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let streamed = run(true);
+    let sequential = run(false);
+    assert_eq!(streamed.to_json(), sequential.to_json());
+    assert_eq!(streamed.record.cycles, sequential.record.cycles);
+    assert_eq!(streamed.replay.cycles, sequential.replay.cycles);
+}
+
+/// On the mounted kernel-ROP attack, every host-side strategy — sequential
+/// phases, a bigger AR pool, no decode cache — reproduces the default
+/// (streaming) report exactly, verdicts and detection window included.
+#[test]
+fn attack_pipeline_equivalent_across_configs() {
+    let base_cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        ..PipelineConfig::default()
+    };
+    let run = |cfg: PipelineConfig| {
+        let (spec, _plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let base = run(base_cfg.clone());
+    assert!(base.attacks_confirmed() >= 1);
+    assert!(base.detection.is_some());
+
+    let sequential =
+        run(PipelineConfig { streaming: false, parallel_alarm_replay: false, ..base_cfg.clone() });
+    assert_eq!(base.to_json(), sequential.to_json(), "sequential record+replay diverged");
+
+    let pooled = run(PipelineConfig { ar_workers: 4, ..base_cfg.clone() });
+    assert_eq!(base.to_json(), pooled.to_json(), "AR pool size changed the report");
+
+    let no_cache = run(PipelineConfig { decode_cache: false, ..base_cfg });
+    assert_eq!(base.to_json(), no_cache.to_json(), "decode cache changed the report");
+}
+
+/// The decode cache changes nothing a benign pipeline can observe: digest
+/// verification passes and the report (cycles, alarm resolutions) is
+/// bit-identical with the cache off.
+#[test]
+fn benign_pipeline_decode_cache_equivalent() {
+    let run = |decode_cache: bool| {
+        let spec = Workload::Radiosity.spec(false);
+        let cfg = PipelineConfig { duration_insns: 200_000, decode_cache, ..PipelineConfig::default() };
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let cached = run(true);
+    let plain = run(false);
+    assert!(cached.replay.verified);
+    assert_eq!(cached.to_json(), plain.to_json());
+}
+
+/// `Arc`-shared logs replay without copies: two replayers can hold the same
+/// recording concurrently.
+#[test]
+fn shared_log_supports_concurrent_replayers() {
+    let spec = Workload::Fileio.spec(false);
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, 7, 100_000)).unwrap().run();
+    let digest = rec.final_digest;
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let log = Arc::clone(&rec.log);
+            let spec = &spec;
+            scope.spawn(move || {
+                let mut r = rnr_replay::Replayer::new(spec, log, rnr_replay::ReplayConfig::default());
+                r.verify_against(digest);
+                assert_eq!(r.run().unwrap().verified, Some(true));
+            });
+        }
+    });
+}

@@ -82,7 +82,7 @@ fn kernel_oops_terminates_thread_and_replay_verifies() {
     // Replay reproduces the oops bit-exactly.
     let mut r = rnr_replay::Replayer::new(
         &spec,
-        std::sync::Arc::new(rec.log.clone()),
+        std::sync::Arc::clone(&rec.log),
         rnr_replay::ReplayConfig::default(),
     );
     r.verify_against(rec.final_digest);
@@ -128,17 +128,16 @@ fn thread_id_reuse_is_clean() {
     // ...and the CR resolves every resulting underflow via evict matching:
     // nothing of this benign churn survives to an alarm replayer as an
     // attack.
-    let log = std::sync::Arc::new(rec.log.clone());
-    let out = rnr_replay::Replayer::new(&spec, std::sync::Arc::clone(&log), rnr_replay::ReplayConfig {
-        ras_capacity: 16,
-        ..rnr_replay::ReplayConfig::default()
-    })
+    let log = std::sync::Arc::clone(&rec.log);
+    let out = rnr_replay::Replayer::new(
+        &spec,
+        std::sync::Arc::clone(&log),
+        rnr_replay::ReplayConfig { ras_capacity: 16, ..rnr_replay::ReplayConfig::default() },
+    )
     .run()
     .unwrap();
-    let ar = rnr_replay::AlarmReplayer::new(&spec, log).with_config(rnr_replay::ReplayConfig {
-        ras_capacity: 16,
-        ..rnr_replay::ReplayConfig::default()
-    });
+    let ar = rnr_replay::AlarmReplayer::new(&spec, log)
+        .with_config(rnr_replay::ReplayConfig { ras_capacity: 16, ..rnr_replay::ReplayConfig::default() });
     for case in &out.alarm_cases {
         let (verdict, _) = ar.resolve(case).unwrap();
         assert!(!verdict.is_attack(), "churn misclassified: {:?} -> {verdict:?}", case.alarm);

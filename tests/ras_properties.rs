@@ -2,7 +2,9 @@
 //! on ("false negatives are not acceptable", §3.1).
 
 use proptest::prelude::*;
-use rnr_ras::{RasAttribution, RasConfig, RasOutcome, RasUnit, ShadowOutcome, ShadowRas, ThreadId, Whitelists};
+use rnr_ras::{
+    RasAttribution, RasConfig, RasOutcome, RasUnit, ShadowOutcome, ShadowRas, ThreadId, Whitelists,
+};
 
 /// A benign instruction stream: calls and returns generated from an explicit
 /// ground-truth stack, interleaved with context switches.

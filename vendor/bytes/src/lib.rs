@@ -1,0 +1,277 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset of the real API this workspace uses:
+//! [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] traits with
+//! little-endian accessors. `Bytes` is a cheaply-cloneable view into a
+//! shared buffer, as in the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable chunk of contiguous memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static slice (copied here; the distinction is irrelevant for
+    /// this stand-in).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Bytes remaining in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of `range` (relative to this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        Bytes { data: Arc::clone(&self.data), start: self.start + range.start, end: self.start + range.end }
+    }
+
+    /// Splits off and returns the first `n` bytes, advancing `self` past
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.slice(0..n);
+        self.start += n;
+        head
+    }
+
+    /// Copies the view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer, frozen into [`Bytes`] when complete.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Read access to a byte cursor (the subset of `bytes::Buf` used here).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.as_slice()[0];
+        self.start += 1;
+        b
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.as_slice()[..2].try_into().unwrap());
+        self.start += 2;
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.as_slice()[..4].try_into().unwrap());
+        self.start += 4;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.as_slice()[..8].try_into().unwrap());
+        self.start += 8;
+        v
+    }
+}
+
+/// Write access to a byte buffer (the subset of `bytes::BufMut` used here).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.inner.extend_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_views() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16_le(0x1234);
+        m.put_u32_le(0xdead_beef);
+        m.put_u64_le(42);
+        m.put_slice(&[1, 2, 3]);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 3);
+        let whole = b.clone();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16_le(), 0x1234);
+        assert_eq!(b.get_u32_le(), 0xdead_beef);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.split_to(2).to_vec(), vec![1, 2]);
+        assert_eq!(b.remaining(), 1);
+        assert!(b.has_remaining());
+        assert_eq!(whole.slice(0..1).to_vec(), vec![7]);
+    }
+}

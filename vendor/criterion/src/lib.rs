@@ -1,0 +1,144 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Runs each registered benchmark for a short, fixed wall-clock window and
+//! prints mean time per iteration. No statistics, plots, or baselines —
+//! just enough to keep `cargo bench` useful for spotting order-of-magnitude
+//! regressions offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (API-compatible subset).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { _criterion: self, throughput: None }
+    }
+}
+
+/// A named collection of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput (printed alongside timings).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the stub's
+    /// fixed measurement window makes it a no-op).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures `f`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { total: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        let per_iter = if bencher.iters > 0 { bencher.total / bencher.iters as u32 } else { Duration::ZERO };
+        let rate = match (self.throughput, per_iter.as_nanos()) {
+            (Some(Throughput::Bytes(b)), ns) if ns > 0 => {
+                format!("  {:.1} MiB/s", b as f64 / (1 << 20) as f64 / (ns as f64 / 1e9))
+            }
+            (Some(Throughput::Elements(e)), ns) if ns > 0 => {
+                format!("  {:.0} elem/s", e as f64 / (ns as f64 / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: {per_iter:?}/iter ({} iters){rate}", bencher.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Measurement window per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Passed to each benchmark closure to drive timed iterations.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` until the measurement window closes.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            std::hint::black_box(f());
+            self.iters += 1;
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup time excluded).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let window = Instant::now();
+        while window.elapsed() < TARGET {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,612 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Provides seeded random-input testing with the subset of the proptest API
+//! this workspace uses: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, ranges and tuples as strategies, [`prop_oneof!`] (weighted),
+//! `prop::collection::vec`, `prop::sample`, `option::of`, `any`, and
+//! [`test_runner::TestRunner`]. No shrinking: a failing case reports the
+//! exact input that failed (runs are deterministic, so it reproduces).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator for test inputs (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer types usable in range strategies and [`any`].
+pub trait ArbitraryInt: Copy {
+    /// Widens to `u64`.
+    fn to_u64(self) -> u64;
+    /// Narrows from `u64`.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ArbitraryInt> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(lo.wrapping_add(rng.below(hi.wrapping_sub(lo))))
+    }
+}
+
+impl<T: ArbitraryInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        let span = hi.wrapping_sub(lo);
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo.wrapping_add(rng.below(span + 1)))
+    }
+}
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds it.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy behind [`any`] for primitives.
+#[derive(Debug, Clone, Default)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+/// A weighted union of strategies (what [`prop_oneof!`] builds).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// A union over weighted boxed arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty or all weights are zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0, "prop_oneof needs weight");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum checked in constructor")
+    }
+}
+
+/// Chooses between strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A size specification: fixed or ranged.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.hi > self.size.lo {
+                self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+            } else {
+                self.size.lo
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{AnyPrim, Arbitrary, Strategy, TestRng};
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// This index, reduced into `[0, len)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Strategy for AnyPrim<Index> {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyPrim<Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrim(std::marker::PhantomData)
+        }
+    }
+
+    /// See [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// A strategy drawing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at generation time) when `options` is empty.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy producing `None` about a quarter of the time, `Some`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Test-execution configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+    /// Base RNG seed (cases perturb it deterministically).
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, seed: 0x524e_5253_4146_4531 }
+    }
+}
+
+/// Test-runner types.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestCaseError, TestRunner};
+    /// Config alias, as re-exported by the real crate.
+    pub type Config = ProptestConfig;
+}
+
+/// A failed test case (from `prop_assert!` or an explicit rejection).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: msg.into() }
+    }
+
+    /// A rejected (filtered-out) case, treated as a skip.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError { msg: format!("rejected: {}", msg.into()) }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Drives a strategy through many random cases.
+#[derive(Debug, Clone, Default)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with `config`.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `cases` random draws from `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure, annotated with the input that caused it.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> Result<(), String>
+    where
+        S::Value: Debug + Clone,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::new(self.config.seed.wrapping_add(0x1000 * case as u64));
+            let input = strategy.generate(&mut rng);
+            if let Err(e) = test(input.clone()) {
+                return Err(format!("case {case} failed: {e}\ninput: {input:#?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Asserts inside a proptest closure, returning a failure instead of
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest closure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Inequality assertion inside a proptest closure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new($config);
+            let result = runner.run(&($($strat,)+), |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(e) = result {
+                panic!("{}", e);
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// The common imports, like `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop::` module path used in strategy expressions.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut runner = crate::TestRunner::default();
+        runner
+            .run(&(0u64..10, 5u8..=6).prop_map(|(a, b)| (a, b)), |(a, b)| {
+                prop_assert!(a < 10);
+                prop_assert!(b == 5 || b == 6);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let strat = prop_oneof![10 => Just(1u32), 1 => Just(2u32)];
+        let mut rng = crate::TestRng::new(7);
+        let draws: Vec<u32> = (0..200).map(|_| crate::Strategy::generate(&strat, &mut rng)).collect();
+        let ones = draws.iter().filter(|&&v| v == 1).count();
+        assert!(ones > 150, "weighted arm should dominate, got {ones}/200");
+        assert!(draws.contains(&2), "light arm must still appear");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_form_compiles_and_runs(v in prop::collection::vec(any::<u8>(), 0..10), pick in any::<prop::sample::Index>()) {
+            prop_assert!(v.len() < 10);
+            if !v.is_empty() {
+                let _ = v[pick.index(v.len())];
+            }
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Uses a value-tree model (like `miniserde`): [`Serialize`] lowers a type
+//! to a [`Value`] tree and [`Deserialize`] rebuilds it, with `serde_json`
+//! (the sibling stub) handling text. The derive macros live in
+//! `serde_derive` and generate externally-tagged enum encodings matching
+//! upstream serde's JSON conventions, so session files and reports keep the
+//! shape the real crate would produce.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A dynamically-typed serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` when absent or not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON (matches what `serde_json::to_string` renders).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::F64(n) if n.is_finite() => write!(f, "{n:?}"),
+            Value::F64(_) => write!(f, "null"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(entries) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Types lowerable to a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `value` has the wrong shape.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::msg(format!("expected {expected}, got {got:?}")))
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_u64().ok_or_else(|| Error::msg(format!(
+                    concat!("expected ", stringify!($t), ", got {:?}"), value)))?;
+                <$t>::try_from(v).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        Value::U64(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_u64().ok_or_else(|| Error::msg(format!("expected u64, got {value:?}")))
+    }
+}
+
+macro_rules! ser_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::I64(v) } else { Value::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_i64().ok_or_else(|| Error::msg(format!(
+                    concat!("expected ", stringify!($t), ", got {:?}"), value)))?;
+                <$t>::try_from(v).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::msg(format!("expected f64, got {value:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize_value(value)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::msg(format!("expected bool, got {value:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => type_err("char", value),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(value)?;
+        <[T; N]>::try_from(items).map_err(|v| Error::msg(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                Ok(($($name::deserialize_value(
+                    items.get($idx).ok_or_else(|| Error::msg("tuple too short"))?)?,)+))
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Renders a map key (JSON object keys must be strings).
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Reparses a map key written by [`key_to_string`].
+fn key_from_string(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        Value::U64(n)
+    } else if let Ok(n) = s.parse::<i64>() {
+        Value::I64(n)
+    } else if s == "true" {
+        Value::Bool(true)
+    } else if s == "false" {
+        Value::Bool(false)
+    } else {
+        Value::String(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_to_string(&k.serialize_value()), v.serialize_value())).collect();
+        // Deterministic output regardless of hash iteration order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| Error::msg("expected object map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::deserialize_value(&key_from_string(k))?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(&k.serialize_value()), v.serialize_value())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| Error::msg("expected object map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::deserialize_value(&key_from_string(k))?, V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Support code used by the generated derive impls (not public API).
+pub mod __private {
+    pub use super::{Deserialize, Error, Serialize, Value};
+
+    /// Looks up `key` in a derived struct's object, treating a missing key
+    /// as `Null` (lenient, like `#[serde(default)]` for options).
+    pub fn field<'v>(value: &'v Value, key: &str) -> &'v Value {
+        static NULL: Value = Value::Null;
+        value.get(key).unwrap_or(&NULL)
+    }
+
+    /// Fails unless `value` is an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming `ty` otherwise.
+    pub fn want_object(value: &Value, ty: &str) -> Result<(), Error> {
+        if value.as_object().is_some() {
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected object for {ty}, got {value:?}")))
+        }
+    }
+}

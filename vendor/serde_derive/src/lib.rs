@@ -1,0 +1,509 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls against serde's value-tree
+//! model without `syn`/`quote`: the input item is re-lexed from its token
+//! stream's string form, which is sufficient because the workspace uses no
+//! `#[serde(...)]` attributes — only plain named-field structs, tuple
+//! structs, and externally-tagged enums.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(&input.to_string());
+    item.serialize_impl().parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(&input.to_string());
+    item.deserialize_impl().parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Lexing
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Lifetime(String),
+    Literal(String),
+    Punct(char),
+}
+
+fn lex(src: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            // Line comment (doc comments surface verbatim in the token
+            // stream's string form).
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                i += 1;
+            }
+            i = (i + 2).min(chars.len());
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c == '"' {
+            // String literal (appears only inside stripped attributes).
+            let start = i;
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            toks.push(Tok::Literal(chars[start..i.min(chars.len())].iter().collect()));
+        } else if c == '\'' {
+            // Lifetime ('a) or char literal ('x') — char literals only occur
+            // inside attributes, which the parser strips wholesale.
+            if i + 1 < chars.len()
+                && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                && !(i + 2 < chars.len() && chars[i + 2] == '\'')
+            {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Lifetime(chars[start..i].iter().collect()));
+            } else {
+                // Char literal: skip to the closing quote.
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i += 1;
+                toks.push(Tok::Literal(chars[start..i.min(chars.len())].iter().collect()));
+            }
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+fn depth_delta(t: &Tok) -> i32 {
+    match t {
+        Tok::Punct('(' | '[' | '{' | '<') => 1,
+        Tok::Punct(')' | ']' | '}' | '>') => -1,
+        _ => 0,
+    }
+}
+
+/// Splits `toks` at top-level commas (all bracket kinds tracked).
+fn split_commas(toks: &[Tok]) -> Vec<&[Tok]> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        depth += depth_delta(t);
+        if depth == 0 && *t == Tok::Punct(',') {
+            parts.push(&toks[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < toks.len() {
+        parts.push(&toks[start..]);
+    }
+    parts
+}
+
+/// Drops leading `#[...]` attribute groups and `pub`/`pub(...)` qualifiers.
+fn strip_prefix_noise(mut toks: &[Tok]) -> &[Tok] {
+    loop {
+        match toks {
+            [Tok::Punct('#'), Tok::Punct('['), rest @ ..] => {
+                let mut depth = 1;
+                let mut i = 0;
+                while i < rest.len() && depth > 0 {
+                    match rest[i] {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                toks = &rest[i..];
+            }
+            [Tok::Ident(kw), Tok::Punct('('), rest @ ..] if kw == "pub" => {
+                let mut depth = 1;
+                let mut i = 0;
+                while i < rest.len() && depth > 0 {
+                    match rest[i] {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                toks = &rest[i..];
+            }
+            [Tok::Ident(kw), rest @ ..] if kw == "pub" => toks = rest,
+            _ => return toks,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields (only the arity matters).
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    /// Generic parameter list verbatim (with bounds), e.g. `'a, T: Clone`.
+    impl_generics: String,
+    /// Generic argument list (names only), e.g. `'a, T`.
+    ty_generics: String,
+    /// Type parameter names needing `Serialize`/`Deserialize` bounds.
+    type_params: Vec<String>,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+impl Item {
+    fn parse(src: &str) -> Item {
+        let toks = lex(src);
+        let toks = strip_prefix_noise(&toks);
+        let (is_enum, rest) = match toks {
+            [Tok::Ident(kw), rest @ ..] if kw == "struct" => (false, rest),
+            [Tok::Ident(kw), rest @ ..] if kw == "enum" => (true, rest),
+            other => panic!("serde derive: expected struct or enum, got {other:?}"),
+        };
+        let (name, mut rest) = match rest {
+            [Tok::Ident(n), rest @ ..] => (n.clone(), rest),
+            other => panic!("serde derive: expected item name, got {other:?}"),
+        };
+
+        let mut impl_generics = String::new();
+        let mut ty_generics = String::new();
+        let mut type_params = Vec::new();
+        if let [Tok::Punct('<'), after @ ..] = rest {
+            let mut depth = 1;
+            let mut i = 0;
+            while i < after.len() && depth > 0 {
+                depth += depth_delta(&after[i]);
+                if depth > 0 {
+                    i += 1;
+                }
+            }
+            let params = &after[..i];
+            rest = &after[i + 1..];
+            impl_generics = render(params);
+            let names: Vec<String> = split_commas(params)
+                .iter()
+                .filter_map(|p| match p.first() {
+                    Some(Tok::Lifetime(l)) => Some(l.clone()),
+                    Some(Tok::Ident(kw)) if kw == "const" => match p.get(1) {
+                        Some(Tok::Ident(n)) => Some(n.clone()),
+                        _ => None,
+                    },
+                    Some(Tok::Ident(n)) => {
+                        type_params.push(n.clone());
+                        Some(n.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            ty_generics = names.join(", ");
+        }
+
+        let kind = if is_enum {
+            let body = brace_body(rest);
+            let variants = split_commas(body)
+                .into_iter()
+                .map(|v| {
+                    let v = strip_prefix_noise(v);
+                    let name = match v.first() {
+                        Some(Tok::Ident(n)) => n.clone(),
+                        other => panic!("serde derive: expected variant name, got {other:?}"),
+                    };
+                    let fields = match v.get(1) {
+                        Some(Tok::Punct('{')) => Fields::Named(named_field_names(&v[2..v.len() - 1])),
+                        Some(Tok::Punct('(')) => Fields::Tuple(split_commas(&v[2..v.len() - 1]).len()),
+                        // `Variant = disc` or bare `Variant`.
+                        _ => Fields::Unit,
+                    };
+                    (name, fields)
+                })
+                .collect();
+            ItemKind::Enum(variants)
+        } else {
+            match rest.first() {
+                Some(Tok::Punct('{')) => {
+                    let body = brace_body(rest);
+                    ItemKind::Struct(Fields::Named(named_field_names(body)))
+                }
+                Some(Tok::Punct('(')) => {
+                    let mut depth = 0;
+                    let close = rest
+                        .iter()
+                        .position(|t| {
+                            depth += depth_delta(t);
+                            depth == 0
+                        })
+                        .expect("unclosed tuple struct");
+                    ItemKind::Struct(Fields::Tuple(split_commas(&rest[1..close]).len()))
+                }
+                _ => ItemKind::Struct(Fields::Unit),
+            }
+        };
+        Item { name, impl_generics, ty_generics, type_params, kind }
+    }
+
+    fn impl_header(&self, trait_name: &str) -> String {
+        let bounds: Vec<String> =
+            self.type_params.iter().map(|p| format!("{p}: ::serde::{trait_name}")).collect();
+        let where_clause =
+            if bounds.is_empty() { String::new() } else { format!(" where {}", bounds.join(", ")) };
+        if self.impl_generics.is_empty() {
+            format!("impl ::serde::{trait_name} for {}{where_clause}", self.name)
+        } else {
+            format!(
+                "impl<{}> ::serde::{trait_name} for {}<{}>{where_clause}",
+                self.impl_generics, self.name, self.ty_generics
+            )
+        }
+    }
+
+    fn serialize_impl(&self) -> String {
+        let body = match &self.kind {
+            ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+            ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+            ItemKind::Struct(Fields::Tuple(n)) => {
+                let elems: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::serialize_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+            ItemKind::Struct(Fields::Named(fields)) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))"))
+                    .collect();
+                format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+            }
+            ItemKind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|(v, fields)| {
+                        let name = &self.name;
+                        match fields {
+                            Fields::Unit => format!(
+                                "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),"
+                            ),
+                            Fields::Tuple(1) => format!(
+                                "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize_value(f0))]),"
+                            ),
+                            Fields::Tuple(n) => {
+                                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                                let elems: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::serialize_value(f{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                    binds.join(", "),
+                                    elems.join(", ")
+                                )
+                            }
+                            Fields::Named(fs) => {
+                                let binds = fs.join(", ");
+                                let entries: Vec<String> = fs
+                                    .iter()
+                                    .map(|f| {
+                                        format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value({f}))")
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        };
+        format!(
+            "{} {{ fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}",
+            self.impl_header("Serialize")
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            ItemKind::Struct(Fields::Unit) => format!("Ok({name})"),
+            ItemKind::Struct(Fields::Tuple(1)) => {
+                format!("Ok({name}(::serde::Deserialize::deserialize_value(value)?))")
+            }
+            ItemKind::Struct(Fields::Tuple(n)) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = value.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?; Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            ItemKind::Struct(Fields::Named(fields)) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize_value(::serde::__private::field(value, \"{f}\")).map_err(|e| ::serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::__private::want_object(value, \"{name}\")?; Ok({name} {{ {} }})",
+                    inits.join(" ")
+                )
+            }
+            ItemKind::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, f)| matches!(f, Fields::Unit))
+                    .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .map(|(v, fields)| match fields {
+                        Fields::Unit => format!("\"{v}\" => Ok({name}::{v}),"),
+                        Fields::Tuple(1) => format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{v}\" => {{ let items = inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{v}\"))?; Ok({name}::{v}({})) }}",
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize_value(::serde::__private::field(inner, \"{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{v}\" => Ok({name}::{v} {{ {} }}),",
+                                inits.join(" ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match value {{ \
+                        ::serde::Value::String(s) => match s.as_str() {{ {} _ => Err(::serde::Error::msg(format!(\"unknown {name} variant {{s}}\"))) }}, \
+                        ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                            let (tag, inner) = &entries[0]; let _ = inner; \
+                            match tag.as_str() {{ {} _ => Err(::serde::Error::msg(format!(\"unknown {name} variant {{tag}}\"))) }} \
+                        }}, \
+                        other => Err(::serde::Error::msg(format!(\"expected {name}, got {{other:?}}\"))) \
+                    }}",
+                    unit_arms.join(" "),
+                    tagged_arms.join(" ")
+                )
+            }
+        };
+        format!(
+            "{} {{ fn deserialize_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}",
+            self.impl_header("Deserialize")
+        )
+    }
+}
+
+/// The tokens inside the outermost `{ ... }` of `toks`.
+fn brace_body(toks: &[Tok]) -> &[Tok] {
+    let open = toks.iter().position(|t| *t == Tok::Punct('{')).expect("expected braced body");
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return &toks[open + 1..i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unclosed braced body");
+}
+
+/// Field names from a named-field body (`a: T, pub b: U, ...`).
+fn named_field_names(body: &[Tok]) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .filter_map(|field| {
+            let field = strip_prefix_noise(field);
+            match field.first() {
+                Some(Tok::Ident(n)) => Some(n.clone()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn render(toks: &[Tok]) -> String {
+    let mut out = String::new();
+    for t in toks {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match t {
+            Tok::Ident(s) | Tok::Lifetime(s) | Tok::Literal(s) => out.push_str(s),
+            Tok::Punct(c) => out.push(*c),
+        }
+    }
+    out
+}

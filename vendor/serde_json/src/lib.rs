@@ -1,0 +1,403 @@
+//! Minimal offline stand-in for `serde_json`: renders and parses the
+//! [`Value`] tree of the sibling `serde` stub as JSON text.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Deserialize, Error, Serialize, Value};
+
+/// Lowers any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serializes to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for this stand-in; the `Result` mirrors the real API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&to_value(value), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for this stand-in; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&to_value(value), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for this stand-in; the `Result` mirrors the real API.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser { src: s.as_bytes(), pos: 0 }.parse_document()?;
+    T::deserialize_value(&value)
+}
+
+/// Parses JSON bytes into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    from_str(std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid utf-8: {e}")))?)
+}
+
+/// Builds a [`Value`] from JSON-ish literal syntax (object/array forms with
+/// expression values — the subset the workspace uses).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::to_value(&$value)) ),* ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+fn render(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(n) => {
+            if n.is_finite() {
+                // `{:?}` keeps a decimal point on round floats ("1.0"), so
+                // numbers re-parse as floats, matching serde_json.
+                let _ = write!(out, "{n:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => render_seq(out, indent, level, items.is_empty(), '[', ']', |out| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, level + 1, i > 0);
+                render(item, out, indent, level + 1);
+            }
+        }),
+        Value::Object(entries) => render_seq(out, indent, level, entries.is_empty(), '{', '}', |out| {
+            for (i, (k, item)) in entries.iter().enumerate() {
+                sep(out, indent, level + 1, i > 0);
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, out, indent, level + 1);
+            }
+        }),
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if empty {
+        out.push(close);
+        return;
+    }
+    body(out);
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, level: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.src.len() {
+            return Err(Error::msg(format!("trailing bytes at offset {}", self.pos)));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.src.get(self.pos) {
+            if b" \t\r\n".contains(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.src.get(self.pos).copied().ok_or_else(|| Error::msg("unexpected end of JSON"))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b't' | b'f' | b'n' => {
+                if self.eat_word("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_word("false") {
+                    Ok(Value::Bool(false))
+                } else if self.eat_word("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::msg(format!("bad literal at offset {}", self.pos)))
+                }
+            }
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.eat(b':')?;
+            entries.push((key, self.parse_value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => return Err(Error::msg(format!("expected `,` or `}}`, got `{}`", other as char))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::msg(format!("expected `,` or `]`, got `{}`", other as char))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.src.get(self.pos).ok_or_else(|| Error::msg("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.src.get(self.pos).ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::msg("short \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(Error::msg(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Re-sync to a char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.src.len() && self.src[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.src[start..end])
+                        .map_err(|e| Error::msg(format!("invalid utf-8 in string: {e}")))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.src.get(self.pos) {
+            if b.is_ascii_digit() || b"+-.eE".contains(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| Error::msg("bad number"))?;
+        if text.is_empty() {
+            return Err(Error::msg(format!("expected value at offset {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_structure() {
+        let v = json!({
+            "a": 1u64,
+            "b": -2i64,
+            "c": 1.5f64,
+            "s": "hi \"there\"\n",
+            "arr": vec![1u64, 2, 3],
+            "none": Option::<u64>::None,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["a"].as_u64(), Some(1));
+        assert_eq!(back["s"].as_str(), Some("hi \"there\"\n"));
+        assert_eq!(back["arr"][2].as_u64(), Some(3));
+        assert_eq!(back["none"], Value::Null);
+    }
+
+    #[test]
+    fn floats_keep_their_point() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert!((back - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("nulll").is_err());
+    }
+}
