@@ -5,6 +5,11 @@
 //! configurations, which is what makes the wall-clock comparison fair.
 //!
 //! Writes `BENCH_pipeline.json` at the repository root.
+//!
+//! With `--check`, runs only the attack comparison and gates against the
+//! committed `BENCH_pipeline.json`: exits nonzero if the baseline and
+//! optimized reports differ, or if the measured speedup regresses more than
+//! 10% below the committed figure. The committed file is left untouched.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,6 +48,10 @@ struct Doc {
     insns_per_workload: u64,
     phases: Vec<PhaseTimes>,
     attack: AttackComparison,
+    /// Block-cache counters (recorder + CR + ARs summed) of one optimized
+    /// attack run. Diagnostics: these live outside the report JSON that the
+    /// equivalence assertions compare.
+    block_cache: rnr_machine::BlockStats,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -81,13 +90,26 @@ fn phase_times(workload: rnr_workloads::Workload, insns: u64) -> PhaseTimes {
     }
 }
 
-/// Runs the attack pipeline under `cfg` three times and reports the median
+/// One attack-pipeline measurement: the deterministic report plus the best
+/// wall-clock over the repeats.
+struct AttackRun {
+    json: String,
+    attacks: usize,
+    window: Option<u64>,
+    best_ms: f64,
+    block_stats: rnr_machine::BlockStats,
+}
+
+/// Runs the attack pipeline under `cfg` five times and reports the *best*
 /// wall-clock (the report itself is deterministic, asserted identical across
-/// iterations), so one noisy run cannot skew the comparison.
-fn attack_run(cfg: PipelineConfig) -> (String, usize, Option<u64>, f64) {
+/// iterations). Best-of-N is the estimator least contaminated by scheduler
+/// noise, which matters on small single-core runners; both configurations
+/// use it, so the comparison stays fair.
+fn attack_run(cfg: PipelineConfig) -> AttackRun {
     let mut times = Vec::new();
     let mut result = None;
-    for _ in 0..3 {
+    let mut block_stats = rnr_machine::BlockStats::default();
+    for _ in 0..5 {
         let (spec, _plan) =
             rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
         let t = Instant::now();
@@ -95,6 +117,7 @@ fn attack_run(cfg: PipelineConfig) -> (String, usize, Option<u64>, f64) {
         times.push(ms(t));
         let window = report.detection.as_ref().map(|d| d.window_cycles);
         let outcome = (report.to_json(), report.attacks_confirmed(), window);
+        block_stats = report.block_stats;
         if let Some(prev) = &result {
             assert_eq!(prev, &outcome, "pipeline must be deterministic across repeats");
         } else {
@@ -102,11 +125,90 @@ fn attack_run(cfg: PipelineConfig) -> (String, usize, Option<u64>, f64) {
         }
     }
     times.sort_by(f64::total_cmp);
-    let (json, attacks, window) = result.expect("three runs completed");
-    (json, attacks, window, times[times.len() / 2])
+    let (json, attacks, window) = result.expect("five runs completed");
+    AttackRun { json, attacks, window, best_ms: times[0], block_stats }
+}
+
+/// Baseline and optimized attack configurations (shared by measurement and
+/// `--check` so the gate reruns exactly the committed methodology).
+fn attack_configs() -> (PipelineConfig, PipelineConfig) {
+    // Long enough that per-instruction execution dominates fixed setup
+    // (VM construction, image load, log plumbing) — the knobs under test
+    // only affect the former.
+    let optimized = PipelineConfig {
+        duration_insns: 5_000_000,
+        checkpoint_interval_secs: Some(0.05),
+        ..PipelineConfig::default()
+    };
+    let baseline = PipelineConfig {
+        streaming: false,
+        decode_cache: false,
+        block_engine: false,
+        parallel_alarm_replay: false,
+        ar_workers: 1,
+        ..optimized.clone()
+    };
+    (baseline, optimized)
+}
+
+/// Measures the attack comparison, asserting report equivalence.
+fn attack_comparison() -> (AttackComparison, rnr_machine::BlockStats) {
+    let (baseline_cfg, optimized_cfg) = attack_configs();
+    let base = attack_run(baseline_cfg);
+    let opt = attack_run(optimized_cfg);
+    assert_eq!(base.json, opt.json, "baseline and optimized reports must be identical");
+    assert_eq!(base.attacks, opt.attacks);
+    assert_eq!(base.window, opt.window);
+    let cmp = AttackComparison {
+        baseline_ms: base.best_ms,
+        optimized_ms: opt.best_ms,
+        speedup: base.best_ms / opt.best_ms,
+        reports_identical: true,
+        attacks_confirmed: opt.attacks,
+        window_cycles: opt.window,
+    };
+    (cmp, opt.block_stats)
+}
+
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+
+/// `--check`: quick CI gate. Reruns the attack comparison (report
+/// equivalence is asserted inside) and fails if the measured speedup drops
+/// more than 10% below the committed `BENCH_pipeline.json` figure.
+fn check() {
+    let committed: serde_json::Value = serde_json::from_str(
+        &std::fs::read_to_string(BENCH_PATH).expect("read committed BENCH_pipeline.json"),
+    )
+    .expect("committed BENCH_pipeline.json parses");
+    let committed_speedup =
+        committed["attack"]["speedup"].as_f64().expect("committed attack.speedup present");
+
+    let (attack, _) = attack_comparison();
+    println!(
+        "check: reports_identical={} speedup={:.2}x (committed {:.2}x, floor {:.2}x)",
+        attack.reports_identical,
+        attack.speedup,
+        committed_speedup,
+        committed_speedup * 0.9,
+    );
+    if !attack.reports_identical {
+        eprintln!("check FAILED: baseline and optimized reports differ");
+        std::process::exit(1);
+    }
+    if attack.speedup < committed_speedup * 0.9 {
+        eprintln!(
+            "check FAILED: attack-pipeline speedup {:.2}x regressed >10% below committed {:.2}x",
+            attack.speedup, committed_speedup
+        );
+        std::process::exit(1);
+    }
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
     let insns = run_insns();
     let phases: Vec<PhaseTimes> = rnr_bench::workloads().into_iter().map(|w| phase_times(w, insns)).collect();
 
@@ -122,52 +224,31 @@ fn main() {
     }
     emit("Pipeline phase wall-clock (optimized)", &t);
 
-    let attack_cfg = PipelineConfig {
-        duration_insns: 3_000_000,
-        checkpoint_interval_secs: Some(0.05),
-        ..PipelineConfig::default()
-    };
-    let baseline_cfg = PipelineConfig {
-        streaming: false,
-        decode_cache: false,
-        parallel_alarm_replay: false,
-        ar_workers: 1,
-        ..attack_cfg.clone()
-    };
-    let (base_json, base_attacks, base_window, baseline_ms) = attack_run(baseline_cfg);
-    let (opt_json, opt_attacks, opt_window, optimized_ms) = attack_run(attack_cfg);
-    assert_eq!(base_json, opt_json, "baseline and optimized reports must be identical");
-    assert_eq!(base_attacks, opt_attacks);
-    assert_eq!(base_window, opt_window);
-    let attack = AttackComparison {
-        baseline_ms,
-        optimized_ms,
-        speedup: baseline_ms / optimized_ms,
-        reports_identical: true,
-        attacks_confirmed: opt_attacks,
-        window_cycles: opt_window,
-    };
+    let (attack, block_cache) = attack_comparison();
 
     let mut t = Table::new(&["config", "wall ms", "speedup", "attacks", "window cycles"]);
     t.row(vec![
-        "baseline (no streaming, no decode cache, 1 AR)".into(),
-        format!("{baseline_ms:.1}"),
+        "baseline (no streaming, no caches, stepped, 1 AR)".into(),
+        format!("{:.1}", attack.baseline_ms),
         "1.00x".into(),
         attack.attacks_confirmed.to_string(),
         attack.window_cycles.map_or("-".into(), |w| w.to_string()),
     ]);
     t.row(vec![
-        "optimized (streaming + decode cache + AR pool)".into(),
-        format!("{optimized_ms:.1}"),
+        "optimized (streaming + block engine + AR pool)".into(),
+        format!("{:.1}", attack.optimized_ms),
         format!("{:.2}x", attack.speedup),
         attack.attacks_confirmed.to_string(),
         attack.window_cycles.map_or("-".into(), |w| w.to_string()),
     ]);
     emit("Attack pipeline: baseline vs optimized (identical reports)", &t);
+    println!(
+        "block cache: {} hits, {} builds, {} flushes",
+        block_cache.hits, block_cache.builds, block_cache.flushes
+    );
 
-    let doc = Doc { insns_per_workload: insns, phases, attack };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("doc serializes"))
+    let doc = Doc { insns_per_workload: insns, phases, attack, block_cache };
+    std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).expect("doc serializes"))
         .expect("write BENCH_pipeline.json");
-    println!("wrote {path}");
+    println!("wrote {BENCH_PATH}");
 }

@@ -44,6 +44,10 @@ pub struct PipelineConfig {
     /// replayers (wall-clock optimization; virtual cycles, digests, and
     /// verdicts are identical either way).
     pub decode_cache: bool,
+    /// Execute whole cached basic blocks between event horizons in the
+    /// recorder and all replayers (wall-clock optimization; virtual cycles,
+    /// digests, and verdicts are identical either way).
+    pub block_engine: bool,
 }
 
 impl Default for PipelineConfig {
@@ -60,6 +64,7 @@ impl Default for PipelineConfig {
             ar_workers: 0,
             streaming: true,
             decode_cache: true,
+            block_engine: true,
         }
     }
 }
@@ -183,6 +188,9 @@ pub struct AlarmResolution {
     pub verdict: Verdict,
     /// Alarm-replay cycles spent resolving it.
     pub ar_cycles: u64,
+    /// Block-cache counters of the resolving alarm replayer (wall-clock
+    /// diagnostics only).
+    pub ar_block_stats: rnr_machine::BlockStats,
 }
 
 /// The §8.4 detection-window analysis for the first confirmed attack.
@@ -217,6 +225,11 @@ pub struct PipelineReport {
     pub resolutions: Vec<AlarmResolution>,
     /// Detection window of the first confirmed attack, if any.
     pub detection: Option<DetectionWindow>,
+    /// Basic-block cache counters summed over the recorder, the CR, and
+    /// every alarm replayer. Wall-clock diagnostics only — deliberately NOT
+    /// part of [`PipelineReport::to_json`], which must stay byte-identical
+    /// across wall-clock knobs.
+    pub block_stats: rnr_machine::BlockStats,
 }
 
 impl PipelineReport {
@@ -275,12 +288,14 @@ impl Pipeline {
         rc.costs = cfg.costs;
         rc.stall_on_alarm = cfg.stall_on_alarm;
         rc.decode_cache = cfg.decode_cache;
+        rc.block_engine = cfg.block_engine;
         let replay_cfg = ReplayConfig {
             checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
             retain: cfg.retain,
             ras_capacity: cfg.ras_capacity,
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
+            block_engine: cfg.block_engine,
             ..ReplayConfig::default()
         };
         // Phases 1 + 2: monitored recording and checkpointing replay —
@@ -304,6 +319,7 @@ impl Pipeline {
                 summary: summarize(&verdict),
                 verdict,
                 ar_cycles: ar_out.cycles,
+                ar_block_stats: ar_out.vm().block_stats(),
             })
         };
         let cases = &cr_out.alarm_cases;
@@ -339,6 +355,11 @@ impl Pipeline {
             cases.iter().map(resolve_one).collect::<Result<Vec<_>, _>>()?
         };
         let detection = detection_window(cfg, &rec, &resolutions);
+        let mut block_stats = rec.block_stats;
+        block_stats.merge(&cr_out.vm().block_stats());
+        for r in &resolutions {
+            block_stats.merge(&r.ar_block_stats);
+        }
         Ok(PipelineReport {
             record: RecordSummary {
                 workload: self.spec.name.clone(),
@@ -363,6 +384,7 @@ impl Pipeline {
             },
             resolutions,
             detection,
+            block_stats,
         })
     }
 

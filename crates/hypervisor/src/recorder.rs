@@ -74,6 +74,9 @@ pub struct RecordConfig {
     /// Use the predecoded instruction cache (wall-clock optimization; never
     /// changes virtual cycles or digests).
     pub decode_cache: bool,
+    /// Execute whole cached basic blocks between event horizons (wall-clock
+    /// optimization; never changes virtual cycles, the log, or digests).
+    pub block_engine: bool,
     /// RAS capacity (the paper simulates 48).
     pub ras_capacity: usize,
     /// Cycle cost model.
@@ -101,6 +104,7 @@ impl RecordConfig {
             until_retired,
             functional_ras_analysis: false,
             decode_cache: true,
+            block_engine: true,
             ras_capacity: RasConfig::DEFAULT_CAPACITY,
             costs: CostModel::default(),
             trace: 0,
@@ -191,6 +195,9 @@ pub struct RecordOutcome {
     pub switch_trace: Vec<u64>,
     /// Store-watchpoint hits `(pc, addr, value, retired)` (debugging).
     pub watch_hits: Vec<(u64, u64, u64, u64)>,
+    /// Basic-block cache counters (wall-clock diagnostics, never part of
+    /// the verified report).
+    pub block_stats: rnr_machine::BlockStats,
 }
 
 impl RecordOutcome {
@@ -225,6 +232,7 @@ pub struct Recorder {
     next_packet: Option<u64>,
     net: crate::NetProfile,
     injections: VecDeque<PacketInjection>,
+    watch_addr: Option<u64>,
     watch_last: u64,
     fig8: Option<RasAttribution>,
     alarms: usize,
@@ -268,6 +276,7 @@ impl Recorder {
             jop_table,
             costs: config.costs,
             decode_cache: config.decode_cache,
+            block_engine: config.block_engine,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];
@@ -278,7 +287,10 @@ impl Recorder {
         if config.trace > 0 {
             vm.enable_trace(config.trace);
         }
-        if let Some(w) = std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok()) {
+        // Read the debugging watch address once here, not in the run loop:
+        // env lookups are host syscalls and have no place on the hot path.
+        let watch_addr = std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok());
+        if let Some(w) = watch_addr {
             vm.set_watchpoint(w);
         }
         vm.set_entry(spec.kernel.entry());
@@ -300,6 +312,7 @@ impl Recorder {
         let next_timer = spec.timer_period + nondet.timer_jitter(spec.timer_period);
         let next_packet = spec.net.mean_interarrival.map(|m| nondet.packet_gap(m));
         Ok(Recorder {
+            watch_addr,
             watch_last: 0,
             vm,
             nondet,
@@ -359,9 +372,7 @@ impl Recorder {
             let exit = self
                 .vm
                 .run(rnr_machine::RunBudget { until_retired: Some(until), until_cycles: Some(deadline) });
-            if let Some(watch) =
-                std::env::var("RNR_WATCH_ADDR").ok().and_then(|v| u64::from_str_radix(&v, 16).ok())
-            {
+            if let Some(watch) = self.watch_addr {
                 let val = self.vm.mem().read_u64(watch).unwrap_or(0);
                 if val != self.watch_last {
                     eprintln!(
@@ -422,6 +433,7 @@ impl Recorder {
                 .sum(),
             context_switches: self.context_switches,
             watch_hits: self.vm.watch_hits().to_vec(),
+            block_stats: self.vm.block_stats(),
             switch_trace: self.switch_trace,
             console: self.console,
             log: Arc::new(self.log),

@@ -26,10 +26,17 @@ pub struct MachineConfig {
     pub jop_table: Option<crate::JopTable>,
     /// Cycle cost model.
     pub costs: CostModel,
-    /// Use the predecoded instruction cache ([`crate::DecodeCache`]). A pure
+    /// Use the predecoded instruction cache ([`crate::BlockCache`]). A pure
     /// host-side (wall-clock) optimization: virtual cycles, digests, and
     /// exits are identical either way while [`CostModel::decode`] is 0.
     pub decode_cache: bool,
+    /// Execute whole cached basic blocks between event horizons instead of
+    /// single-stepping (see `GuestVm::run`). Like `decode_cache`, a pure
+    /// wall-clock knob: the retired stream, virtual cycles, digests, and
+    /// exits are byte-identical either way. Automatically inert while
+    /// [`CostModel::decode`] is non-zero or per-instruction debugging
+    /// (tracing, watchpoints) is active.
+    pub block_engine: bool,
 }
 
 impl MachineConfig {
@@ -55,6 +62,7 @@ impl Default for MachineConfig {
             jop_table: None,
             costs: CostModel::default(),
             decode_cache: true,
+            block_engine: true,
         }
     }
 }

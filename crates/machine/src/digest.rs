@@ -45,21 +45,46 @@ impl Fnv1a {
         self.update(&v.to_le_bytes());
     }
 
-    /// Absorbs bytes word-at-a-time: FNV-1a over little-endian `u64` words
-    /// rather than bytes. A *different* stream than [`Fnv1a::update`] — the
-    /// two must not be mixed for the same data — but ~8× the throughput,
-    /// which matters when hashing all of guest memory and disk for replay
-    /// verification. Any single-bit difference still changes the digest.
+    /// Absorbs bytes word-at-a-time: four interleaved FNV-1a lanes over
+    /// little-endian `u64` words, folded back into one state per call. A
+    /// *different* stream than [`Fnv1a::update`] — the two must not be mixed
+    /// for the same data — but far higher throughput: the per-byte (and
+    /// per-word) FNV multiply chain is latency-bound, and four independent
+    /// lanes let the multiplier pipeline. That matters when hashing all of
+    /// guest memory and disk for replay verification. Lanes are seeded with
+    /// distinct constants so words are position-sensitive across lanes, and
+    /// any single-bit difference still changes the digest.
     pub fn update_words(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
+        // Only lane 0 carries the incoming state; lanes 1-3 start from fixed
+        // distinct seeds every call. Each FNV step and each fold step is then
+        // a bijection of lane 0's value, so the map from incoming state to
+        // outgoing state is injective for any fixed input — no prior-state
+        // information can be destroyed by absorbing more data. (Seeding every
+        // lane from `self.state` and XOR-folding loses that property: the
+        // fold cancels the state's contribution and repeated calls contract
+        // distinct states onto one orbit.)
+        let mut lanes = [self.state, 0x9e37_79b9_7f4a_7c15, 0xc2b2_ae3d_27d4_eb4f, 0x1656_67b1_9e37_79f9];
+        let mut chunks32 = bytes.chunks_exact(32);
+        for c in &mut chunks32 {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                let w = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().expect("8-byte word"));
+                *lane = (*lane ^ w).wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut state = lanes[0];
+        for &lane in &lanes[1..] {
+            state = (state ^ lane).wrapping_mul(FNV_PRIME);
+        }
+        let mut chunks = chunks32.remainder().chunks_exact(8);
         for c in &mut chunks {
             let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-            self.state = (self.state ^ w).wrapping_mul(FNV_PRIME);
+            state = (state ^ w).wrapping_mul(FNV_PRIME);
         }
         for &b in chunks.remainder() {
-            self.state ^= b as u64;
-            self.state = self.state.wrapping_mul(FNV_PRIME);
+            state ^= b as u64;
+            state = state.wrapping_mul(FNV_PRIME);
         }
+        self.state = state;
     }
 
     /// The digest of everything absorbed so far.
@@ -120,6 +145,41 @@ mod tests {
         let mut b = Fnv1a::new();
         b.update_words(b"0123456798");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn word_hash_lane_swap_detected() {
+        // Swapping two whole words between lanes of the same 32-byte chunk
+        // must change the digest (the lane fold is XOR-based, so this relies
+        // on the distinct lane seeds).
+        let mut buf = [0u8; 32];
+        buf[0..8].copy_from_slice(&1u64.to_le_bytes());
+        buf[8..16].copy_from_slice(&2u64.to_le_bytes());
+        let mut a = Fnv1a::new();
+        a.update_words(&buf);
+        buf[0..8].copy_from_slice(&2u64.to_le_bytes());
+        buf[8..16].copy_from_slice(&1u64.to_le_bytes());
+        let mut b = Fnv1a::new();
+        b.update_words(&buf);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn word_hash_preserves_prior_state_through_many_pages() {
+        // Regression: the multi-lane fold must be injective in the incoming
+        // state, or absorbing thousands of (mostly zero) guest pages
+        // contracts distinct CPU-state prefixes onto the same orbit and the
+        // digest stops seeing registers at all.
+        let zeros = [0u8; 4096];
+        let mut a = Fnv1a::new();
+        a.update_u64(7);
+        let mut b = Fnv1a::new();
+        b.update_u64(8);
+        for page in 0..4096 {
+            a.update_words(&zeros);
+            b.update_words(&zeros);
+            assert_ne!(a.finish(), b.finish(), "prefix difference lost after page {page}");
+        }
     }
 
     #[test]

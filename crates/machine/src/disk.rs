@@ -141,7 +141,32 @@ impl BlockStore {
     }
 
     /// Fills the disk with deterministic seeded content (the "disk image").
+    ///
+    /// The generated blocks are memoized process-wide per `(capacity, seed)`:
+    /// the recorder and every replayer of a pipeline build the *same* image,
+    /// and blocks are copy-on-write behind their `Arc`, so sharing one fill
+    /// is invisible to the guest. Dirty-epoch accounting is identical to a
+    /// sector-by-sector fill (every block written in the current epoch).
     pub fn fill_deterministic(&mut self, seed: u64) {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        type ImageCache = Mutex<HashMap<(usize, u64), Vec<Arc<Block>>>>;
+        static IMAGES: OnceLock<ImageCache> = OnceLock::new();
+        let cache = IMAGES.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = (self.blocks.len(), seed);
+        let cached = cache.lock().unwrap().get(&key).cloned();
+        match cached {
+            Some(image) => self.blocks = image,
+            None => {
+                self.fill_deterministic_uncached(seed);
+                cache.lock().unwrap().insert(key, self.blocks.clone());
+            }
+        }
+        let e = self.epoch;
+        self.dirty_epoch.fill(e);
+    }
+
+    fn fill_deterministic_uncached(&mut self, seed: u64) {
         let sectors = self.sector_count();
         let mut buf = [0u8; SECTOR_SIZE];
         for s in 0..sectors {

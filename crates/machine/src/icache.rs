@@ -1,12 +1,22 @@
-//! The predecoded instruction cache.
+//! The predecoded instruction and basic-block cache.
 //!
 //! The interpreter's hot loop used to fetch 8 bytes from guest memory and
 //! re-decode them on **every** executed instruction. Real processors (and
 //! fast emulators — QEMU's TB cache plays this role in the paper's setup)
 //! decode each instruction once and reuse the result until the code is
-//! overwritten. [`DecodeCache`] does the same for the simulator: a per-page
-//! array of decoded instructions, filled lazily on first execution and
-//! invalidated wholesale when the page's write-version
+//! overwritten. [`BlockCache`] does the same for the simulator, at two
+//! granularities:
+//!
+//! * **Instructions** — a per-page array of decoded instructions, filled
+//!   lazily on first execution ([`BlockCache::get`]/[`BlockCache::insert`]).
+//! * **Basic blocks** — decoded straight-line runs terminated at control
+//!   transfers, privileged/IO instructions, interrupt-flag writes, and page
+//!   boundaries ([`BlockCache::block_info`]/[`BlockCache::insert_block`]).
+//!   The block executor in [`crate::GuestVm`] retires whole blocks between
+//!   *event horizons* with a single counter bump and no per-instruction
+//!   budget/breakpoint checks.
+//!
+//! Both layers are invalidated wholesale when the page's write-version
 //! ([`Memory::page_version`]) moves — which is what makes self-modifying
 //! code (and checkpoint restores) correct without any explicit flush
 //! protocol.
@@ -25,30 +35,97 @@ use crate::mem::{Memory, PAGE_SIZE};
 /// Decoded slots per page (8-byte instructions).
 const SLOTS: usize = PAGE_SIZE / 8;
 
-/// One page's worth of predecoded instructions, valid for a single write
-/// version of the backing page.
+/// Packed block metadata: low 10 bits = length in instructions (1..=512),
+/// bit 10 = ends in a terminal (non-straight-line) instruction, bit 11 =
+/// contains a store-class instruction (needs self-modification checks).
+const META_LEN_MASK: u16 = 0x03ff;
+const META_TERMINAL: u16 = 0x0400;
+const META_STORE: u16 = 0x0800;
+
+/// Shape of a cached basic block starting at some slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Number of instructions in the block (terminal included).
+    pub len: u16,
+    /// True when the last instruction is a block terminator (control
+    /// transfer, privileged/IO, or interrupt-flag write). False for blocks
+    /// truncated by a page boundary or undecodable bytes.
+    pub has_terminal: bool,
+    /// True when any instruction in the block can write guest memory
+    /// (St/St8/Push) — the executor re-checks the page version after those
+    /// to catch code that modifies its own block.
+    pub has_store: bool,
+}
+
+impl BlockInfo {
+    fn pack(self) -> u16 {
+        debug_assert!(self.len >= 1 && (self.len as usize) <= SLOTS);
+        (self.len & META_LEN_MASK)
+            | if self.has_terminal { META_TERMINAL } else { 0 }
+            | if self.has_store { META_STORE } else { 0 }
+    }
+
+    fn unpack(meta: u16) -> Option<BlockInfo> {
+        let len = meta & META_LEN_MASK;
+        if len == 0 {
+            return None;
+        }
+        Some(BlockInfo { len, has_terminal: meta & META_TERMINAL != 0, has_store: meta & META_STORE != 0 })
+    }
+}
+
+/// Wall-clock counters of the block cache (never affect virtual time).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BlockStats {
+    /// Block lookups served straight from the cache.
+    pub hits: u64,
+    /// Blocks decoded and installed (cold misses and rebuilds).
+    pub builds: u64,
+    /// Page caches dropped because the page's write-version moved.
+    pub flushes: u64,
+}
+
+impl BlockStats {
+    /// Accumulates another stats snapshot into this one.
+    pub fn merge(&mut self, other: &BlockStats) {
+        self.hits += other.hits;
+        self.builds += other.builds;
+        self.flushes += other.flushes;
+    }
+}
+
+/// One page's worth of predecoded instructions and block metadata, valid for
+/// a single write version of the backing page.
 #[derive(Debug, Clone)]
 struct PageCache {
     version: u64,
     slots: Box<[Option<Instruction>; SLOTS]>,
+    blocks: Box<[u16; SLOTS]>,
 }
 
 impl PageCache {
     fn new(version: u64) -> PageCache {
-        PageCache { version, slots: Box::new([None; SLOTS]) }
+        PageCache { version, slots: Box::new([None; SLOTS]), blocks: Box::new([0; SLOTS]) }
     }
 }
 
-/// A lazily filled, version-checked decode cache over guest memory.
+/// A lazily filled, version-checked decode and basic-block cache over guest
+/// memory.
 #[derive(Debug, Clone, Default)]
-pub struct DecodeCache {
+pub struct BlockCache {
     pages: Vec<Option<PageCache>>,
+    stats: BlockStats,
 }
 
-impl DecodeCache {
+impl BlockCache {
     /// An empty cache (sized on first use).
-    pub fn new() -> DecodeCache {
-        DecodeCache::default()
+    pub fn new() -> BlockCache {
+        BlockCache::default()
+    }
+
+    /// Wall-clock hit/build/flush counters.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
     }
 
     /// The cached decode of the instruction at `pc`, if still valid.
@@ -71,7 +148,7 @@ impl DecodeCache {
     /// Stores a fresh decode of the instruction at `pc`.
     ///
     /// If the page's cache is stale it is reset to the current version
-    /// first, dropping every slot decoded against old bytes.
+    /// first, dropping every slot (and block) decoded against old bytes.
     pub fn insert(&mut self, pc: Addr, insn: Instruction, mem: &Memory) {
         if pc & 7 != 0 {
             return;
@@ -80,15 +157,80 @@ impl DecodeCache {
         if page >= mem.page_count() {
             return;
         }
-        if self.pages.len() < mem.page_count() {
-            self.pages.resize(mem.page_count(), None);
+        let cached = self.fresh_page(page, mem);
+        cached.slots[(pc as usize % PAGE_SIZE) / 8] = Some(insn);
+    }
+
+    /// The cached basic block starting at `pc`, if still valid.
+    #[inline]
+    pub fn block_info(&mut self, pc: Addr, mem: &Memory) -> Option<BlockInfo> {
+        debug_assert_eq!(pc & 7, 0, "block entries are aligned");
+        let page = (pc as usize) / PAGE_SIZE;
+        let cached = self.pages.get(page)?.as_ref()?;
+        if cached.version != mem.page_version(page) {
+            return None;
+        }
+        let info = BlockInfo::unpack(cached.blocks[(pc as usize % PAGE_SIZE) / 8])?;
+        self.stats.hits += 1;
+        Some(info)
+    }
+
+    /// Installs a decoded basic block starting at `pc`.
+    ///
+    /// The slice must not cross a page boundary. A stale page cache is reset
+    /// to the current version first.
+    pub fn insert_block(&mut self, pc: Addr, insns: &[Instruction], info: BlockInfo, mem: &Memory) {
+        debug_assert_eq!(pc & 7, 0, "block entries are aligned");
+        debug_assert_eq!(insns.len(), info.len as usize);
+        let page = (pc as usize) / PAGE_SIZE;
+        let slot = (pc as usize % PAGE_SIZE) / 8;
+        debug_assert!(slot + insns.len() <= SLOTS, "blocks never cross pages");
+        if page >= mem.page_count() || insns.is_empty() {
+            return;
+        }
+        self.stats.builds += 1;
+        let cached = self.fresh_page(page, mem);
+        for (i, insn) in insns.iter().enumerate() {
+            cached.slots[slot + i] = Some(*insn);
+        }
+        cached.blocks[slot] = info.pack();
+    }
+
+    /// The decoded instruction at `(page, slot)`.
+    ///
+    /// Only valid for slots covered by a block previously returned by
+    /// [`BlockCache::block_info`] in the same borrow region (no version
+    /// re-check — the executor performs its own after stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never decoded (an executor bug).
+    #[inline]
+    pub fn slot_insn(&self, page: usize, slot: usize) -> Instruction {
+        self.pages[page].as_ref().expect("block page present")[slot]
+    }
+
+    /// Resolves (or resets) the page cache for the current page version.
+    fn fresh_page(&mut self, page: usize, mem: &Memory) -> &mut PageCache {
+        if self.pages.len() <= page {
+            self.pages.resize(page + 1, None);
         }
         let version = mem.page_version(page);
-        let cached = match &mut self.pages[page] {
-            Some(c) if c.version == version => c,
-            slot => slot.insert(PageCache::new(version)),
-        };
-        cached.slots[(pc as usize % PAGE_SIZE) / 8] = Some(insn);
+        let slot = &mut self.pages[page];
+        let stale = matches!(slot, Some(c) if c.version != version);
+        if stale {
+            self.stats.flushes += 1;
+            *slot = None;
+        }
+        slot.get_or_insert_with(|| PageCache::new(version))
+    }
+}
+
+impl std::ops::Index<usize> for PageCache {
+    type Output = Instruction;
+
+    fn index(&self, slot: usize) -> &Instruction {
+        self.slots[slot].as_ref().expect("slot decoded as part of a block")
     }
 }
 
@@ -104,7 +246,7 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mem = Memory::new(PAGE_SIZE * 2);
-        let mut cache = DecodeCache::new();
+        let mut cache = BlockCache::new();
         assert_eq!(cache.get(0x8, &mem), None);
         cache.insert(0x8, insn(1), &mem);
         assert_eq!(cache.get(0x8, &mem), Some(insn(1)));
@@ -114,7 +256,7 @@ mod tests {
     #[test]
     fn unaligned_pcs_are_never_cached() {
         let mem = Memory::new(PAGE_SIZE);
-        let mut cache = DecodeCache::new();
+        let mut cache = BlockCache::new();
         cache.insert(0x9, insn(1), &mem);
         assert_eq!(cache.get(0x9, &mem), None);
     }
@@ -122,7 +264,7 @@ mod tests {
     #[test]
     fn write_to_page_invalidates_its_decodes() {
         let mut mem = Memory::new(PAGE_SIZE * 2);
-        let mut cache = DecodeCache::new();
+        let mut cache = BlockCache::new();
         cache.insert(0x8, insn(1), &mem);
         cache.insert(PAGE_SIZE as u64 + 8, insn(2), &mem);
         mem.write_u8(0x8, 0xff).unwrap();
@@ -134,20 +276,76 @@ mod tests {
     }
 
     #[test]
-    fn restore_invalidates_everything() {
+    fn restore_after_write_invalidates() {
         let mut mem = Memory::new(PAGE_SIZE);
         let snap = mem.snapshot_pages();
-        let mut cache = DecodeCache::new();
+        let mut cache = BlockCache::new();
+        mem.write_u8(0x10, 7).unwrap();
         cache.insert(0x0, insn(1), &mem);
         mem.restore_pages(snap);
-        assert_eq!(cache.get(0x0, &mem), None);
+        assert_eq!(cache.get(0x0, &mem), None, "restore of a differing page flushes");
+    }
+
+    #[test]
+    fn restore_of_identical_pages_keeps_cache_warm() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        let snap = mem.snapshot_pages();
+        let mut cache = BlockCache::new();
+        cache.insert(0x0, insn(1), &mem);
+        // Nothing was written between snapshot and restore: the pages are
+        // the same `Arc`s, the content cannot have changed, and the decode
+        // survives (the warm-restore optimization for alarm replayers).
+        mem.restore_pages(snap);
+        assert_eq!(cache.get(0x0, &mem), Some(insn(1)));
     }
 
     #[test]
     fn out_of_range_pc_is_ignored() {
         let mem = Memory::new(PAGE_SIZE);
-        let mut cache = DecodeCache::new();
+        let mut cache = BlockCache::new();
         cache.insert(PAGE_SIZE as u64 * 10, insn(1), &mem);
         assert_eq!(cache.get(PAGE_SIZE as u64 * 10, &mem), None);
+    }
+
+    #[test]
+    fn block_round_trip_and_invalidation() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        let mut cache = BlockCache::new();
+        let block = [insn(1), insn(2), insn(3)];
+        let info = BlockInfo { len: 3, has_terminal: true, has_store: false };
+        assert_eq!(cache.block_info(0x10, &mem), None);
+        cache.insert_block(0x10, &block, info, &mem);
+        assert_eq!(cache.block_info(0x10, &mem), Some(info));
+        assert_eq!(cache.slot_insn(0, 2 + 1), insn(2));
+        assert_eq!(cache.get(0x20, &mem), Some(insn(3)), "block slots serve single decodes too");
+        // Interior slots are not block entry points.
+        assert_eq!(cache.block_info(0x18, &mem), None);
+        mem.write_u8(0x18, 0xff).unwrap();
+        assert_eq!(cache.block_info(0x10, &mem), None, "write invalidates the block");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.builds), (1, 1));
+    }
+
+    #[test]
+    fn stale_page_reset_counts_a_flush() {
+        let mut mem = Memory::new(PAGE_SIZE);
+        let mut cache = BlockCache::new();
+        let info = BlockInfo { len: 1, has_terminal: false, has_store: false };
+        cache.insert_block(0x0, &[insn(1)], info, &mem);
+        mem.write_u8(0x100, 1).unwrap();
+        cache.insert_block(0x0, &[insn(2)], info, &mem);
+        assert_eq!(cache.stats().flushes, 1);
+        assert_eq!(cache.slot_insn(0, 0), insn(2));
+    }
+
+    #[test]
+    fn meta_packing_round_trips() {
+        for len in [1u16, 2, 511, 512] {
+            for (t, s) in [(false, false), (true, false), (false, true), (true, true)] {
+                let info = BlockInfo { len, has_terminal: t, has_store: s };
+                assert_eq!(BlockInfo::unpack(info.pack()), Some(info));
+            }
+        }
+        assert_eq!(BlockInfo::unpack(0), None);
     }
 }

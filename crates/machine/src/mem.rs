@@ -51,6 +51,10 @@ pub struct Memory {
     pages: Vec<Arc<Page>>,
     dirty_epoch: Vec<u64>,
     versions: Vec<u64>,
+    // Indices of pages written this epoch (unsorted), so closing an epoch is
+    // O(dirty) instead of a scan over every page. Invariant: `dirty` holds
+    // exactly the indices with `dirty_epoch[i] == epoch`, each once.
+    dirty: Vec<usize>,
     epoch: u64,
     cow_faults: u64,
 }
@@ -65,6 +69,7 @@ impl Memory {
             pages: vec![zero; n],
             dirty_epoch: vec![0; n],
             versions: vec![0; n],
+            dirty: Vec::new(),
             epoch: 1,
             cow_faults: 0,
         }
@@ -99,6 +104,7 @@ impl Memory {
             // checkpoint sharing the page, this is where the copy happens.
             self.cow_faults += 1;
             self.dirty_epoch[index] = self.epoch;
+            self.dirty.push(index);
         }
         self.versions[index] = self.versions[index].wrapping_add(1);
         Arc::make_mut(&mut self.pages[index])
@@ -213,9 +219,12 @@ impl Memory {
     /// and returns the indices of pages written during the closing epoch —
     /// the incremental page set stored in the checkpoint.
     pub fn begin_epoch(&mut self) -> Vec<usize> {
-        let closing = self.epoch;
         self.epoch += 1;
-        (0..self.pages.len()).filter(|&p| self.dirty_epoch[p] == closing).collect()
+        let mut dirty = std::mem::take(&mut self.dirty);
+        // Writes arrive in execution order; checkpoints store pages in
+        // ascending index order.
+        dirty.sort_unstable();
+        dirty
     }
 
     /// The current epoch number.
@@ -235,17 +244,31 @@ impl Memory {
         self.pages.clone()
     }
 
+    /// Iterates pages in place — digesting memory without cloning the page
+    /// table.
+    pub fn pages(&self) -> impl Iterator<Item = &Page> {
+        self.pages.iter().map(|p| &**p)
+    }
+
     /// Replaces the entire contents from a snapshot.
     pub fn restore_pages(&mut self, pages: Vec<Arc<Page>>) {
         assert_eq!(pages.len(), self.pages.len(), "snapshot size mismatch");
+        // Pages are immutable behind their `Arc`: pointer equality implies
+        // identical content, so only pages that actually changed invalidate
+        // derived per-page caches (decoded blocks stay warm across the
+        // checkpoint restores that alarm replayers start from). The dirty /
+        // CoW accounting below stays unconditional — virtual costs must not
+        // depend on pointer sharing.
+        for (index, new) in pages.iter().enumerate() {
+            if !Arc::ptr_eq(&self.pages[index], new) {
+                self.versions[index] = self.versions[index].wrapping_add(1);
+            }
+        }
         self.pages = pages;
         // All restored pages belong to the new epoch's baseline.
         let e = self.epoch;
         self.dirty_epoch.fill(e);
-        // Every page may have changed: invalidate derived per-page caches.
-        for v in &mut self.versions {
-            *v = v.wrapping_add(1);
-        }
+        self.dirty = (0..self.pages.len()).collect();
     }
 }
 
@@ -323,9 +346,24 @@ mod tests {
         let v2 = m.page_version(0);
         assert_ne!(v1, v2);
         m.restore_pages(snap);
-        // A restore invalidates every page, even ones that look unchanged.
+        // A restore invalidates exactly the pages whose content could have
+        // changed: page 0 was written after the snapshot (its Arc differs),
+        // page 1 was never touched and still shares the snapshot's Arc.
         assert_ne!(m.page_version(0), v2);
-        assert_ne!(m.page_version(1), 0);
+        assert_eq!(m.page_version(1), 0, "identical page stays warm across restore");
+    }
+
+    #[test]
+    fn begin_epoch_is_o_dirty_and_restore_marks_all() {
+        let mut m = Memory::new(PAGE_SIZE * 3);
+        m.write_u8(2 * PAGE_SIZE as u64, 1).unwrap();
+        m.write_u8(0, 1).unwrap();
+        assert_eq!(m.begin_epoch(), vec![0, 2], "dirty list reported in ascending order");
+        let snap = m.snapshot_pages();
+        m.restore_pages(snap);
+        // After a restore every page belongs to the new baseline.
+        assert_eq!(m.begin_epoch(), vec![0, 1, 2]);
+        assert!(m.begin_epoch().is_empty());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rnr_isa::{Addr, Image, Instruction, Opcode, Reg};
 use rnr_ras::RasOutcome;
 
 use crate::digest::Fnv1a;
-use crate::icache::DecodeCache;
+use crate::icache::{BlockCache, BlockInfo, BlockStats};
 use crate::{
     is_mmio, CallRetTrap, Cpu, Digest, Exit, ExitControls, FaultKind, FinishIo, MachineConfig, MemError,
     Memory, Mode,
@@ -83,7 +83,7 @@ pub struct GuestVm {
     cpu: Cpu,
     mem: Memory,
     config: MachineConfig,
-    icache: DecodeCache,
+    icache: BlockCache,
     cycles: u64,
     retired: u64,
     // Breakpoints and armed skips are tiny sets (the hypervisor installs
@@ -116,7 +116,7 @@ impl GuestVm {
             cpu,
             mem,
             config,
-            icache: DecodeCache::new(),
+            icache: BlockCache::new(),
             cycles: 0,
             retired: 0,
             breakpoints: Vec::new(),
@@ -304,10 +304,15 @@ impl GuestVm {
         h.update_u64(self.cpu.mode.to_bits());
         h.update_u64(self.cpu.interrupts_enabled as u64);
         h.update_u64(self.cpu.halted as u64);
-        for page in self.mem.snapshot_pages() {
+        for page in self.mem.pages() {
             h.update_words(&page[..]);
         }
         h.finish()
+    }
+
+    /// Wall-clock counters of the basic-block cache (hits/builds/flushes).
+    pub fn block_stats(&self) -> BlockStats {
+        self.icache.stats()
     }
 
     fn retire(&mut self) {
@@ -338,8 +343,17 @@ impl GuestVm {
     }
 
     /// Runs until an exit or until the budget is exhausted.
+    ///
+    /// With the block engine on, execution proceeds in *event-horizon*
+    /// batches: the checks above the horizon — budget, halt, interrupt
+    /// window — are evaluated once per block instead of once per
+    /// instruction, and whole cached basic blocks retire with a single
+    /// counter bump. Every knob involved is wall-clock-only: the retired
+    /// stream, virtual cycles, and exit sequence are byte-identical to the
+    /// single-step interpreter.
     pub fn run(&mut self, budget: RunBudget) -> Exit {
         assert!(self.pending_io.is_none(), "run() with unfinished I/O exit");
+        let blocks = self.block_engine_active();
         loop {
             if let Some(limit) = budget.until_retired {
                 if self.retired >= limit {
@@ -358,10 +372,311 @@ impl GuestVm {
                 self.interrupt_window = false;
                 return Exit::InterruptWindow;
             }
+            if blocks {
+                match self.run_block(budget) {
+                    Ok(true) => continue,
+                    Ok(false) => {} // no block here: single-step below
+                    Err(exit) => return exit,
+                }
+            }
             if let Some(exit) = self.step() {
                 return exit;
             }
         }
+    }
+
+    /// Whether [`GuestVm::run`] may execute whole basic blocks.
+    ///
+    /// Besides the config knob, block execution requires every
+    /// per-instruction observation point to be absent: a non-zero decode
+    /// cost would charge cycles per cache build instead of per fetch, and
+    /// the PC trace ring / store watchpoint are debugging aids that want to
+    /// see (and timestamp) each instruction individually.
+    fn block_engine_active(&self) -> bool {
+        self.config.block_engine
+            && self.config.costs.decode == 0
+            && self.trace_cap == 0
+            && self.watch_addr.is_none()
+    }
+
+    /// The event horizon: how many instructions may retire before a budget
+    /// limit is reached, given the checks at the top of [`GuestVm::run`]
+    /// already passed (so both limits are strictly ahead).
+    #[inline]
+    fn horizon_insns(&self, budget: RunBudget) -> u64 {
+        let mut max = u64::MAX;
+        if let Some(limit) = budget.until_retired {
+            max = limit - self.retired;
+        }
+        if let Some(limit) = budget.until_cycles {
+            let icost = self.config.costs.insn;
+            if icost == 1 {
+                // Unit cost (the default): this runs once per chained block,
+                // so dodge the division.
+                max = max.min(limit - self.cycles);
+            } else if icost > 0 {
+                // Stop once `cycles >= limit`: exactly ceil(room / icost)
+                // instructions fit before that.
+                max = max.min((limit - self.cycles).div_ceil(icost));
+            }
+        }
+        max
+    }
+
+    /// Whether a budget limit has been reached (the stop conditions at the
+    /// top of [`GuestVm::run`]).
+    #[inline]
+    fn budget_exhausted(&self, budget: RunBudget) -> bool {
+        budget.until_retired.is_some_and(|l| self.retired >= l)
+            || budget.until_cycles.is_some_and(|l| self.cycles >= l)
+    }
+
+    /// Executes a *chain* of cached basic blocks starting at the current PC,
+    /// staying inside `budget`.
+    ///
+    /// Each block in the chain is bounded by the event horizon (recomputed
+    /// after every block, since terminals may charge extra cycles); the
+    /// chain ends when the budget runs out, the CPU halts, an interrupt
+    /// window opens, or the next PC has no executable block.
+    ///
+    /// Returns `Ok(true)` when progress was made (the caller re-checks its
+    /// exit conditions), `Ok(false)` when no block is executable at the
+    /// current PC and the caller must single-step (unaligned PC, undecodable
+    /// entry, or a breakpoint / armed skip at the entry itself), and
+    /// `Err(exit)` when execution raised an exit — with counters and PC
+    /// positioned exactly as the single-step interpreter would leave them.
+    fn run_block(&mut self, budget: RunBudget) -> Result<bool, Exit> {
+        // Breakpoint span prefilter: one [min, max] range over all aligned
+        // breakpoints and armed skips, computed once per chain. Blocks that
+        // don't intersect it (the overwhelmingly common case — trap
+        // addresses sit in a handful of kernel pages) skip the exact scan.
+        let bp_span = {
+            let mut lo = u64::MAX;
+            let mut hi = 0;
+            for &bp in self.breakpoints.iter().chain(self.skip_bp_at.iter()) {
+                if bp & 7 == 0 {
+                    lo = lo.min(bp);
+                    hi = hi.max(bp);
+                }
+            }
+            (lo <= hi).then_some((lo, hi))
+        };
+        let icost = self.config.costs.insn;
+        let mut progressed = false;
+        loop {
+            let pc = self.cpu.pc;
+            if pc & 7 != 0 {
+                // Hijacked-return targets fall back to stepping.
+                return Ok(progressed);
+            }
+            let info = match self.icache.block_info(pc, &self.mem) {
+                Some(info) => info,
+                None => match self.build_block(pc) {
+                    Some(info) => info,
+                    None => return Ok(progressed),
+                },
+            };
+            let block_len = info.len as u64;
+            let mut exec = block_len.min(self.horizon_insns(budget));
+            // Breakpoint hoisting: find the nearest breakpoint or armed
+            // skip inside the block once, instead of scanning per
+            // instruction. Block PCs are aligned, so unaligned entries can
+            // never match.
+            if let Some((lo, hi)) = bp_span {
+                let end = pc + 8 * block_len;
+                if pc <= hi && lo < end {
+                    let mut nearest = u64::MAX;
+                    for &bp in self.breakpoints.iter().chain(self.skip_bp_at.iter()) {
+                        if bp & 7 == 0 && (pc..end).contains(&bp) {
+                            nearest = nearest.min((bp - pc) / 8);
+                        }
+                    }
+                    if nearest == 0 {
+                        // step() owns breakpoint/skip semantics.
+                        return Ok(progressed);
+                    }
+                    exec = exec.min(nearest);
+                }
+            }
+            let run_terminal = info.has_terminal && exec == block_len;
+            let straight = exec - u64::from(run_terminal);
+
+            let page = (pc as usize) / crate::mem::PAGE_SIZE;
+            let base_slot = (pc as usize % crate::mem::PAGE_SIZE) / 8;
+            let base_version = self.mem.page_version(page);
+            let mut done: u64 = 0;
+            let mut smc = false;
+            while done < straight {
+                let insn = self.icache.slot_insn(page, base_slot + done as usize);
+                let is_store = matches!(insn.op, Opcode::St | Opcode::St8 | Opcode::Push);
+                if let Err(exit) = self.exec_straight(insn) {
+                    // Commit partial progress: exits from straight-line
+                    // instructions (faults, MMIO) do not retire the
+                    // instruction, exactly like `execute`.
+                    self.cpu.pc = pc + 8 * done;
+                    self.retired += done;
+                    self.cycles += icost * done;
+                    return Err(exit);
+                }
+                done += 1;
+                if is_store && self.mem.page_version(page) != base_version {
+                    // The block overwrote its own page (self-modifying
+                    // code): commit what retired and rebuild against the
+                    // new bytes.
+                    smc = true;
+                    break;
+                }
+            }
+            // The single per-block counter bump.
+            self.cpu.pc = pc + 8 * done;
+            self.retired += done;
+            self.cycles += icost * done;
+
+            if run_terminal && !smc {
+                // Terminals (control flow, privileged/IO, interrupt flags)
+                // go through the full interpreter: RAS, JOP whitelist,
+                // call/ret traps, and exit semantics all live there. The
+                // cached decode is still valid — any store that patched
+                // this page was caught by the version check above.
+                let tpc = self.cpu.pc;
+                let insn = self.icache.slot_insn(page, base_slot + straight as usize);
+                if let Some(exit) = self.execute(tpc, insn) {
+                    return Err(exit);
+                }
+            }
+            progressed = true;
+            // Chain into the next block only while none of the run-loop
+            // exit conditions can fire.
+            if self.budget_exhausted(budget)
+                || self.cpu.halted
+                || (self.interrupt_window && self.cpu.interrupts_enabled)
+            {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Decodes and caches the basic block starting at `pc` (aligned).
+    ///
+    /// Blocks end at the first terminator (any non-straight-line
+    /// instruction, included in the block), at the page boundary, or just
+    /// before undecodable bytes. Returns `None` when not even one
+    /// instruction decodes — the stepping path raises the proper fault.
+    fn build_block(&mut self, pc: Addr) -> Option<BlockInfo> {
+        let mut insns: Vec<Instruction> = Vec::with_capacity(16);
+        let mut has_terminal = false;
+        let mut has_store = false;
+        let mut cur = pc;
+        loop {
+            let mut fetch = [0u8; 8];
+            if self.mem.read_bytes(cur, &mut fetch).is_err() {
+                break;
+            }
+            let Ok(insn) = Instruction::decode(&fetch) else { break };
+            insns.push(insn);
+            if !is_straight(insn.op) {
+                has_terminal = true;
+                break;
+            }
+            has_store |= matches!(insn.op, Opcode::St | Opcode::St8 | Opcode::Push);
+            cur += 8;
+            if (cur as usize).is_multiple_of(crate::mem::PAGE_SIZE) {
+                break;
+            }
+        }
+        let len = u16::try_from(insns.len()).expect("blocks fit in a page");
+        if len == 0 {
+            return None;
+        }
+        let info = BlockInfo { len, has_terminal, has_store };
+        self.icache.insert_block(pc, &insns, info, &self.mem);
+        Some(info)
+    }
+
+    /// Executes one straight-line (non-terminal) instruction without
+    /// advancing the PC or retiring — the block executor batches those.
+    /// Mirrors the corresponding arms of [`GuestVm::execute`] exactly.
+    #[inline]
+    fn exec_straight(&mut self, insn: Instruction) -> Result<(), Exit> {
+        use Opcode::*;
+        let imm_s = insn.imm as i64 as u64; // sign-extended immediate
+        let rs1 = self.cpu.reg(insn.rs1);
+        let rs2 = self.cpu.reg(insn.rs2);
+        match insn.op {
+            Nop => {}
+            Mov => self.cpu.set_reg(insn.rd, rs1),
+            MovImm => self.cpu.set_reg(insn.rd, imm_s),
+            MovHi => {
+                let low = self.cpu.reg(insn.rd) & 0xffff_ffff;
+                self.cpu.set_reg(insn.rd, low | (insn.imm as u32 as u64) << 32);
+            }
+            Add => self.cpu.set_reg(insn.rd, rs1.wrapping_add(rs2)),
+            Sub => self.cpu.set_reg(insn.rd, rs1.wrapping_sub(rs2)),
+            Mul => self.cpu.set_reg(insn.rd, rs1.wrapping_mul(rs2)),
+            Divu => self.cpu.set_reg(insn.rd, rs1.checked_div(rs2).unwrap_or(u64::MAX)),
+            And => self.cpu.set_reg(insn.rd, rs1 & rs2),
+            Or => self.cpu.set_reg(insn.rd, rs1 | rs2),
+            Xor => self.cpu.set_reg(insn.rd, rs1 ^ rs2),
+            Shl => self.cpu.set_reg(insn.rd, rs1 << (rs2 & 63)),
+            Shr => self.cpu.set_reg(insn.rd, rs1 >> (rs2 & 63)),
+            Addi => self.cpu.set_reg(insn.rd, rs1.wrapping_add(imm_s)),
+            Andi => self.cpu.set_reg(insn.rd, rs1 & imm_s),
+            Ori => self.cpu.set_reg(insn.rd, rs1 | imm_s),
+            Xori => self.cpu.set_reg(insn.rd, rs1 ^ imm_s),
+            Shli => self.cpu.set_reg(insn.rd, rs1 << (insn.imm as u32 & 63)),
+            Shri => self.cpu.set_reg(insn.rd, rs1 >> (insn.imm as u32 & 63)),
+            Muli => self.cpu.set_reg(insn.rd, rs1.wrapping_mul(imm_s)),
+            Ld | Ld8 => {
+                let addr = rs1.wrapping_add(imm_s);
+                if is_mmio(addr) {
+                    self.pending_io = Some(PendingIo { rd: Some(insn.rd) });
+                    return Err(Exit::MmioRead { rd: insn.rd, addr });
+                }
+                let value = if insn.op == Ld {
+                    match self.mem.read_u64(addr) {
+                        Ok(v) => v,
+                        Err(_) => return Err(Exit::Fault(FaultKind::BadMemory { addr })),
+                    }
+                } else {
+                    match self.mem.read_u8(addr) {
+                        Ok(v) => v as u64,
+                        Err(_) => return Err(Exit::Fault(FaultKind::BadMemory { addr })),
+                    }
+                };
+                self.cpu.set_reg(insn.rd, value);
+            }
+            St | St8 => {
+                let addr = rs1.wrapping_add(imm_s);
+                debug_assert!(self.watch_addr.is_none(), "watchpoints disable the block engine");
+                if is_mmio(addr) {
+                    self.pending_io = Some(PendingIo { rd: None });
+                    return Err(Exit::MmioWrite { addr, value: rs2 });
+                }
+                let res = if insn.op == St {
+                    self.mem.write_u64(addr, rs2)
+                } else {
+                    self.mem.write_u8(addr, rs2 as u8)
+                };
+                if res.is_err() {
+                    return Err(Exit::Fault(FaultKind::BadMemory { addr }));
+                }
+            }
+            Push => {
+                if self.push(rs1).is_err() {
+                    return Err(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
+                }
+            }
+            Pop => match self.pop() {
+                Ok(v) => self.cpu.set_reg(insn.rd, v),
+                Err(_) => return Err(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
+            },
+            // The block builder never classifies these as straight-line.
+            Hlt | Call | CallR | Ret | Jmp | JmpR | Beq | Bne | Blt | Bge | Bltu | Bgeu | Rdtsc | In
+            | Out | Vmcall | Syscall | Sysret | Iret | Cli | Sti => {
+                unreachable!("terminal opcode {:?} inside a straight-line run", insn.op)
+            }
+        }
+        Ok(())
     }
 
     /// Executes one instruction; returns an exit if one was raised.
@@ -637,6 +952,43 @@ impl GuestVm {
         self.retire();
         exit
     }
+}
+
+/// True for instructions that neither transfer control, touch privileged /
+/// device state, nor change the interrupt flag — the block builder packs
+/// runs of these; everything else terminates a block. Cli/Sti terminate so
+/// an armed interrupt window opening mid-run is observed at exactly the same
+/// retirement point as in the single-step interpreter.
+fn is_straight(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Nop | Mov
+            | MovImm
+            | MovHi
+            | Add
+            | Sub
+            | Mul
+            | Divu
+            | And
+            | Or
+            | Xor
+            | Shl
+            | Shr
+            | Addi
+            | Andi
+            | Ori
+            | Xori
+            | Shli
+            | Shri
+            | Muli
+            | Ld
+            | St
+            | Ld8
+            | St8
+            | Push
+            | Pop
+    )
 }
 
 #[cfg(test)]
@@ -970,18 +1322,21 @@ mod tests {
             a.label("done");
             a.hlt();
         };
-        let run = |decode_cache: bool| {
+        let run = |decode_cache: bool, block_engine: bool| {
             let mut vm = vm_with(build);
             vm.config.decode_cache = decode_cache;
+            vm.config.block_engine = block_engine;
             assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
             vm
         };
-        let cached = run(true);
-        let fresh = run(false);
-        assert_eq!(cached.cpu().reg(Reg::R2), 22, "stale decode executed");
-        assert_eq!(cached.digest(), fresh.digest());
-        assert_eq!(cached.retired(), fresh.retired());
-        assert_eq!(cached.cycles(), fresh.cycles());
+        let fresh = run(false, false);
+        for (dc, be) in [(true, false), (false, true), (true, true)] {
+            let vm = run(dc, be);
+            assert_eq!(vm.cpu().reg(Reg::R2), 22, "stale decode executed (dc={dc}, be={be})");
+            assert_eq!(vm.digest(), fresh.digest());
+            assert_eq!(vm.retired(), fresh.retired());
+            assert_eq!(vm.cycles(), fresh.cycles());
+        }
     }
 
     #[test]
@@ -998,11 +1353,88 @@ mod tests {
         let mut cached = vm_with(build);
         let mut fresh = vm_with(build);
         fresh.config.decode_cache = false;
+        fresh.config.block_engine = false;
         assert_eq!(cached.run(RunBudget::unbounded()), Exit::Halt);
         assert_eq!(fresh.run(RunBudget::unbounded()), Exit::Halt);
         assert_eq!(cached.digest(), fresh.digest());
         assert_eq!(cached.cycles(), fresh.cycles());
         assert_eq!(cached.retired(), fresh.retired());
+        let stats = cached.block_stats();
+        assert!(stats.hits > 0, "the loop re-enters a cached block: {stats:?}");
+    }
+
+    #[test]
+    fn block_engine_budgets_stop_exactly_mid_block() {
+        // A long straight-line run: the retired and cycle budgets both land
+        // in the middle of the cached block and must stop at exactly the
+        // same points as the single-step interpreter.
+        let build = |a: &mut Assembler| {
+            for i in 0..64 {
+                a.movi(Reg::R1, i);
+            }
+            a.hlt();
+        };
+        let mut blocked = vm_with(build);
+        let mut stepped = vm_with(build);
+        stepped.config.block_engine = false;
+        for vm in [&mut blocked, &mut stepped] {
+            assert_eq!(vm.run(RunBudget::until(10)), Exit::BudgetExhausted);
+            assert_eq!(vm.retired(), 10);
+            assert_eq!(vm.run(RunBudget::until_cycles(25)), Exit::BudgetExhausted);
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        }
+        assert_eq!(blocked.retired(), stepped.retired());
+        assert_eq!(blocked.cycles(), stepped.cycles());
+        assert_eq!(blocked.digest(), stepped.digest());
+    }
+
+    #[test]
+    fn block_engine_respects_mid_block_breakpoint_and_skip() {
+        let build = |a: &mut Assembler| {
+            a.movi(Reg::R1, 1);
+            a.movi(Reg::R2, 2);
+            a.movi(Reg::R3, 3);
+            a.hlt();
+        };
+        let mut blocked = vm_with(build);
+        let mut stepped = vm_with(build);
+        stepped.config.block_engine = false;
+        for vm in [&mut blocked, &mut stepped] {
+            vm.add_breakpoint(0x1010);
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Breakpoint { pc: 0x1010 });
+            assert_eq!(vm.cpu().reg(Reg::R3), 0, "breakpointed instruction not yet executed");
+            vm.skip_breakpoint_once();
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+        }
+        assert_eq!(blocked.retired(), stepped.retired());
+        assert_eq!(blocked.cycles(), stepped.cycles());
+        assert_eq!(blocked.digest(), stepped.digest());
+    }
+
+    #[test]
+    fn block_engine_handles_unaligned_entry_pc() {
+        // A hijacked return can land mid-instruction: hand-place decodable
+        // instructions at an unaligned address and enter there. The block
+        // engine must fall back to single-stepping with identical results.
+        let insn_at =
+            |op, rd, imm| u64::from_le_bytes(Instruction::new(op, rd, Reg::R0, Reg::R0, imm).encode());
+        let run = |block_engine: bool| {
+            let mut vm = vm_with(|a| {
+                a.hlt();
+            });
+            vm.config.block_engine = block_engine;
+            vm.mem_mut().write_u64(0x2004, insn_at(Opcode::MovImm, Reg::R1, 77)).unwrap();
+            vm.mem_mut().write_u64(0x200c, insn_at(Opcode::Jmp, Reg::R0, 0x1000)).unwrap();
+            vm.set_entry(0x2004);
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+            vm
+        };
+        let blocked = run(true);
+        let stepped = run(false);
+        assert_eq!(blocked.cpu().reg(Reg::R1), 77);
+        assert_eq!(blocked.retired(), stepped.retired());
+        assert_eq!(blocked.cycles(), stepped.cycles());
+        assert_eq!(blocked.digest(), stepped.digest());
     }
 
     #[test]

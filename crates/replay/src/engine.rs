@@ -43,6 +43,9 @@ pub struct ReplayConfig {
     /// Use the predecoded instruction cache (wall-clock optimization; never
     /// changes virtual cycles or digests).
     pub decode_cache: bool,
+    /// Execute whole cached basic blocks between event horizons (wall-clock
+    /// optimization; never changes virtual cycles or digests).
+    pub block_engine: bool,
     /// Sample the guest PC every `n` retired instructions — a heavier
     /// instrumentation level for re-running alarm replayers ("with
     /// increasing levels of instrumentation", §4.6.2) and for the DOS
@@ -63,6 +66,7 @@ impl Default for ReplayConfig {
             collect_cases: true,
             nesting_ret_sites: Vec::new(),
             decode_cache: true,
+            block_engine: true,
             profile_sample_every: None,
         }
     }
@@ -252,6 +256,7 @@ impl Replayer {
             exits: ExitControls { rdtsc_exiting: true, evict_exiting: false, callret_trap: cfg.callret },
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
+            block_engine: cfg.block_engine,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];
@@ -282,6 +287,7 @@ impl Replayer {
             exits: ExitControls { rdtsc_exiting: true, evict_exiting: false, callret_trap: cfg.callret },
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
+            block_engine: cfg.block_engine,
             ..MachineConfig::default()
         };
         let mut vm = GuestVm::new(machine, &[]);

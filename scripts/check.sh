@@ -6,3 +6,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test --workspace -q --offline
+
+# Perf gate: rerun the attack-pipeline comparison and fail if the baseline
+# and optimized reports diverge, or if the speedup regresses >10% below the
+# committed BENCH_pipeline.json figure. Never rewrites the committed file.
+cargo run --release -q -p rnr-bench --bin pipeline_speed --offline -- --check

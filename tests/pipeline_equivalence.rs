@@ -71,8 +71,20 @@ fn attack_pipeline_equivalent_across_configs() {
     let pooled = run(PipelineConfig { ar_workers: 4, ..base_cfg.clone() });
     assert_eq!(base.to_json(), pooled.to_json(), "AR pool size changed the report");
 
-    let no_cache = run(PipelineConfig { decode_cache: false, ..base_cfg });
+    let no_cache = run(PipelineConfig { decode_cache: false, ..base_cfg.clone() });
     assert_eq!(base.to_json(), no_cache.to_json(), "decode cache changed the report");
+
+    let stepped = run(PipelineConfig { block_engine: false, ..base_cfg.clone() });
+    assert_eq!(base.to_json(), stepped.to_json(), "block engine changed the report");
+
+    let bare = run(PipelineConfig {
+        streaming: false,
+        parallel_alarm_replay: false,
+        decode_cache: false,
+        block_engine: false,
+        ..base_cfg
+    });
+    assert_eq!(base.to_json(), bare.to_json(), "all wall-clock knobs off diverged");
 }
 
 /// The decode cache changes nothing a benign pipeline can observe: digest
@@ -89,6 +101,106 @@ fn benign_pipeline_decode_cache_equivalent() {
     let plain = run(false);
     assert!(cached.replay.verified);
     assert_eq!(cached.to_json(), plain.to_json());
+}
+
+/// The block engine changes nothing a benign pipeline can observe: the full
+/// record → verify → alarm-replay report is bit-identical with block
+/// execution off, and the optimized run actually exercised the block cache.
+#[test]
+fn benign_pipeline_block_engine_equivalent() {
+    let run = |block_engine: bool| {
+        let spec = Workload::Make.spec(false);
+        let cfg = PipelineConfig { duration_insns: 200_000, block_engine, ..PipelineConfig::default() };
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let blocked = run(true);
+    let stepped = run(false);
+    assert!(blocked.replay.verified);
+    assert_eq!(blocked.to_json(), stepped.to_json());
+    assert_eq!(blocked.record.cycles, stepped.record.cycles);
+    assert!(blocked.block_stats.hits > 0, "block cache never hit");
+    assert_eq!(stepped.block_stats.hits, 0, "block stats leaked from a stepped run");
+}
+
+/// The block engine is bit-exact against the single-step interpreter on its
+/// hardest edges, combined in one guest program: self-modifying code that
+/// overwrites an instruction inside the currently cached block, a breakpoint
+/// planted mid-block (re-armed with a skip every pass), an interrupt window
+/// opening mid-stream, and retired budgets that chop blocks at odd offsets.
+#[test]
+fn block_engine_edge_cases_match_single_step() {
+    use rnr_isa::{Assembler, Instruction, Opcode, Reg};
+    use rnr_machine::{Exit, GuestVm, MachineConfig, RunBudget};
+
+    let program = || {
+        let mut asm = Assembler::new(0x1000);
+        let patch = Instruction::new(Opcode::Addi, Reg::R2, Reg::R2, Reg::R0, 7);
+        asm.movi(Reg::R1, 0);
+        asm.movi(Reg::R6, 9); // loop iterations
+        asm.lea(Reg::R5, "patch");
+        asm.movi64(Reg::R4, u64::from_le_bytes(patch.encode()));
+        asm.label("loop");
+        asm.addi(Reg::R1, Reg::R1, 1);
+        asm.addi(Reg::R2, Reg::R2, 3);
+        asm.xor(Reg::R3, Reg::R1, Reg::R2);
+        asm.st(Reg::R5, 0, Reg::R4); // SMC: "patch" sits later in this very block
+        asm.label("patch");
+        asm.nop(); // becomes `addi r2, r2, 7` after the first pass
+        asm.sti();
+        asm.cli();
+        asm.bne(Reg::R1, Reg::R6, "loop");
+        asm.hlt();
+        asm.assemble().unwrap()
+    };
+
+    let vm_at = |block_engine: bool, entry_skew: u64| {
+        let cfg = MachineConfig { block_engine, ..MachineConfig::default() };
+        let mut vm = GuestVm::new(cfg, &[]);
+        let img = program();
+        vm.mem_mut().write_bytes(img.base(), img.bytes()).unwrap();
+        vm.set_entry(img.base() + entry_skew);
+        vm.cpu_mut().set_sp(0x8000);
+        (vm, img)
+    };
+
+    let trace = |block_engine: bool| {
+        let (mut vm, img) = vm_at(block_engine, 0);
+        vm.add_breakpoint(img.require_symbol("loop") + 16); // the `xor`, mid-block
+        vm.request_interrupt_window();
+        let mut events = Vec::new();
+        let mut until = 5;
+        for _ in 0..600 {
+            let exit = vm.run(RunBudget::until(until));
+            events.push((exit.clone(), vm.retired(), vm.cycles()));
+            match exit {
+                Exit::Halt => break,
+                Exit::Breakpoint { .. } => vm.skip_breakpoint_once(),
+                Exit::BudgetExhausted => until = vm.retired() + 5,
+                _ => {}
+            }
+        }
+        (events, vm.digest(), vm.cpu().reg(Reg::R2))
+    };
+    let blocked = trace(true);
+    let stepped = trace(false);
+    assert_eq!(blocked, stepped);
+    assert!(matches!(blocked.0.last(), Some((Exit::Halt, ..))));
+
+    // Hijacked-return style entry: an unaligned PC decodes a skewed byte
+    // stream; the block engine must defer to single-stepping and stay exact.
+    let skewed = |block_engine: bool| {
+        let (mut vm, _img) = vm_at(block_engine, 4);
+        let mut events = Vec::new();
+        for _ in 0..40 {
+            let exit = vm.run(RunBudget::until(vm.retired() + 7));
+            events.push((exit.clone(), vm.retired(), vm.cycles()));
+            if !matches!(exit, Exit::BudgetExhausted) {
+                break;
+            }
+        }
+        (events, vm.digest())
+    };
+    assert_eq!(skewed(true), skewed(false));
 }
 
 /// `Arc`-shared logs replay without copies: two replayers can hold the same

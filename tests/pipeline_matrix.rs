@@ -42,6 +42,23 @@ fn small_ras_increases_alarm_traffic_but_never_convicts_benign_runs() {
 }
 
 #[test]
+fn block_engine_is_invisible_across_all_workloads() {
+    // Every workload mixes interrupts, syscalls, I/O, and call/return
+    // traffic differently; the block engine must be a pure wall-clock knob
+    // on all of them.
+    for w in Workload::ALL {
+        let run = |block_engine: bool| {
+            let cfg = PipelineConfig { duration_insns: 120_000, block_engine, ..PipelineConfig::default() };
+            Pipeline::new(w.spec(false), cfg).run().unwrap_or_else(|e| panic!("{}: {e}", w.label()))
+        };
+        let blocked = run(true);
+        let stepped = run(false);
+        assert_eq!(blocked.to_json(), stepped.to_json(), "{}: block engine visible", w.label());
+        assert_eq!(blocked.record.cycles, stepped.record.cycles, "{}", w.label());
+    }
+}
+
+#[test]
 fn report_json_is_well_formed() {
     let report = Pipeline::new(
         Workload::Radiosity.spec(false),
