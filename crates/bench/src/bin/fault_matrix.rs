@@ -1,0 +1,126 @@
+//! Fault-injection matrix: runs the attack pipeline under every seeded
+//! fault scenario from `rnr_log::fault_scenarios` and checks the
+//! self-healing contract end to end:
+//!
+//! * every **recoverable** scenario (corrupted / dropped / duplicated /
+//!   truncated / delayed transport batches, injected CR and block-engine
+//!   divergences, AR panics, a killed AR worker) must complete with a
+//!   `to_json()` report **byte-identical** to the fault-free run, and its
+//!   `recovery` block must be non-zero (the fault was actually detected
+//!   and healed, not silently missed);
+//! * the **unrecoverable** scenario (retained store poisoned, so
+//!   re-fetching returns the same damage) must fail with the structured
+//!   `ReplayError::Unrecoverable` carrying a rewind trail — never panic.
+//!
+//! Exits nonzero on any violation. Wired into `scripts/check.sh`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rnr_bench::SEED;
+use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan};
+use rnr_replay::ReplayError;
+use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
+use rnr_workloads::WorkloadParams;
+
+/// The attack pipeline under one fault plan — same workload and knobs as
+/// the pipeline equivalence tests, so the fault-free reference exercises
+/// alarms, escalation, and a confirmed ROP verdict.
+fn run_with(plan: FaultPlan) -> Result<PipelineReport, PipelineError> {
+    let (spec, _attack) =
+        rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+    let cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        fault_plan: plan,
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(spec, cfg).run()
+}
+
+fn main() {
+    // Injected AR panics are part of the matrix; keep their backtraces out
+    // of the gate output. Scenario failures are reported explicitly below.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut failures = 0u32;
+
+    let reference = run_with(FaultPlan::default()).expect("fault-free attack pipeline completes");
+    let reference_json = reference.to_json();
+    if reference.recovery.any() {
+        println!("FAIL fault-free: recovery block not quiet: {:?}", reference.recovery);
+        failures += 1;
+    } else {
+        println!(
+            "fault-free: {} attack(s) confirmed, {} alarm(s) escalated, recovery quiet",
+            reference.attacks_confirmed(),
+            reference.replay.alarms_escalated
+        );
+    }
+
+    for (name, plan) in fault_scenarios(SEED) {
+        match catch_unwind(AssertUnwindSafe(|| run_with(plan))) {
+            Err(_) => {
+                println!("FAIL {name}: panicked (recoverable scenarios must heal)");
+                failures += 1;
+            }
+            Ok(Err(e)) => {
+                println!("FAIL {name}: pipeline error: {e}");
+                failures += 1;
+            }
+            Ok(Ok(report)) => {
+                let mut bad = Vec::new();
+                if report.to_json() != reference_json {
+                    bad.push("report differs from fault-free run");
+                }
+                if !report.recovery.any() {
+                    bad.push("no recovery activity recorded (fault missed?)");
+                }
+                if !report.recovery.failed_cases.is_empty() {
+                    bad.push("alarm cases left unresolved");
+                }
+                if bad.is_empty() {
+                    let r = &report.recovery;
+                    println!(
+                        "ok   {name}: rewinds={} refetched={} healed={} dup_dropped={} ar_retries={} \
+                         panics={} workers_lost={} block_fallbacks={}",
+                        r.cr_rewinds,
+                        r.transport.batches_refetched,
+                        r.transport.reorders_healed,
+                        r.transport.duplicates_dropped,
+                        r.ar_case_retries,
+                        r.ar_panics_caught,
+                        r.ar_workers_lost,
+                        r.block_fallback_spans
+                    );
+                } else {
+                    println!("FAIL {name}: {}", bad.join("; "));
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    let (name, plan) = unrecoverable_scenario(SEED);
+    match catch_unwind(AssertUnwindSafe(|| run_with(plan))) {
+        Err(_) => {
+            println!("FAIL {name}: panicked (must fail with a structured error)");
+            failures += 1;
+        }
+        Ok(Ok(_)) => {
+            println!("FAIL {name}: unexpectedly succeeded");
+            failures += 1;
+        }
+        Ok(Err(PipelineError::Replay(ReplayError::Unrecoverable { fault, trail }))) => {
+            println!("ok   {name}: unrecoverable after {} rewind(s): {fault}", trail.len());
+        }
+        Ok(Err(e)) => {
+            println!("FAIL {name}: wrong error shape (want Unrecoverable): {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("fault matrix FAILED: {failures} scenario(s)");
+        std::process::exit(1);
+    }
+    println!("fault matrix passed");
+}

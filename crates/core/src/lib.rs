@@ -43,8 +43,8 @@ mod session;
 pub mod table2;
 
 pub use pipeline::{
-    AlarmResolution, DetectionWindow, Pipeline, PipelineConfig, PipelineError, PipelineReport, RecordSummary,
-    ReplaySummary, VerdictSummary,
+    AlarmResolution, DetectionWindow, FailedCase, Pipeline, PipelineConfig, PipelineError, PipelineReport,
+    RecordSummary, RecoveryReport, ReplaySummary, VerdictSummary,
 };
 pub use session::{Session, SessionError, SessionHeader};
 

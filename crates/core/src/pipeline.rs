@@ -1,13 +1,19 @@
 //! The full RnR-Safe pipeline: record → checkpointing replay → alarm replay.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
-use rnr_log::{log_channel, Category, DEFAULT_BATCH};
+use rnr_log::{log_channel_with, Category, FaultPlan, DEFAULT_BATCH};
 use rnr_machine::CostModel;
 use rnr_ras::RasConfig;
 use rnr_replay::{AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, Verdict, VIRTUAL_HZ};
+
+/// Attempts the AR supervisor makes per alarm case before giving up and
+/// shipping a partial report.
+const MAX_CASE_ATTEMPTS: u32 = 3;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +54,11 @@ pub struct PipelineConfig {
     /// recorder and all replayers (wall-clock optimization; virtual cycles,
     /// digests, and verdicts are identical either way).
     pub block_engine: bool,
+    /// Deterministic fault injections (transport damage, injected
+    /// divergences, AR panics/kills). Empty by default; with an empty plan
+    /// the pipeline's logs, digests, verdicts, and `to_json()` output are
+    /// byte-identical to a run without any fault machinery.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +76,7 @@ impl Default for PipelineConfig {
             streaming: true,
             decode_cache: true,
             block_engine: true,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -80,6 +92,8 @@ pub enum PipelineError {
     Replay(ReplayError),
     /// The replayed state did not match the recording.
     VerificationFailed,
+    /// The recorder thread panicked; the payload is the panic message.
+    RecorderPanicked(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -89,6 +103,7 @@ impl fmt::Display for PipelineError {
             PipelineError::GuestFault(k) => write!(f, "guest fault while recording: {k:?}"),
             PipelineError::Replay(e) => write!(f, "replay failed: {e}"),
             PipelineError::VerificationFailed => write!(f, "replayed state diverged from the recording"),
+            PipelineError::RecorderPanicked(msg) => write!(f, "recorder thread panicked: {msg}"),
         }
     }
 }
@@ -214,6 +229,64 @@ pub struct DetectionWindow {
     pub checkpoints_needed: u64,
 }
 
+/// An alarm case the supervisor could not resolve after every retry. The
+/// rest of the report still ships — one failed alarm never discards the
+/// other verdicts.
+#[derive(Debug, Clone)]
+pub struct FailedCase {
+    /// Index of the alarm record in the input log.
+    pub alarm_index: usize,
+    /// Retired-instruction count of the alarm.
+    pub at_insn: u64,
+    /// Resolution attempts made.
+    pub attempts: u32,
+    /// The last error or panic message.
+    pub error: String,
+}
+
+/// What the pipeline's fault-recovery machinery did during one run. All
+/// zeros on a clean run; excluded from [`PipelineReport::to_json`] like
+/// `block_stats`, because recovery activity is a wall-clock/transport
+/// matter that must never change the report.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Checkpoint rewinds performed by the CR.
+    pub cr_rewinds: u64,
+    /// Instructions the CR re-executed across rewinds.
+    pub cr_rewound_insns: u64,
+    /// Divergence-quarantined spans re-executed with the block engine off.
+    pub block_fallback_spans: u64,
+    /// Transport-level detections and healings (checksum failures,
+    /// re-fetched batches, healed reorders, virtual-time backoff).
+    pub transport: rnr_log::TransportStats,
+    /// The CR's rewind trail, in order.
+    pub rewind_trail: Vec<rnr_replay::RewindStep>,
+    /// AR case retries beyond each first attempt.
+    pub ar_case_retries: u64,
+    /// AR panics caught and isolated by the supervisor.
+    pub ar_panics_caught: u64,
+    /// AR pool workers lost (their cases were re-resolved inline).
+    pub ar_workers_lost: u64,
+    /// Cases that stayed unresolved after every retry (partial report).
+    pub failed_cases: Vec<FailedCase>,
+}
+
+impl RecoveryReport {
+    /// True when any fault was detected, healed, or worked around.
+    pub fn any(&self) -> bool {
+        self.cr_rewinds > 0
+            || self.block_fallback_spans > 0
+            || self.transport.faults_detected > 0
+            || self.transport.duplicates_dropped > 0
+            || self.transport.reorders_healed > 0
+            || self.transport.batches_refetched > 0
+            || self.ar_case_retries > 0
+            || self.ar_panics_caught > 0
+            || self.ar_workers_lost > 0
+            || !self.failed_cases.is_empty()
+    }
+}
+
 /// The full pipeline report.
 #[derive(Debug)]
 pub struct PipelineReport {
@@ -230,6 +303,10 @@ pub struct PipelineReport {
     /// part of [`PipelineReport::to_json`], which must stay byte-identical
     /// across wall-clock knobs.
     pub block_stats: rnr_machine::BlockStats,
+    /// Fault-recovery activity. Like `block_stats`, deliberately NOT part
+    /// of [`PipelineReport::to_json`]: a recovered run's report is
+    /// byte-identical to a fault-free run's.
+    pub recovery: RecoveryReport,
 }
 
 impl PipelineReport {
@@ -296,6 +373,12 @@ impl Pipeline {
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
             block_engine: cfg.block_engine,
+            // The CR is supervised: it retains recovery points and heals
+            // transport faults and transient divergences by rewinding to
+            // the last good checkpoint (recovery activity never changes
+            // the report — see `RecoveryReport`).
+            resilient: true,
+            fault_plan: cfg.fault_plan.clone(),
             ..ReplayConfig::default()
         };
         // Phases 1 + 2: monitored recording and checkpointing replay —
@@ -306,12 +389,31 @@ impl Pipeline {
         } else {
             self.record_and_replay_sequential(rc, replay_cfg.clone())?
         };
-        // Phase 3: alarm replay for every escalated case — on a bounded
-        // worker pool when configured ("multiple ARs… in parallel", §6).
-        // Resolution order (and therefore the report) stays deterministic.
-        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log)).with_config(replay_cfg);
-        let resolve_one = |case: &rnr_replay::AlarmCase| -> Result<AlarmResolution, ReplayError> {
-            let (verdict, ar_out) = ar.resolve(case)?;
+        // Phase 3: alarm replay for every escalated case — on a bounded,
+        // supervised worker pool when configured ("multiple ARs… in
+        // parallel", §6). Each case is resolved under `catch_unwind` with
+        // bounded retries; a killed worker's abandoned cases are
+        // re-resolved inline. Resolution order (and therefore the report)
+        // stays deterministic. The ARs get a scrubbed config: the plan's
+        // injections target the CR and must not re-fire during alarm
+        // replay, and an AR surfaces divergence as evidence instead of
+        // healing it.
+        let ar_cfg = ReplayConfig { resilient: false, fault_plan: FaultPlan::default(), ..replay_cfg };
+        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log)).with_config(ar_cfg);
+        let plan = &cfg.fault_plan;
+        let ar_retries = AtomicU64::new(0);
+        let ar_panics = AtomicU64::new(0);
+        let workers_lost = AtomicU64::new(0);
+        let resolve_once = |i: usize, case: &rnr_replay::AlarmCase, attempt: u32| {
+            // Injections fire on the first attempt only: a retry of the
+            // same case models the transient fault having cleared.
+            if attempt == 0 && plan.ar_panic_case == Some(i) {
+                panic!("injected alarm-replayer panic (fault plan)");
+            }
+            if attempt == 0 && plan.ar_divergence_case == Some(i) {
+                return Err("injected transient alarm-replay divergence (fault plan)".to_string());
+            }
+            let (verdict, ar_out) = ar.resolve(case).map_err(|e| e.to_string())?;
             Ok(AlarmResolution {
                 at_insn: case.alarm.at_insn,
                 at_cycle: case.alarm.at_cycle,
@@ -322,44 +424,105 @@ impl Pipeline {
                 ar_block_stats: ar_out.vm().block_stats(),
             })
         };
+        let resolve_supervised = |i: usize, case: &rnr_replay::AlarmCase| {
+            let mut last_error = String::new();
+            for attempt in 0..MAX_CASE_ATTEMPTS {
+                if attempt > 0 {
+                    ar_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                match catch_unwind(AssertUnwindSafe(|| resolve_once(i, case, attempt))) {
+                    Ok(Ok(resolution)) => return Ok(resolution),
+                    Ok(Err(msg)) => last_error = msg,
+                    Err(payload) => {
+                        ar_panics.fetch_add(1, Ordering::Relaxed);
+                        last_error = format!("panic: {}", panic_text(payload.as_ref()));
+                    }
+                }
+            }
+            Err(FailedCase {
+                alarm_index: i,
+                at_insn: case.alarm.at_insn,
+                attempts: MAX_CASE_ATTEMPTS,
+                error: last_error,
+            })
+        };
         let cases = &cr_out.alarm_cases;
         let workers = ar_worker_count(cfg, cases.len());
-        let resolutions: Vec<AlarmResolution> = if workers > 1 {
-            let next = std::sync::atomic::AtomicUsize::new(0);
+        let kill_at = plan.kill_ar_worker_at_case;
+        let mut slots: Vec<Option<Result<AlarmResolution, FailedCase>>> = if workers > 1 {
+            let next = AtomicUsize::new(0);
+            let killed = AtomicBool::new(false);
             let (tx, rx) = std::sync::mpsc::channel();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
-                    let resolve_one = &resolve_one;
+                    let killed = &killed;
+                    let resolve_supervised = &resolve_supervised;
+                    let workers_lost = &workers_lost;
                     scope.spawn(move || loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(case) = cases.get(i) else { break };
-                        if tx.send((i, resolve_one(case))).is_err() {
+                        // The fault plan may kill one worker as it picks
+                        // up this case: it abandons the case unresolved
+                        // and exits; the supervisor fills the hole below.
+                        if kill_at == Some(i) && !killed.swap(true, Ordering::Relaxed) {
+                            workers_lost.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        if tx.send((i, resolve_supervised(i, case))).is_err() {
                             break;
                         }
                     });
                 }
                 drop(tx);
-                let mut slots: Vec<Option<Result<AlarmResolution, ReplayError>>> =
-                    (0..cases.len()).map(|_| None).collect();
+                let mut slots: Vec<Option<_>> = (0..cases.len()).map(|_| None).collect();
                 for (i, result) in rx {
                     slots[i] = Some(result);
                 }
                 slots
-                    .into_iter()
-                    .map(|s| s.expect("worker pool resolves every case"))
-                    .collect::<Result<Vec<_>, _>>()
-            })?
+            })
         } else {
-            cases.iter().map(resolve_one).collect::<Result<Vec<_>, _>>()?
+            // Inline resolution: the "pool" of one is the supervisor
+            // itself, so a kill spec is recorded and the case resolved
+            // immediately anyway.
+            if kill_at.is_some_and(|k| k < cases.len()) {
+                workers_lost.fetch_add(1, Ordering::Relaxed);
+            }
+            cases.iter().enumerate().map(|(i, case)| Some(resolve_supervised(i, case))).collect()
         };
+        // Cases abandoned by a killed worker are re-resolved inline — the
+        // report never silently drops a verdict.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(resolve_supervised(i, &cases[i]));
+            }
+        }
+        let mut resolutions = Vec::with_capacity(cases.len());
+        let mut failed_cases = Vec::new();
+        for slot in slots.into_iter().flatten() {
+            match slot {
+                Ok(resolution) => resolutions.push(resolution),
+                Err(failed) => failed_cases.push(failed),
+            }
+        }
         let detection = detection_window(cfg, &rec, &resolutions);
         let mut block_stats = rec.block_stats;
         block_stats.merge(&cr_out.vm().block_stats());
         for r in &resolutions {
             block_stats.merge(&r.ar_block_stats);
         }
+        let recovery = RecoveryReport {
+            cr_rewinds: cr_out.recovery.rewinds,
+            cr_rewound_insns: cr_out.recovery.rewound_insns,
+            block_fallback_spans: cr_out.recovery.block_fallback_spans,
+            transport: cr_out.recovery.transport,
+            rewind_trail: cr_out.recovery.trail.clone(),
+            ar_case_retries: ar_retries.load(Ordering::Relaxed),
+            ar_panics_caught: ar_panics.load(Ordering::Relaxed),
+            ar_workers_lost: workers_lost.load(Ordering::Relaxed),
+            failed_cases,
+        };
         Ok(PipelineReport {
             record: RecordSummary {
                 workload: self.spec.name.clone(),
@@ -375,7 +538,7 @@ impl Pipeline {
             },
             replay: ReplaySummary {
                 cycles: cr_out.cycles,
-                verified: true,
+                verified: cr_out.verified == Some(true),
                 checkpoints_taken: cr_out.checkpoints_taken,
                 checkpoints_live_max: cr_out.checkpoints_live_max,
                 alarms_seen: cr_out.alarms_seen,
@@ -385,6 +548,7 @@ impl Pipeline {
             resolutions,
             detection,
             block_stats,
+            recovery,
         })
     }
 
@@ -395,7 +559,11 @@ impl Pipeline {
         rc: RecordConfig,
         replay_cfg: ReplayConfig,
     ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
-        let rec = Recorder::new(&self.spec, rc)?.run();
+        let recorder = Recorder::new(&self.spec, rc)?;
+        let rec = match catch_unwind(AssertUnwindSafe(move || recorder.run())) {
+            Ok(rec) => rec,
+            Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
+        };
         if let Some(fault) = rec.fault {
             return Err(PipelineError::GuestFault(fault));
         }
@@ -421,20 +589,31 @@ impl Pipeline {
         replay_cfg: ReplayConfig,
     ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
         let mut recorder = Recorder::new(&self.spec, rc)?;
-        let (sink, stream) = log_channel(DEFAULT_BATCH);
+        let (sink, stream) = log_channel_with(DEFAULT_BATCH, &self.config.fault_plan);
         recorder.stream_to(sink);
-        let (rec, cr_result) = std::thread::scope(|scope| {
-            let handle = scope.spawn(move || recorder.run());
+        let (rec_result, cr_result) = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || catch_unwind(AssertUnwindSafe(move || recorder.run())));
             let cr = Replayer::new(&self.spec, stream, replay_cfg);
             let cr_result = cr.run();
-            let rec = handle.join().expect("recorder thread panicked");
-            (rec, cr_result)
+            // `catch_unwind` inside the thread carries any recorder panic
+            // out as a value, so `join` itself cannot fail here; fold the
+            // two layers into one.
+            let rec_result = handle.join().unwrap_or_else(Err);
+            (rec_result, cr_result)
         });
+        // Precedence: a recorder panic explains everything downstream
+        // (including whatever truncated-log error it induced in the CR),
+        // then a guest fault, then the CR's own result.
+        let rec = match rec_result {
+            Ok(rec) => rec,
+            Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
+        };
         if let Some(fault) = rec.fault {
             return Err(PipelineError::GuestFault(fault));
         }
-        let cr_out = cr_result?;
-        if cr_out.final_digest != rec.final_digest {
+        let mut cr_out = cr_result?;
+        cr_out.verified = Some(cr_out.final_digest == rec.final_digest);
+        if cr_out.verified != Some(true) {
             return Err(PipelineError::VerificationFailed);
         }
         Ok((rec, cr_out))
@@ -454,6 +633,17 @@ fn ar_worker_count(cfg: &PipelineConfig, cases: usize) -> usize {
         cfg.ar_workers
     };
     configured.clamp(1, cases)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 fn summarize(verdict: &Verdict) -> VerdictSummary {

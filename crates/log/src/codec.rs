@@ -11,7 +11,8 @@ use rnr_ras::{Mispredict, MispredictKind, ThreadId};
 
 use crate::{AlarmInfo, DmaSource, Record};
 
-/// Errors from decoding log bytes ([`crate::InputLog::from_bytes`]).
+/// Errors from decoding log bytes ([`crate::InputLog::from_bytes`]) or
+/// transport frames ([`crate::decode_frame`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// Input ended inside a record.
@@ -20,6 +21,24 @@ pub enum CodecError {
     BadTag(u8),
     /// Unknown enum discriminant inside a record.
     BadField(&'static str, u8),
+    /// A transport frame's CRC32 did not match its payload.
+    FrameChecksum {
+        /// Sequence number carried by the damaged frame.
+        seq: u64,
+    },
+    /// A transport frame ended before its declared payload length.
+    FrameTruncated {
+        /// Sequence number carried by the damaged frame (0 when the header
+        /// itself was cut short).
+        seq: u64,
+    },
+    /// The transport delivered a frame sequence with a hole in it.
+    SequenceGap {
+        /// The next sequence number the consumer needed.
+        expected: u64,
+        /// The smallest out-of-order sequence number actually seen.
+        got: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -28,6 +47,11 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated log data"),
             CodecError::BadTag(t) => write!(f, "unknown record tag {t:#04x}"),
             CodecError::BadField(what, v) => write!(f, "invalid {what} discriminant {v:#04x}"),
+            CodecError::FrameChecksum { seq } => write!(f, "frame {seq}: CRC32 mismatch"),
+            CodecError::FrameTruncated { seq } => write!(f, "frame {seq}: truncated payload"),
+            CodecError::SequenceGap { expected, got } => {
+                write!(f, "frame sequence gap: expected {expected}, got {got}")
+            }
         }
     }
 }

@@ -18,7 +18,13 @@
 //! * [`log_channel`] / [`LogSink`] / [`LogStream`] / [`LogSource`] — the
 //!   streaming transport that lets the checkpointing replayer consume the
 //!   log concurrently with its generation (§4.6.1), instead of waiting for
-//!   the recording to finish.
+//!   the recording to finish. Batches travel as checksummed,
+//!   sequence-numbered frames ([`encode_frame`] / [`decode_frame`]) so a
+//!   faulty transport is detected and healed, not silently replayed.
+//! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seeded fault
+//!   injection (corrupt/drop/duplicate/delay/truncate a frame, plus replay
+//!   and AR-supervisor injection points) so every failure scenario is
+//!   reproducible from `(seed, plan)`.
 //! * a compact binary codec ([`InputLog::to_bytes`] /
 //!   [`InputLog::from_bytes`]) so log sizes are measured, not estimated.
 
@@ -27,6 +33,8 @@
 
 mod codec;
 mod cursor;
+mod fault;
+mod frame;
 mod record;
 mod source;
 mod stream;
@@ -34,7 +42,15 @@ mod writer;
 
 pub use codec::CodecError;
 pub use cursor::LogCursor;
+pub use fault::{
+    fault_scenarios, splitmix64, unrecoverable_scenario, FaultInjector, FaultPlan, InjectedFrame,
+    TransportFault, TransportFaultKind,
+};
+pub use frame::{crc32, decode_frame, encode_frame, FRAME_HEADER};
 pub use record::{AlarmInfo, Category, DmaSource, Record};
 pub use source::LogSource;
-pub use stream::{log_channel, LogSink, LogStream, DEFAULT_BATCH};
+pub use stream::{
+    log_channel, log_channel_with, LogSink, LogStream, TransportStats, BACKOFF_BASE_VCYCLES, DEFAULT_BATCH,
+    MAX_REFETCH_RETRIES,
+};
 pub use writer::{InputLog, LogWriter};

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use crate::{InputLog, LogStream, Record};
+use crate::{CodecError, InputLog, LogStream, Record, TransportStats};
 
 /// Where a replayer reads its records from.
 ///
@@ -15,8 +15,10 @@ use crate::{InputLog, LogStream, Record};
 pub enum LogSource {
     /// A finished recording, shared without copying.
     Complete(Arc<InputLog>),
-    /// A live recording; reads block until the recorder catches up.
-    Streaming(LogStream),
+    /// A live recording; reads block until the recorder catches up. Boxed:
+    /// the stream carries reorder-healing and recovery state, and the
+    /// common alarm-replay/audit case is `Complete`.
+    Streaming(Box<LogStream>),
 }
 
 impl LogSource {
@@ -26,6 +28,42 @@ impl LogSource {
         match self {
             LogSource::Complete(log) => log.records().get(index),
             LogSource::Streaming(stream) => stream.get(index),
+        }
+    }
+
+    /// Fault-aware [`LogSource::get`]: a streaming source surfaces detected
+    /// transport faults instead of swallowing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`CodecError`] of a streaming source; complete
+    /// logs never fail.
+    pub fn try_get(&mut self, index: usize) -> Result<Option<&Record>, CodecError> {
+        match self {
+            LogSource::Complete(log) => Ok(log.records().get(index)),
+            LogSource::Streaming(stream) => stream.try_get(index),
+        }
+    }
+
+    /// Attempts to heal a latched transport fault by re-requesting from the
+    /// recorder's retained store ([`LogStream::recover`]). A no-op for
+    /// complete logs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault when recovery is impossible.
+    pub fn recover(&mut self) -> Result<(), CodecError> {
+        match self {
+            LogSource::Complete(_) => Ok(()),
+            LogSource::Streaming(stream) => stream.recover(),
+        }
+    }
+
+    /// Transport health counters (zero for a complete source).
+    pub fn transport_stats(&self) -> TransportStats {
+        match self {
+            LogSource::Complete(_) => TransportStats::default(),
+            LogSource::Streaming(stream) => stream.transport_stats(),
         }
     }
 
@@ -53,7 +91,7 @@ impl From<InputLog> for LogSource {
 
 impl From<LogStream> for LogSource {
     fn from(stream: LogStream) -> LogSource {
-        LogSource::Streaming(stream)
+        LogSource::Streaming(Box::new(stream))
     }
 }
 

@@ -385,6 +385,20 @@ impl GuestVm {
         }
     }
 
+    /// Whether the block-engine config knob is currently on.
+    pub fn block_engine_enabled(&self) -> bool {
+        self.config.block_engine
+    }
+
+    /// Toggles block execution at runtime. Replay recovery uses this to
+    /// quarantine the block engine after a divergence: the failed span is
+    /// re-executed single-stepped (bit-exact by construction), and blocks
+    /// are re-enabled once a checkpoint proves the span clean. Purely a
+    /// wall-clock knob — virtual cycles and digests never depend on it.
+    pub fn set_block_engine(&mut self, on: bool) {
+        self.config.block_engine = on;
+    }
+
     /// Whether [`GuestVm::run`] may execute whole basic blocks.
     ///
     /// Besides the config knob, block execution requires every

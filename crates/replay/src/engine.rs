@@ -52,6 +52,13 @@ pub struct ReplayConfig {
     /// replay role ("the replay analyzes the code that has dominated the
     /// system's execution time", Table 1).
     pub profile_sample_every: Option<u64>,
+    /// Recover from transport faults and transient divergences by rewinding
+    /// to the last retained checkpoint and re-requesting the span (the CR's
+    /// deployment posture). Off by default: alarm replayers and the tamper
+    /// tests want divergence surfaced immediately.
+    pub resilient: bool,
+    /// Deterministic fault injections for this replay (empty = none).
+    pub fault_plan: rnr_log::FaultPlan,
 }
 
 impl Default for ReplayConfig {
@@ -68,6 +75,8 @@ impl Default for ReplayConfig {
             decode_cache: true,
             block_engine: true,
             profile_sample_every: None,
+            resilient: false,
+            fault_plan: rnr_log::FaultPlan::default(),
         }
     }
 }
@@ -117,6 +126,17 @@ pub enum ReplayError {
     GuestFault(FaultKind),
     /// The log ended without an `End` marker.
     UnexpectedEndOfLog,
+    /// The log transport detected corruption, truncation, or a sequence
+    /// anomaly that has not (yet) been healed.
+    Transport(rnr_log::CodecError),
+    /// Recovery was attempted and exhausted: the named fault persisted
+    /// through every rewind/re-request the policy allows.
+    Unrecoverable {
+        /// The fault that could not be healed.
+        fault: Box<ReplayError>,
+        /// Every rewind the replayer performed before giving up.
+        trail: Vec<RewindStep>,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -127,11 +147,55 @@ impl fmt::Display for ReplayError {
             }
             ReplayError::GuestFault(k) => write!(f, "guest fault during replay: {k:?}"),
             ReplayError::UnexpectedEndOfLog => write!(f, "input log ended without an End marker"),
+            ReplayError::Transport(e) => write!(f, "log transport fault: {e}"),
+            ReplayError::Unrecoverable { fault, trail } => {
+                write!(f, "unrecoverable after {} rewind(s): {fault}", trail.len())
+            }
         }
     }
 }
 
 impl std::error::Error for ReplayError {}
+
+/// One checkpoint rewind performed during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewindStep {
+    /// Retired-instruction count when the fault surfaced.
+    pub at_insn: u64,
+    /// The checkpoint instruction count rewound to.
+    pub to_insn: u64,
+    /// Id of the checkpoint restored.
+    pub checkpoint_id: u64,
+    /// The fault that forced the rewind.
+    pub reason: String,
+}
+
+/// What recovery did during one replay run (all zeros when nothing faulted).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayRecovery {
+    /// Checkpoint rewinds performed.
+    pub rewinds: u64,
+    /// Instructions re-executed across all rewinds.
+    pub rewound_insns: u64,
+    /// Divergence-quarantined spans re-executed with the block engine off.
+    pub block_fallback_spans: u64,
+    /// Transport-level detections and healings.
+    pub transport: rnr_log::TransportStats,
+    /// The rewind trail, in order.
+    pub trail: Vec<RewindStep>,
+}
+
+impl ReplayRecovery {
+    /// True when any fault was detected, healed, or worked around.
+    pub fn any(&self) -> bool {
+        self.rewinds > 0
+            || self.block_fallback_spans > 0
+            || self.transport.faults_detected > 0
+            || self.transport.duplicates_dropped > 0
+            || self.transport.reorders_healed > 0
+            || self.transport.batches_refetched > 0
+    }
+}
 
 /// A shadow-RAS anomaly observed at a trapped return (alarm replay).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +256,8 @@ pub struct ReplayOutcome {
     pub callret_traps: u64,
     /// Console output reproduced by the replayed guest.
     pub console: Vec<u8>,
+    /// What fault recovery did during this run (all zeros when clean).
+    pub recovery: ReplayRecovery,
     /// Shadow-RAS anomalies (alarm replay only).
     pub(crate) shadow_events: Vec<ShadowEvent>,
     /// PC-sample histogram (`pc -> samples`), when profiling was enabled.
@@ -240,7 +306,48 @@ pub struct Replayer {
     next_checkpoint_id: u64,
     profile: std::collections::HashMap<Addr, u64>,
     next_sample: u64,
+    /// Side-state snapshot matching the latest checkpoint, for in-place
+    /// rewinds (resilient mode only).
+    recovery_point: Option<Box<RecoveryPoint>>,
+    recovery: ReplayRecovery,
+    /// Retired count of the last recovered fault + attempts at that point.
+    last_fault_insn: Option<u64>,
+    same_point_attempts: u32,
+    /// Block engine disabled for the current span after a divergence.
+    block_quarantined: bool,
+    injected_cr_fired: bool,
+    injected_block_fired: bool,
 }
+
+/// Everything [`Replayer::rewind`] needs beyond the [`Checkpoint`] itself:
+/// the replayer-level accumulators that the checkpoint (sized for alarm
+/// replay) does not carry. Captured at every checkpoint in resilient mode,
+/// so a rewound span never contains a checkpoint boundary.
+#[derive(Debug, Clone)]
+struct RecoveryPoint {
+    checkpoint: Checkpoint,
+    /// The replayer's own table *without* the checkpoint's extra
+    /// save of the running thread's RAS — exact continuation state.
+    backras: BackRasTable,
+    attribution: CycleAttribution,
+    landing: StdRng,
+    alarms_seen: u64,
+    cancelled: u64,
+    cases_len: usize,
+    jop_len: usize,
+    callret_traps: u64,
+    console_len: usize,
+    shadow_events_len: usize,
+    last_checkpoint_cycle: u64,
+    next_checkpoint_id: u64,
+    next_sample: u64,
+    profile: std::collections::HashMap<Addr, u64>,
+}
+
+/// Total checkpoint rewinds a resilient replay may perform.
+const MAX_REWINDS: u64 = 16;
+/// Recovery attempts allowed for a fault recurring at one instruction.
+const MAX_ATTEMPTS_PER_POINT: u32 = 3;
 
 impl Replayer {
     /// A replayer starting from the initial VM state (the CR, §4.6.1).
@@ -360,6 +467,13 @@ impl Replayer {
             next_checkpoint_id: 0,
             profile: std::collections::HashMap::new(),
             next_sample: cfg.profile_sample_every.unwrap_or(0),
+            recovery_point: None,
+            recovery: ReplayRecovery::default(),
+            last_fault_insn: None,
+            same_point_attempts: 0,
+            block_quarantined: false,
+            injected_cr_fired: false,
+            injected_block_fired: false,
             cfg,
         }
     }
@@ -386,11 +500,18 @@ impl Replayer {
 
     /// Runs the replay to the end of the log (or the configured stop point).
     ///
+    /// In resilient mode ([`ReplayConfig::resilient`]), transport faults
+    /// and transient divergences trigger recovery — rewind to the latest
+    /// retained checkpoint, re-request the damaged span from the recorder's
+    /// retained log, re-execute — before any error is surfaced.
+    ///
     /// # Errors
     ///
     /// Returns [`ReplayError::Divergence`] when the execution does not match
     /// the log — which, under RnR's determinism guarantee, indicates a bug
-    /// or tampering, not a tolerable condition.
+    /// or tampering, not a tolerable condition — and
+    /// [`ReplayError::Unrecoverable`] when resilient-mode recovery was
+    /// exhausted without healing the fault.
     pub fn run(mut self) -> Result<ReplayOutcome, ReplayError> {
         if self.cfg.collect_cases {
             // The initial checkpoint: alarms before the first interval need
@@ -398,34 +519,50 @@ impl Replayer {
             self.take_checkpoint();
         }
         loop {
+            match self.drive() {
+                Ok(()) => return Ok(self.finish()),
+                Err(e) => self.try_recover(e)?,
+            }
+        }
+    }
+
+    /// The main replay loop; returns `Ok(())` at the end of the log or a
+    /// configured stop point, and bubbles every fault to [`Replayer::run`]
+    /// for the recovery decision.
+    fn drive(&mut self) -> Result<(), ReplayError> {
+        loop {
+            self.check_injected_faults()?;
             if let Some(stop) = self.stop_after_record {
                 if self.cursor.index() > stop {
-                    return Ok(self.finish(None));
+                    return Ok(());
                 }
             }
             if let Some(stop) = self.stop_at_insn {
                 if self.vm.retired() >= stop {
-                    return Ok(self.finish(None));
+                    return Ok(());
                 }
                 // Do not run past the audit point for records with a known
                 // injection/arrival instruction.
                 let idx = self.cursor.index();
-                if let Some(at) = self.source.get(idx).and_then(rnr_log::Record::at_insn) {
+                let next = self.source.try_get(idx).map_err(ReplayError::Transport)?;
+                if let Some(at) = next.and_then(rnr_log::Record::at_insn) {
                     if at > stop {
                         self.run_to(stop)?;
-                        return Ok(self.finish(None));
+                        return Ok(());
                     }
                 }
             }
             let index = self.cursor.index();
-            let Some(record) = self.source.get(index).cloned() else {
-                return Err(ReplayError::UnexpectedEndOfLog);
+            let record = match self.source.try_get(index) {
+                Ok(Some(r)) => r.clone(),
+                Ok(None) => return Err(ReplayError::UnexpectedEndOfLog),
+                Err(e) => return Err(ReplayError::Transport(e)),
             };
             match record {
                 Record::End { at_insn, .. } => {
                     self.run_to(at_insn)?;
                     self.cursor.advance();
-                    return Ok(self.finish(Some(at_insn)));
+                    return Ok(());
                 }
                 Record::Evict { tid, addr } => {
                     self.evict_store.entry(tid).or_default().push(addr);
@@ -512,13 +649,15 @@ impl Replayer {
         }
     }
 
-    fn finish(mut self, _end_insn: Option<u64>) -> ReplayOutcome {
+    fn finish(mut self) -> ReplayOutcome {
         let final_digest = {
             let mut h = Fnv1a::new();
             h.update_u64(self.vm.digest().0);
             h.update_u64(self.disk.store().digest().0);
             h.finish()
         };
+        let mut recovery = std::mem::take(&mut self.recovery);
+        recovery.transport = self.source.transport_stats();
         ReplayOutcome {
             cycles: self.vm.cycles() - self.start_cycles,
             retired: self.vm.retired(),
@@ -533,10 +672,120 @@ impl Replayer {
             jop_cases: std::mem::take(&mut self.jop_cases),
             callret_traps: self.callret_traps,
             console: std::mem::take(&mut self.console),
+            recovery,
             shadow_events: std::mem::take(&mut self.shadow_events),
             profile: std::mem::take(&mut self.profile),
             vm: self.vm,
         }
+    }
+
+    /// Fires the fault plan's replay-level injections (transient CR
+    /// divergence, block-engine divergence) exactly once each. The fired
+    /// flags are deliberately *not* rolled back by a rewind — a healed
+    /// transient fault must not re-fire, or recovery would loop forever.
+    fn check_injected_faults(&mut self) -> Result<(), ReplayError> {
+        if let Some(at) = self.cfg.fault_plan.cr_divergence_at_insn {
+            if !self.injected_cr_fired && self.vm.retired() >= at {
+                self.injected_cr_fired = true;
+                return Err(self.diverge("injected transient divergence (fault plan)"));
+            }
+        }
+        if let Some(at) = self.cfg.fault_plan.block_divergence_at_insn {
+            if !self.injected_block_fired && self.vm.retired() >= at {
+                self.injected_block_fired = true;
+                return Err(self.diverge("injected block-engine divergence (fault plan)"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The recovery decision: heal and rewind, or surface the fault.
+    ///
+    /// Recoverable faults (resilient mode only) are transport faults —
+    /// healed by re-requesting the span from the recorder's retained log —
+    /// and divergences, treated as transient and re-executed from the last
+    /// checkpoint (with the block engine quarantined for the span, since a
+    /// block-engine bug is one plausible cause). Bounded: a fault that
+    /// recurs at the same instruction [`MAX_ATTEMPTS_PER_POINT`] times, or
+    /// more than [`MAX_REWINDS`] rewinds overall, becomes
+    /// [`ReplayError::Unrecoverable`] carrying the rewind trail.
+    fn try_recover(&mut self, err: ReplayError) -> Result<(), ReplayError> {
+        let retriable = matches!(err, ReplayError::Transport(_) | ReplayError::Divergence { .. });
+        if !self.cfg.resilient || !retriable || self.recovery_point.is_none() {
+            return Err(err);
+        }
+        let at = self.vm.retired();
+        if self.last_fault_insn == Some(at) {
+            self.same_point_attempts += 1;
+        } else {
+            self.last_fault_insn = Some(at);
+            self.same_point_attempts = 1;
+        }
+        if self.recovery.rewinds >= MAX_REWINDS || self.same_point_attempts > MAX_ATTEMPTS_PER_POINT {
+            return Err(self.unrecoverable(err));
+        }
+        if let ReplayError::Transport(_) = &err {
+            // Re-request the damaged frame (bounded retries, backoff in
+            // virtual time) before re-executing the span.
+            if let Err(c) = self.source.recover() {
+                return Err(self.unrecoverable(ReplayError::Transport(c)));
+            }
+        }
+        if matches!(err, ReplayError::Divergence { .. }) && self.vm.block_engine_enabled() {
+            // Graceful degradation: re-execute the failed span stepped; the
+            // next checkpoint lifts the quarantine.
+            self.vm.set_block_engine(false);
+            self.block_quarantined = true;
+            self.recovery.block_fallback_spans += 1;
+        }
+        let step = self.rewind(&err.to_string());
+        self.recovery.rewinds += 1;
+        self.recovery.rewound_insns += step.at_insn.saturating_sub(step.to_insn);
+        self.recovery.trail.push(step);
+        Ok(())
+    }
+
+    fn unrecoverable(&mut self, fault: ReplayError) -> ReplayError {
+        ReplayError::Unrecoverable { fault: Box::new(fault), trail: self.recovery.trail.clone() }
+    }
+
+    /// In-place rewind to the latest recovery point: restores the VM (warm
+    /// page restore — unchanged pages stay `Arc`-shared), the disk, and
+    /// every replayer-level accumulator, so re-execution is bit-identical
+    /// to a run that never faulted.
+    fn rewind(&mut self, reason: &str) -> RewindStep {
+        let rp = self.recovery_point.clone().expect("try_recover checked the recovery point");
+        let cp = &rp.checkpoint;
+        let from = self.vm.retired();
+        self.vm.mem_mut().restore_pages(cp.mem_pages.clone());
+        // Discard the restore's epoch noise (restore marks every page dirty
+        // and may count CoW activity): the re-executed span must observe
+        // exactly the fault-free run's dirtying, or checkpoint costs would
+        // drift.
+        let _ = self.vm.mem_mut().begin_epoch();
+        let _ = self.vm.mem_mut().take_cow_faults();
+        self.vm.cpu_mut().restore_state(&cp.cpu);
+        self.vm.restore_counters(cp.at_insn, cp.at_cycle);
+        self.disk = cp.disk.clone();
+        self.backras = rp.backras.clone();
+        self.current_tid = cp.current_tid;
+        self.dying = cp.dying;
+        self.cursor = cp.cursor;
+        self.evict_store = cp.evict_store.clone();
+        self.attribution = rp.attribution.clone();
+        self.landing = rp.landing.clone();
+        self.alarms_seen = rp.alarms_seen;
+        self.cancelled = rp.cancelled;
+        self.cases.truncate(rp.cases_len);
+        self.jop_cases.truncate(rp.jop_len);
+        self.callret_traps = rp.callret_traps;
+        self.console.truncate(rp.console_len);
+        self.shadow_events.truncate(rp.shadow_events_len);
+        self.last_checkpoint_cycle = rp.last_checkpoint_cycle;
+        self.next_checkpoint_id = rp.next_checkpoint_id;
+        self.next_sample = rp.next_sample;
+        self.profile = rp.profile.clone();
+        RewindStep { at_insn: from, to_insn: cp.at_insn, checkpoint_id: cp.id, reason: reason.to_string() }
     }
 
     fn diverge(&self, detail: &str) -> ReplayError {
@@ -607,6 +856,12 @@ impl Replayer {
     }
 
     fn take_checkpoint(&mut self) {
+        if self.block_quarantined {
+            // The quarantined span reached a clean checkpoint: lift the
+            // stepped-execution fallback.
+            self.vm.set_block_engine(true);
+            self.block_quarantined = false;
+        }
         let dirty_pages = self.vm.mem_mut().begin_epoch().len();
         let cow_faults = self.vm.mem_mut().take_cow_faults();
         let dirty_blocks = self.disk.store_mut().begin_epoch().len();
@@ -637,6 +892,25 @@ impl Replayer {
         };
         self.next_checkpoint_id += 1;
         self.last_checkpoint_cycle = self.vm.cycles();
+        if self.cfg.resilient {
+            self.recovery_point = Some(Box::new(RecoveryPoint {
+                checkpoint: checkpoint.clone(),
+                backras: self.backras.clone(),
+                attribution: self.attribution.clone(),
+                landing: self.landing.clone(),
+                alarms_seen: self.alarms_seen,
+                cancelled: self.cancelled,
+                cases_len: self.cases.len(),
+                jop_len: self.jop_cases.len(),
+                callret_traps: self.callret_traps,
+                console_len: self.console.len(),
+                shadow_events_len: self.shadow_events.len(),
+                last_checkpoint_cycle: self.last_checkpoint_cycle,
+                next_checkpoint_id: self.next_checkpoint_id,
+                next_sample: self.next_sample,
+                profile: self.profile.clone(),
+            }));
+        }
         self.store.push(checkpoint);
     }
 

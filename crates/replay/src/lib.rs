@@ -36,7 +36,9 @@ mod engine;
 pub use alarm::{resolve_jop, JopVerdict};
 pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
 pub use checkpoint::{Checkpoint, CheckpointStore};
-pub use engine::{AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, Replayer};
+pub use engine::{
+    AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer, RewindStep,
+};
 
 /// Virtual cycles per "second" of guest time. The paper quotes checkpoint
 /// intervals in seconds (RepChk5/RepChk1/RepChk02); this constant maps them

@@ -7,6 +7,12 @@ cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test --workspace -q --offline
 
+# Fault-matrix gate: run the attack pipeline under every seeded fault
+# scenario. Fails if any recoverable scenario's report differs from the
+# fault-free run (or shows no recovery activity), or if the unrecoverable
+# scenario does anything but fail with a structured error.
+cargo run --release -q -p rnr-bench --bin fault_matrix --offline
+
 # Perf gate: rerun the attack-pipeline comparison and fail if the baseline
 # and optimized reports diverge, or if the speedup regresses >10% below the
 # committed BENCH_pipeline.json figure. Never rewrites the committed file.

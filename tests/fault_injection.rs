@@ -1,0 +1,101 @@
+//! End-to-end fault-injection tests: the self-healing pipeline must absorb
+//! every recoverable seeded fault without changing the report, and fail
+//! structurally (never panic) on the unrecoverable one.
+
+use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan, TransportFault, TransportFaultKind};
+use rnr_replay::ReplayError;
+use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
+use rnr_workloads::{Workload, WorkloadParams};
+
+const SEED: u64 = 42;
+
+/// The attack pipeline under one fault plan — same workload and knobs as
+/// the pipeline-equivalence suite, so alarms, escalation, and a confirmed
+/// ROP verdict are all on the replay path the faults disturb.
+fn attack_run(plan: FaultPlan) -> Result<PipelineReport, PipelineError> {
+    let (spec, _attack) =
+        rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+    let cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        fault_plan: plan,
+        ..PipelineConfig::default()
+    };
+    Pipeline::new(spec, cfg).run()
+}
+
+#[test]
+fn empty_fault_plan_reports_no_recovery_activity() {
+    let report = attack_run(FaultPlan::default()).expect("fault-free pipeline completes");
+    assert!(report.replay.verified);
+    assert!(!report.recovery.any(), "clean run must not report recovery: {:?}", report.recovery);
+    assert!(report.recovery.rewind_trail.is_empty());
+}
+
+#[test]
+fn every_recoverable_scenario_heals_to_an_identical_report() {
+    let reference = attack_run(FaultPlan::default()).expect("fault-free pipeline completes");
+    let reference_json = reference.to_json();
+    for (name, plan) in fault_scenarios(SEED) {
+        let report = attack_run(plan).unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+        assert!(report.replay.verified, "{name}: final digest must still verify");
+        assert_eq!(report.to_json(), reference_json, "{name}: recovered report must be byte-identical");
+        assert!(report.recovery.any(), "{name}: the fault must leave a trace in the recovery block");
+        assert!(report.recovery.failed_cases.is_empty(), "{name}: no alarm case may stay unresolved");
+    }
+}
+
+#[test]
+fn transport_faults_heal_on_a_benign_workload_too() {
+    let cfg = |plan| PipelineConfig { duration_insns: 250_000, fault_plan: plan, ..Default::default() };
+    let reference =
+        Pipeline::new(Workload::Mysql.spec(false), cfg(FaultPlan::default())).run().expect("clean run");
+    let plan = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 1,
+            kind: TransportFaultKind::CorruptBit,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    let report = Pipeline::new(Workload::Mysql.spec(false), cfg(plan)).run().expect("healed run");
+    assert_eq!(report.to_json(), reference.to_json());
+    assert!(report.recovery.transport.faults_detected >= 1);
+    assert_eq!(report.recovery.transport.batches_refetched, 1);
+    assert!(report.recovery.cr_rewinds >= 1);
+    assert_eq!(report.recovery.rewind_trail.len(), report.recovery.cr_rewinds as usize);
+}
+
+#[test]
+fn poisoned_retained_store_fails_with_structured_error_not_panic() {
+    let (name, plan) = unrecoverable_scenario(SEED);
+    match attack_run(plan) {
+        Err(PipelineError::Replay(ReplayError::Unrecoverable { fault, .. })) => {
+            assert!(
+                matches!(*fault, ReplayError::Transport(_)),
+                "{name}: root cause must be the transport fault, got {fault}"
+            );
+        }
+        Err(other) => panic!("{name}: wrong error shape: {other}"),
+        Ok(_) => panic!("{name}: must not succeed"),
+    }
+}
+
+#[test]
+fn backoff_is_charged_to_virtual_time_but_never_the_replay_clock() {
+    let reference = attack_run(FaultPlan::default()).expect("clean run");
+    let plan = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 2,
+            kind: TransportFaultKind::DropFrame,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    let report = attack_run(plan).expect("healed run");
+    // The retry backoff accumulates in the transport stats only; the CR's
+    // replay clock (part of the report) is identical to the clean run.
+    assert_eq!(report.replay.cycles, reference.replay.cycles);
+}

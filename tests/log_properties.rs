@@ -1,7 +1,7 @@
 //! Property tests on the input-log codec.
 
 use proptest::prelude::*;
-use rnr_log::{AlarmInfo, DmaSource, InputLog, Record};
+use rnr_log::{decode_frame, encode_frame, AlarmInfo, DmaSource, InputLog, Record};
 use rnr_ras::{Mispredict, MispredictKind, ThreadId};
 
 fn record_strategy() -> impl Strategy<Value = Record> {
@@ -91,5 +91,49 @@ proptest! {
             }
             Err(_) => prop_assert!(!boundaries.contains(&cut)),
         }
+    }
+
+    /// Flipping any single bit of a valid encoded log is handled cleanly:
+    /// the decoder either rejects it with a `CodecError` or — when the flip
+    /// lands in a value field — decodes a log whose byte accounting still
+    /// matches the wire exactly. It never panics and never mis-frames into
+    /// a log of a different encoded length.
+    #[test]
+    fn bit_flips_never_panic_or_misframe(
+        records in prop::collection::vec(record_strategy(), 1..20),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let log: InputLog = records.into_iter().collect();
+        let bytes = log.to_bytes();
+        let mut flipped = bytes.to_vec();
+        let pos = flip.index(flipped.len() * 8);
+        flipped[pos / 8] ^= 1 << (pos % 8);
+        let len = flipped.len() as u64;
+        if let Ok(decoded) = InputLog::from_bytes(flipped.into()) {
+            prop_assert_eq!(decoded.total_bytes(), len);
+        }
+    }
+
+    /// The framed transport is strictly stronger: a single-bit flip
+    /// anywhere in an encoded frame — header or payload — is *always*
+    /// rejected (CRC32 detects every 1-bit error), and so is any
+    /// truncation. Neither ever panics.
+    #[test]
+    fn frame_rejects_every_bit_flip_and_truncation(
+        records in prop::collection::vec(record_strategy(), 0..20),
+        seq in any::<u64>(),
+        flip in any::<prop::sample::Index>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let frame = encode_frame(seq, &records);
+        prop_assert!(matches!(decode_frame(&frame), Ok((s, ref r)) if s == seq && *r == records));
+
+        let mut flipped = frame.to_vec();
+        let pos = flip.index(flipped.len() * 8);
+        flipped[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(decode_frame(&flipped.into()).is_err());
+
+        let cut = cut.index(frame.len());
+        prop_assert!(decode_frame(&frame.slice(0..cut)).is_err());
     }
 }
