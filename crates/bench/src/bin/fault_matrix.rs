@@ -13,6 +13,11 @@
 //!   `ReplayError::Unrecoverable` carrying a rewind trail — never panic.
 //!
 //! Exits nonzero on any violation. Wired into `scripts/check.sh`.
+//!
+//! With `--parallel`, the whole matrix reruns with checkpoint-partitioned
+//! span replay active (`parallel_spans = 2`): every scenario must heal to a
+//! report byte-identical to a *clean run of the same configuration* — which
+//! is itself byte-identical to the serial report.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -25,12 +30,13 @@ use rnr_workloads::WorkloadParams;
 /// The attack pipeline under one fault plan — same workload and knobs as
 /// the pipeline equivalence tests, so the fault-free reference exercises
 /// alarms, escalation, and a confirmed ROP verdict.
-fn run_with(plan: FaultPlan) -> Result<PipelineReport, PipelineError> {
+fn run_with(plan: FaultPlan, parallel_spans: usize) -> Result<PipelineReport, PipelineError> {
     let (spec, _attack) =
         rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
     let cfg = PipelineConfig {
         duration_insns: 900_000,
         checkpoint_interval_secs: Some(0.125),
+        parallel_spans,
         fault_plan: plan,
         ..PipelineConfig::default()
     };
@@ -41,6 +47,12 @@ fn main() {
     // Injected AR panics are part of the matrix; keep their backtraces out
     // of the gate output. Scenario failures are reported explicitly below.
     std::panic::set_hook(Box::new(|_| {}));
+    let parallel_spans = if std::env::args().any(|a| a == "--parallel") { 2 } else { 0 };
+    let run_with = |plan| run_with(plan, parallel_spans);
+    println!(
+        "fault matrix: {}",
+        if parallel_spans > 0 { "parallel span replay (2 workers)" } else { "serial replay" }
+    );
     let mut failures = 0u32;
 
     let reference = run_with(FaultPlan::default()).expect("fault-free attack pipeline completes");

@@ -7,9 +7,12 @@ use std::sync::Arc;
 
 use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
 use rnr_log::{log_channel_with, Category, FaultPlan, DEFAULT_BATCH};
-use rnr_machine::CostModel;
+use rnr_machine::{BlockStats, CostModel, SharedPageCache};
 use rnr_ras::RasConfig;
-use rnr_replay::{AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, Verdict, VIRTUAL_HZ};
+use rnr_replay::{
+    replay_spans, AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, SpanFeed, Verdict,
+    VIRTUAL_HZ,
+};
 
 /// Attempts the AR supervisor makes per alarm case before giving up and
 /// shipping a partial report.
@@ -54,6 +57,11 @@ pub struct PipelineConfig {
     /// recorder and all replayers (wall-clock optimization; virtual cycles,
     /// digests, and verdicts are identical either way).
     pub block_engine: bool,
+    /// Partition verification replay across this many span workers along
+    /// the recorder's seed stream (DESIGN.md §11). `0` replays serially.
+    /// Wall-clock only: the report, logs, virtual cycles, digests, and
+    /// recovery accounting are byte-identical for every worker count.
+    pub parallel_spans: usize,
     /// Deterministic fault injections (transport damage, injected
     /// divergences, AR panics/kills). Empty by default; with an empty plan
     /// the pipeline's logs, digests, verdicts, and `to_json()` output are
@@ -76,6 +84,7 @@ impl Default for PipelineConfig {
             streaming: true,
             decode_cache: true,
             block_engine: true,
+            parallel_spans: 0,
             fault_plan: FaultPlan::default(),
         }
     }
@@ -366,6 +375,9 @@ impl Pipeline {
         rc.stall_on_alarm = cfg.stall_on_alarm;
         rc.decode_cache = cfg.decode_cache;
         rc.block_engine = cfg.block_engine;
+        if cfg.parallel_spans > 0 {
+            rc.span_seed_every_insns = Some(span_seed_cadence(cfg));
+        }
         let replay_cfg = ReplayConfig {
             checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
             retain: cfg.retain,
@@ -378,16 +390,22 @@ impl Pipeline {
             // the last good checkpoint (recovery activity never changes
             // the report — see `RecoveryReport`).
             resilient: true,
+            parallel_spans: cfg.parallel_spans,
             fault_plan: cfg.fault_plan.clone(),
             ..ReplayConfig::default()
         };
+        // One read-mostly decoded-block pool for the whole run: the
+        // recorder, the CR (or its span workers), and every alarm replayer
+        // publish and adopt page decodes through it (wall-clock only; every
+        // consumer revalidates against its own page contents).
+        let shared = Arc::new(SharedPageCache::new());
         // Phases 1 + 2: monitored recording and checkpointing replay —
         // concurrent (the CR consumes the log as a live stream) or
         // sequential, with identical results.
-        let (rec, cr_out) = if cfg.streaming {
-            self.record_and_replay_streaming(rc, replay_cfg.clone())?
+        let (rec, cr_out, cr_block_stats) = if cfg.streaming {
+            self.record_and_replay_streaming(rc, replay_cfg.clone(), &shared)?
         } else {
-            self.record_and_replay_sequential(rc, replay_cfg.clone())?
+            self.record_and_replay_sequential(rc, replay_cfg.clone(), &shared)?
         };
         // Phase 3: alarm replay for every escalated case — on a bounded,
         // supervised worker pool when configured ("multiple ARs… in
@@ -399,7 +417,9 @@ impl Pipeline {
         // replay, and an AR surfaces divergence as evidence instead of
         // healing it.
         let ar_cfg = ReplayConfig { resilient: false, fault_plan: FaultPlan::default(), ..replay_cfg };
-        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log)).with_config(ar_cfg);
+        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log))
+            .with_config(ar_cfg)
+            .with_shared_cache(Arc::clone(&shared));
         let plan = &cfg.fault_plan;
         let ar_retries = AtomicU64::new(0);
         let ar_panics = AtomicU64::new(0);
@@ -508,7 +528,7 @@ impl Pipeline {
         }
         let detection = detection_window(cfg, &rec, &resolutions);
         let mut block_stats = rec.block_stats;
-        block_stats.merge(&cr_out.vm().block_stats());
+        block_stats.merge(&cr_block_stats);
         for r in &resolutions {
             block_stats.merge(&r.ar_block_stats);
         }
@@ -553,13 +573,17 @@ impl Pipeline {
     }
 
     /// Phases 1 + 2, sequential: record to completion, then replay the
-    /// finished log with digest verification armed up front.
+    /// finished log with digest verification armed up front. Returns the
+    /// recording, the CR outcome, and the CR phase's block-cache counters
+    /// (summed across span workers when replay is parallel).
     fn record_and_replay_sequential(
         &self,
         rc: RecordConfig,
         replay_cfg: ReplayConfig,
-    ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
-        let recorder = Recorder::new(&self.spec, rc)?;
+        shared: &Arc<SharedPageCache>,
+    ) -> Result<(RecordOutcome, ReplayOutcome, BlockStats), PipelineError> {
+        let mut recorder = Recorder::new(&self.spec, rc)?;
+        recorder.attach_shared_cache(Arc::clone(shared));
         let rec = match catch_unwind(AssertUnwindSafe(move || recorder.run())) {
             Ok(rec) => rec,
             Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
@@ -567,13 +591,23 @@ impl Pipeline {
         if let Some(fault) = rec.fault {
             return Err(PipelineError::GuestFault(fault));
         }
+        if replay_cfg.parallel_spans > 0 {
+            let feed = SpanFeed::Complete { log: Arc::clone(&rec.log), seeds: rec.span_seeds.clone() };
+            let par = replay_spans(&self.spec, feed, &replay_cfg, Some(rec.final_digest), Some(shared))?;
+            if par.outcome.verified != Some(true) {
+                return Err(PipelineError::VerificationFailed);
+            }
+            return Ok((rec, par.outcome, par.block_stats));
+        }
         let mut cr = Replayer::new(&self.spec, Arc::clone(&rec.log), replay_cfg);
+        cr.attach_shared_cache(Arc::clone(shared));
         cr.verify_against(rec.final_digest);
         let cr_out = cr.run()?;
         if cr_out.verified != Some(true) {
             return Err(PipelineError::VerificationFailed);
         }
-        Ok((rec, cr_out))
+        let stats = cr_out.vm().block_stats();
+        Ok((rec, cr_out, stats))
     }
 
     /// Phases 1 + 2, concurrent: the recorder publishes each record to a
@@ -587,20 +621,42 @@ impl Pipeline {
         &self,
         rc: RecordConfig,
         replay_cfg: ReplayConfig,
-    ) -> Result<(RecordOutcome, ReplayOutcome), PipelineError> {
+        shared: &Arc<SharedPageCache>,
+    ) -> Result<(RecordOutcome, ReplayOutcome, BlockStats), PipelineError> {
         let mut recorder = Recorder::new(&self.spec, rc)?;
+        recorder.attach_shared_cache(Arc::clone(shared));
         let (sink, stream) = log_channel_with(DEFAULT_BATCH, &self.config.fault_plan);
         recorder.stream_to(sink);
-        let (rec_result, cr_result) = std::thread::scope(|scope| {
-            let handle = scope.spawn(move || catch_unwind(AssertUnwindSafe(move || recorder.run())));
-            let cr = Replayer::new(&self.spec, stream, replay_cfg);
-            let cr_result = cr.run();
-            // `catch_unwind` inside the thread carries any recorder panic
-            // out as a value, so `join` itself cannot fail here; fold the
-            // two layers into one.
-            let rec_result = handle.join().unwrap_or_else(Err);
-            (rec_result, cr_result)
-        });
+        let (rec_result, cr_result) = if replay_cfg.parallel_spans > 0 {
+            // Parallel CR: seeds stream from the recorder alongside the
+            // records, and span workers launch as soon as both sides of a
+            // boundary have been observed.
+            let (seed_tx, seed_rx) = std::sync::mpsc::channel();
+            recorder.seed_to(seed_tx);
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(move || catch_unwind(AssertUnwindSafe(move || recorder.run())));
+                let feed = SpanFeed::Streaming { stream: Box::new(stream), seed_rx };
+                let cr_result = replay_spans(&self.spec, feed, &replay_cfg, None, Some(shared))
+                    .map(|par| (par.outcome, par.block_stats));
+                let rec_result = handle.join().unwrap_or_else(Err);
+                (rec_result, cr_result)
+            })
+        } else {
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(move || catch_unwind(AssertUnwindSafe(move || recorder.run())));
+                let mut cr = Replayer::new(&self.spec, stream, replay_cfg);
+                cr.attach_shared_cache(Arc::clone(shared));
+                let cr_result = cr.run().map(|out| {
+                    let stats = out.vm().block_stats();
+                    (out, stats)
+                });
+                // `catch_unwind` inside the thread carries any recorder panic
+                // out as a value, so `join` itself cannot fail here; fold the
+                // two layers into one.
+                let rec_result = handle.join().unwrap_or_else(Err);
+                (rec_result, cr_result)
+            })
+        };
         // Precedence: a recorder panic explains everything downstream
         // (including whatever truncated-log error it induced in the CR),
         // then a guest fault, then the CR's own result.
@@ -611,13 +667,22 @@ impl Pipeline {
         if let Some(fault) = rec.fault {
             return Err(PipelineError::GuestFault(fault));
         }
-        let mut cr_out = cr_result?;
+        let (mut cr_out, cr_stats) = cr_result?;
         cr_out.verified = Some(cr_out.final_digest == rec.final_digest);
         if cr_out.verified != Some(true) {
             return Err(PipelineError::VerificationFailed);
         }
-        Ok((rec, cr_out))
+        Ok((rec, cr_out, cr_stats))
     }
+}
+
+/// Seed-capture cadence for parallel replay: aim for ~4 spans per worker so
+/// the span pipeline stays busy, floored so tiny runs don't drown in
+/// restore overhead. The cadence shapes wall-clock only — seed capture is
+/// pure reads, so the recording is byte-identical regardless.
+fn span_seed_cadence(cfg: &PipelineConfig) -> u64 {
+    let workers = cfg.parallel_spans.max(1) as u64;
+    (cfg.duration_insns / (workers * 4)).max(15_000)
 }
 
 /// Pool size for the alarm-replay phase: 1 unless parallel alarm replay is

@@ -8,12 +8,14 @@ use rnr_guest::layout;
 use rnr_isa::Reg;
 use rnr_log::{AlarmInfo, Category, InputLog, LogSink, Record};
 use rnr_machine::{
-    CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
-    IRQ_DISK, IRQ_NIC, IRQ_TIMER, MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING, MMIO_NIC_RX_POP, PORT_CONSOLE,
-    PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD,
-    PORT_NIC_TX_LEN, PORT_RNG,
+    CallRetTrap, CostModel, CpuState, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm,
+    MachineConfig, SharedPageCache, IRQ_DISK, IRQ_NIC, IRQ_TIMER, MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING,
+    MMIO_NIC_RX_POP, PAGE_SIZE, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT,
+    PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG,
 };
-use rnr_ras::{AttributionReport, BackRasTable, RasAttribution, RasConfig, RasCounters, ThreadId};
+use rnr_ras::{
+    AttributionReport, BackRasEntry, BackRasTable, RasAttribution, RasConfig, RasCounters, ThreadId,
+};
 
 use crate::{CycleAttribution, DiskDevice, Introspector, NicDevice, NondetSource, PacketInjection, VmSpec};
 
@@ -93,6 +95,12 @@ pub struct RecordConfig {
     /// §3). With the §6 attack this halts the guest *before* any gadget
     /// executes.
     pub stall_on_alarm: bool,
+    /// Capture a [`SpanSeed`] roughly every this many retired instructions,
+    /// cutting the log into spans a parallel checkpointing replayer can
+    /// verify concurrently. Capture is pure reads plus `Arc` clones of the
+    /// copy-on-write pages, so the log, cycles, and digests are byte-for-byte
+    /// identical with seeding on or off. `None` disables capture.
+    pub span_seed_every_insns: Option<u64>,
 }
 
 impl RecordConfig {
@@ -110,8 +118,42 @@ impl RecordConfig {
             trace: 0,
             jop_common_functions: None,
             stall_on_alarm: false,
+            span_seed_every_insns: None,
         }
     }
+}
+
+/// A recorder-side snapshot from which a parallel-replay span worker can
+/// start verifying mid-log (DESIGN.md §11).
+///
+/// A seed is everything [`crate::Recorder`] knows about the guest at a
+/// quiescent point of the recording loop: architectural CPU state, the
+/// copy-on-write page `Arc`s (shared, not copied), the disk, and the
+/// hypervisor-side BackRAS bookkeeping. A replayer restored from seed *i*
+/// and driven to seed *i+1*'s position reaches, by determinism, exactly the
+/// state seed *i+1* captured — which is what lets seams between spans be
+/// checked with digests alone.
+#[derive(Debug, Clone)]
+pub struct SpanSeed {
+    /// Retired instruction count at capture — the span boundary.
+    pub at_insn: u64,
+    /// Number of log records emitted before capture: the first record the
+    /// restored worker will consume.
+    pub at_record: usize,
+    /// Architectural CPU state (registers, PC, mode, live RAS).
+    pub cpu: CpuState,
+    /// The guest's pages, shared by reference; replay-side writes
+    /// copy-on-write, never touching the recorder's view.
+    pub mem_pages: Vec<Arc<[u8; PAGE_SIZE]>>,
+    /// Disk device state, including in-flight operation bookkeeping.
+    pub disk: DiskDevice,
+    /// Saved per-thread BackRAS entries, with the running thread's RAS
+    /// folded in the same way a replay checkpoint saves it.
+    pub backras: BackRasTable,
+    /// Thread the guest kernel was running at capture.
+    pub current_tid: ThreadId,
+    /// Thread whose exit was announced but not yet switched away from.
+    pub dying: Option<ThreadId>,
 }
 
 /// Errors before or during recording.
@@ -198,6 +240,9 @@ pub struct RecordOutcome {
     /// Basic-block cache counters (wall-clock diagnostics, never part of
     /// the verified report).
     pub block_stats: rnr_machine::BlockStats,
+    /// Span seeds captured during recording (empty unless
+    /// [`RecordConfig::span_seed_every_insns`] was set).
+    pub span_seeds: Vec<SpanSeed>,
 }
 
 impl RecordOutcome {
@@ -241,6 +286,9 @@ pub struct Recorder {
     context_switches: u64,
     disk_ops: Vec<crate::devices::DiskOp>,
     switch_trace: Vec<u64>,
+    span_seeds: Vec<SpanSeed>,
+    seed_tx: Option<std::sync::mpsc::Sender<SpanSeed>>,
+    next_seed_at: u64,
 }
 
 impl Recorder {
@@ -339,6 +387,9 @@ impl Recorder {
             context_switches: 0,
             disk_ops: Vec::new(),
             switch_trace: Vec::new(),
+            span_seeds: Vec::new(),
+            seed_tx: None,
+            next_seed_at: config.span_seed_every_insns.unwrap_or(u64::MAX),
             config,
         })
     }
@@ -348,6 +399,21 @@ impl Recorder {
     /// replayer can consume the stream while recording is still in progress.
     pub fn stream_to(&mut self, sink: LogSink) {
         self.sink = Some(sink);
+    }
+
+    /// Mirrors every captured [`SpanSeed`] to `tx` as soon as it exists, so
+    /// a concurrent parallel replayer can dispatch span workers while
+    /// recording is still in progress. Seeds still accumulate in
+    /// [`RecordOutcome::span_seeds`] regardless.
+    pub fn seed_to(&mut self, tx: std::sync::mpsc::Sender<SpanSeed>) {
+        self.seed_tx = Some(tx);
+    }
+
+    /// Attaches the run-wide shared decoded-block cache: pages this recorder
+    /// decodes become visible to the replayers of the same run and vice
+    /// versa. Wall-clock only; never affects the log, cycles, or digests.
+    pub fn attach_shared_cache(&mut self, shared: Arc<SharedPageCache>) {
+        self.vm.attach_shared_cache(shared);
     }
 
     /// Appends a record to the log, mirroring it to the live sink if one is
@@ -365,6 +431,21 @@ impl Recorder {
         loop {
             self.service_due_events();
             self.try_inject_pending();
+            // Span seeds are captured only at quiescent loop tops: no
+            // pending interrupt, no fault, budget not yet exhausted. At such
+            // a point every emitted record is fully serviced, so (at_record,
+            // at_insn) is a consistent cut of the execution.
+            if self.config.mode.is_recording()
+                && self.vm.retired() >= self.next_seed_at
+                && self.vm.retired() < until
+                && self.pending_irqs.is_empty()
+                && self.fault.is_none()
+                && !self.stalled
+            {
+                self.capture_span_seed();
+                self.next_seed_at =
+                    self.vm.retired().saturating_add(self.config.span_seed_every_insns.unwrap_or(u64::MAX));
+            }
             if self.vm.retired() >= until || self.fault.is_some() || self.stalled {
                 break;
             }
@@ -436,9 +517,34 @@ impl Recorder {
             block_stats: self.vm.block_stats(),
             switch_trace: self.switch_trace,
             console: self.console,
+            span_seeds: self.span_seeds,
             log: Arc::new(self.log),
             attribution: self.attribution,
         }
+    }
+
+    /// Snapshots the recording into a [`SpanSeed`]. Pure reads and `Arc`
+    /// clones only — in particular the live RAS is folded into the BackRAS
+    /// copy without `save_backras`, whose hardware counters feed the
+    /// recording report and must not move.
+    fn capture_span_seed(&mut self) {
+        let mut backras = self.backras.clone();
+        backras.save(self.current_tid, BackRasEntry::from_entries(self.vm.cpu().ras.snapshot()));
+        let seed = SpanSeed {
+            at_insn: self.vm.retired(),
+            at_record: self.log.len(),
+            cpu: self.vm.cpu().save_state(),
+            mem_pages: self.vm.mem().snapshot_pages(),
+            disk: self.disk.clone(),
+            backras,
+            current_tid: self.current_tid,
+            dying: self.dying,
+        };
+        if let Some(tx) = &self.seed_tx {
+            // A disconnected receiver just means nobody is replaying live.
+            let _ = tx.send(seed.clone());
+        }
+        self.span_seeds.push(seed);
     }
 
     fn next_event_cycle(&self) -> u64 {

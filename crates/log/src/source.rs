@@ -19,6 +19,15 @@ pub enum LogSource {
     /// the stream carries reorder-healing and recovery state, and the
     /// common alarm-replay/audit case is `Complete`.
     Streaming(Box<LogStream>),
+    /// One span of a partitioned log: the records of `[base, base +
+    /// records.len())`, indexed by their *global* position. Span workers of
+    /// a parallel CR read through this without copying the whole log.
+    Span {
+        /// The span's records, shared without copying.
+        records: Arc<[Record]>,
+        /// Global index of `records[0]`.
+        base: usize,
+    },
 }
 
 impl LogSource {
@@ -28,6 +37,7 @@ impl LogSource {
         match self {
             LogSource::Complete(log) => log.records().get(index),
             LogSource::Streaming(stream) => stream.get(index),
+            LogSource::Span { records, base } => index.checked_sub(*base).and_then(|i| records.get(i)),
         }
     }
 
@@ -42,6 +52,7 @@ impl LogSource {
         match self {
             LogSource::Complete(log) => Ok(log.records().get(index)),
             LogSource::Streaming(stream) => stream.try_get(index),
+            LogSource::Span { records, base } => Ok(index.checked_sub(*base).and_then(|i| records.get(i))),
         }
     }
 
@@ -54,7 +65,7 @@ impl LogSource {
     /// Returns the fault when recovery is impossible.
     pub fn recover(&mut self) -> Result<(), CodecError> {
         match self {
-            LogSource::Complete(_) => Ok(()),
+            LogSource::Complete(_) | LogSource::Span { .. } => Ok(()),
             LogSource::Streaming(stream) => stream.recover(),
         }
     }
@@ -62,7 +73,7 @@ impl LogSource {
     /// Transport health counters (zero for a complete source).
     pub fn transport_stats(&self) -> TransportStats {
         match self {
-            LogSource::Complete(_) => TransportStats::default(),
+            LogSource::Complete(_) | LogSource::Span { .. } => TransportStats::default(),
             LogSource::Streaming(stream) => stream.transport_stats(),
         }
     }
@@ -73,6 +84,7 @@ impl LogSource {
         match self {
             LogSource::Complete(log) => log.len(),
             LogSource::Streaming(stream) => stream.received().len(),
+            LogSource::Span { records, base } => *base + records.len(),
         }
     }
 }

@@ -28,6 +28,9 @@
 //! default ([`crate::CostModel::decode`] is 0), so caching changes wall-clock
 //! time only, never virtual cycles.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use rnr_isa::{Addr, Instruction};
 
 use crate::mem::{Memory, PAGE_SIZE};
@@ -83,6 +86,9 @@ pub struct BlockStats {
     pub builds: u64,
     /// Page caches dropped because the page's write-version moved.
     pub flushes: u64,
+    /// Page caches adopted from the run-wide shared cache instead of being
+    /// rebuilt locally.
+    pub shared_imports: u64,
 }
 
 impl BlockStats {
@@ -91,6 +97,7 @@ impl BlockStats {
         self.hits += other.hits;
         self.builds += other.builds;
         self.flushes += other.flushes;
+        self.shared_imports += other.shared_imports;
     }
 }
 
@@ -223,6 +230,77 @@ impl BlockCache {
             *slot = None;
         }
         slot.get_or_insert_with(|| PageCache::new(version))
+    }
+}
+
+/// A run-wide, read-mostly pool of decoded page caches shared between the
+/// recorder, the CR (or its span workers), and the alarm replayers.
+///
+/// Each entry pairs a decoded [`PageCache`] with an `Arc` of the exact page
+/// bytes it was decoded from. That pairing is what makes the pool sound
+/// across threads with no version protocol: guest pages are immutable behind
+/// their `Arc` (every writer goes through `Arc::make_mut`, and the pool's
+/// own clone keeps the refcount above one, forcing copy-on-write), so a
+/// consumer whose current page is *pointer-equal* to an entry's page is
+/// guaranteed the decode is for exactly the bytes it would decode itself.
+/// There is no staleness to detect — a stale page is a *different* `Arc`
+/// and simply fails the pointer check.
+///
+/// Publishing and importing touch no guest state, so sharing is wall-clock
+/// only: virtual cycles, digests, and verdicts are identical with the pool
+/// attached or not.
+#[derive(Debug, Default)]
+pub struct SharedPageCache {
+    entries: Mutex<HashMap<usize, SharedEntry>>,
+}
+
+/// The exact page bytes a decode came from, paired with that decode.
+type SharedEntry = (Arc<[u8; PAGE_SIZE]>, PageCache);
+
+impl SharedPageCache {
+    /// An empty pool.
+    pub fn new() -> SharedPageCache {
+        SharedPageCache::default()
+    }
+}
+
+impl BlockCache {
+    /// Offers this cache's decode of `page` to the run-wide pool, keyed by
+    /// the exact page bytes it was decoded from. Later publications simply
+    /// overwrite — the decode is a pure function of the page bytes, so any
+    /// publication for the same `Arc` is interchangeable.
+    pub fn publish_to(&self, shared: &SharedPageCache, page: usize, mem: &Memory) {
+        let Some(bytes) = mem.page_arc(page) else { return };
+        let Some(Some(local)) = self.pages.get(page) else { return };
+        if local.version != mem.page_version(page) {
+            return;
+        }
+        let mut entries = shared.entries.lock().expect("shared cache lock");
+        entries.insert(page, (Arc::clone(bytes), local.clone()));
+    }
+
+    /// Adopts the pool's decode of `page` if the pool's entry was decoded
+    /// from the very `Arc` this memory currently holds (pointer equality ⇒
+    /// identical bytes ⇒ identical decode). Returns whether an entry was
+    /// installed.
+    pub fn import_from(&mut self, shared: &SharedPageCache, page: usize, mem: &Memory) -> bool {
+        let Some(bytes) = mem.page_arc(page) else { return false };
+        let entries = shared.entries.lock().expect("shared cache lock");
+        let Some((published, cache)) = entries.get(&page) else { return false };
+        if !Arc::ptr_eq(published, bytes) {
+            return false;
+        }
+        let mut cache = cache.clone();
+        drop(entries);
+        // Re-stamp with the importer's own version counter (versions are
+        // per-VM, not per-content).
+        cache.version = mem.page_version(page);
+        if self.pages.len() <= page {
+            self.pages.resize(page + 1, None);
+        }
+        self.pages[page] = Some(cache);
+        self.stats.shared_imports += 1;
+        true
     }
 }
 

@@ -47,7 +47,7 @@ pub use cpu::{Cpu, CpuState, Mode};
 pub use digest::{fnv1a, Digest, Fnv1a};
 pub use disk::BlockStore;
 pub use exit::{CallRetTrap, Exit, ExitControls, FaultKind, FinishIo};
-pub use icache::{BlockCache, BlockInfo, BlockStats};
+pub use icache::{BlockCache, BlockInfo, BlockStats, SharedPageCache};
 pub use jop::JopTable;
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use ports::*;

@@ -244,6 +244,14 @@ impl Memory {
         self.pages.clone()
     }
 
+    /// The reference-counted page at `index`, if in range. Pointer identity
+    /// of these `Arc`s is what lets threads of one run recognise each
+    /// other's pages: equal pointers imply equal content, because any write
+    /// to a shared page copies it first.
+    pub fn page_arc(&self, index: usize) -> Option<&Arc<Page>> {
+        self.pages.get(index)
+    }
+
     /// Iterates pages in place — digesting memory without cloning the page
     /// table.
     pub fn pages(&self) -> impl Iterator<Item = &Page> {

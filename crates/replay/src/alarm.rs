@@ -120,6 +120,7 @@ pub struct AlarmReplayer<'a> {
     spec: &'a VmSpec,
     log: Arc<InputLog>,
     config: ReplayConfig,
+    shared_cache: Option<Arc<rnr_machine::SharedPageCache>>,
 }
 
 impl<'a> AlarmReplayer<'a> {
@@ -132,7 +133,14 @@ impl<'a> AlarmReplayer<'a> {
             nesting_ret_sites: nesting_sites(spec),
             ..ReplayConfig::default()
         };
-        AlarmReplayer { spec, log, config }
+        AlarmReplayer { spec, log, config, shared_cache: None }
+    }
+
+    /// Shares the run-wide decoded-block cache with every replayer this
+    /// launcher spawns (wall-clock only; never affects verdicts or timing).
+    pub fn with_shared_cache(mut self, shared: Arc<rnr_machine::SharedPageCache>) -> AlarmReplayer<'a> {
+        self.shared_cache = Some(shared);
+        self
     }
 
     /// Overrides the replay configuration (cost model, RAS capacity, ...).
@@ -165,6 +173,9 @@ impl<'a> AlarmReplayer<'a> {
             &case.checkpoint,
             true,
         );
+        if let Some(shared) = &self.shared_cache {
+            replayer.attach_shared_cache(Arc::clone(shared));
+        }
         replayer.stop_after_record(case.alarm_index);
         let outcome = replayer.run()?;
         let verdict = self.classify(case, &outcome);

@@ -59,6 +59,12 @@ pub struct ReplayConfig {
     pub resilient: bool,
     /// Deterministic fault injections for this replay (empty = none).
     pub fault_plan: rnr_log::FaultPlan,
+    /// Verification-replay worker count for span-partitioned parallel replay
+    /// (`0` = serial, the classic single-threaded CR). Like
+    /// [`ReplayConfig::block_engine`] this is a wall-clock-only knob: the
+    /// fold in [`crate::replay_spans`] reconstructs cycles, checkpoints, and
+    /// alarm bookkeeping byte-identically to a serial run.
+    pub parallel_spans: usize,
 }
 
 impl Default for ReplayConfig {
@@ -77,8 +83,41 @@ impl Default for ReplayConfig {
             profile_sample_every: None,
             resilient: false,
             fault_plan: rnr_log::FaultPlan::default(),
+            parallel_spans: 0,
         }
     }
+}
+
+/// Per-record trace entry a span worker leaves behind for the parallel-replay
+/// fold (`crate::parallel`): worker-relative cycles plus the pages and disk
+/// blocks dirtied since the previous mark. The fold turns these deltas into
+/// the serial CR's absolute clock, checkpoint schedule, and checkpoint costs.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanMark {
+    /// Global log index of the record just consumed; `None` for the entry
+    /// mark (epoch baseline) and the post-seam tail mark.
+    pub record: Option<usize>,
+    /// Retired instructions at the mark.
+    pub retired: u64,
+    /// Worker-local virtual cycles at the mark (workers start at cycle 0).
+    pub cycles: u64,
+    /// Pages dirtied since the previous mark.
+    pub dirty_pages: Vec<usize>,
+    /// Disk blocks dirtied since the previous mark.
+    pub dirty_blocks: Vec<usize>,
+}
+
+/// What [`Replayer::run_span`] returns: the worker's outcome plus the seam
+/// digest and the per-record marks the fold consumes.
+#[derive(Debug)]
+pub(crate) struct SpanRun {
+    /// Architectural digest at the worker's starting state (its seam with
+    /// the previous span).
+    pub start_digest: Digest,
+    /// Per-record marks, starting with the entry mark.
+    pub marks: Vec<SpanMark>,
+    /// The worker's replay outcome (cycles are worker-relative).
+    pub outcome: ReplayOutcome,
 }
 
 /// A JOP alarm lifted from the log (Table 1, row 2), for replay-side
@@ -317,6 +356,10 @@ pub struct Replayer {
     block_quarantined: bool,
     injected_cr_fired: bool,
     injected_block_fired: bool,
+    /// Leave a [`SpanMark`] after every consumed record (parallel span
+    /// workers; mutually exclusive with checkpointing).
+    span_trace: bool,
+    span_marks: Vec<SpanMark>,
 }
 
 /// Everything [`Replayer::rewind`] needs beyond the [`Checkpoint`] itself:
@@ -474,6 +517,8 @@ impl Replayer {
             block_quarantined: false,
             injected_cr_fired: false,
             injected_block_fired: false,
+            span_trace: false,
+            span_marks: Vec::new(),
             cfg,
         }
     }
@@ -562,6 +607,9 @@ impl Replayer {
                 Record::End { at_insn, .. } => {
                     self.run_to(at_insn)?;
                     self.cursor.advance();
+                    if self.span_trace {
+                        self.push_span_mark(Some(index));
+                    }
                     return Ok(());
                 }
                 Record::Evict { tid, addr } => {
@@ -646,7 +694,141 @@ impl Replayer {
                 }
             }
             self.maybe_checkpoint();
+            if self.span_trace {
+                self.push_span_mark(Some(index));
+            }
         }
+    }
+
+    /// Runs this replayer as one span worker of a parallel CR: consume the
+    /// records before `records_end` (all remaining records when `None` — the
+    /// final span, which ends at the log's `End` marker), then run to the
+    /// `seam` instruction where the next span's seed was captured, leaving a
+    /// [`SpanMark`] after every record plus a tail mark at the seam.
+    pub(crate) fn run_span(
+        mut self,
+        records_end: Option<usize>,
+        seam: Option<u64>,
+    ) -> Result<SpanRun, ReplayError> {
+        let start_digest = self.current_digest();
+        self.span_trace = true;
+        // Entry mark: drains the epoch noise of construction/restore and
+        // baselines dirty tracking. For the first span this is exactly what
+        // the serial CR's initial checkpoint would have drained.
+        self.push_span_mark(None);
+        if let Some(end) = records_end {
+            if end > self.cursor.index() {
+                self.stop_after_record = Some(end - 1);
+                self.drive()?;
+            }
+        } else {
+            self.drive()?;
+        }
+        if let Some(s) = seam {
+            self.run_to(s)?;
+            // A fault-plan injection point inside the record-free tail must
+            // still fire in this span's worker, as it would have in the
+            // serial drive loop.
+            self.check_injected_faults()?;
+            self.push_span_mark(None);
+        }
+        let marks = std::mem::take(&mut self.span_marks);
+        Ok(SpanRun { start_digest, marks, outcome: self.finish() })
+    }
+
+    /// Drives until the record at `index` has been consumed, without
+    /// finishing — the parallel fold's checkpoint-materialization pass calls
+    /// this repeatedly with ascending indices.
+    pub(crate) fn drive_to_record(&mut self, index: usize) -> Result<(), ReplayError> {
+        self.stop_after_record = Some(index);
+        self.drive()
+    }
+
+    /// The combined VM + disk digest at the current state (same combination
+    /// as [`ReplayOutcome::final_digest`]).
+    /// Decoded-block statistics of this replayer's VM (wall-clock
+    /// diagnostics for the parallel orchestrator).
+    pub(crate) fn block_stats(&self) -> rnr_machine::BlockStats {
+        self.vm.block_stats()
+    }
+
+    pub(crate) fn current_digest(&self) -> Digest {
+        let mut h = Fnv1a::new();
+        h.update_u64(self.vm.digest().0);
+        h.update_u64(self.disk.store().digest().0);
+        h.finish()
+    }
+
+    /// Advances the landing RNG past `draws` asynchronous-event landings, so
+    /// a mid-log span worker observes exactly the draws the serial CR would
+    /// have at its position. Each `Record::Interrupt` consumes exactly one
+    /// bounded draw, so the draw count is the interrupt-record count before
+    /// the span.
+    pub(crate) fn skip_landing_draws(&mut self, draws: u64) {
+        for _ in 0..draws {
+            let _ = self.landing.gen_range(1..=self.cfg.costs.replay_max_steps.max(1));
+        }
+    }
+
+    /// Packages the current state as a [`Checkpoint`] under externally
+    /// supplied identity/schedule fields (the parallel fold's absolute clock
+    /// and record position). The running thread's RAS is folded into the
+    /// BackRAS copy exactly as [`Replayer::take_checkpoint`] does.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn snapshot_checkpoint(
+        &mut self,
+        id: u64,
+        at_insn: u64,
+        at_cycle: u64,
+        cursor: LogCursor,
+        evict_store: HashMap<ThreadId, Vec<Addr>>,
+        dirty_pages: usize,
+        dirty_blocks: usize,
+    ) -> Checkpoint {
+        // Drain the dirty-tracking epochs exactly as `take_checkpoint` does
+        // before cloning: the disk clone carries its dirty bookkeeping into
+        // the checkpoint, and an alarm replayer restored from it must see
+        // the same (empty) baseline either way — a stale dirty list would
+        // inflate its first periodic checkpoint's cost.
+        let _ = self.vm.mem_mut().begin_epoch();
+        let _ = self.vm.mem_mut().take_cow_faults();
+        let _ = self.disk.store_mut().begin_epoch();
+        let mut backras = self.backras.clone();
+        backras.save(self.current_tid, BackRasEntry::from_entries(self.vm.cpu().ras.snapshot()));
+        Checkpoint {
+            id,
+            at_insn,
+            at_cycle,
+            cpu: self.vm.cpu().save_state(),
+            mem_pages: self.vm.mem().snapshot_pages(),
+            disk: self.disk.clone(),
+            backras,
+            current_tid: self.current_tid,
+            dying: self.dying,
+            cursor,
+            evict_store,
+            dirty_pages,
+            dirty_blocks,
+        }
+    }
+
+    /// Attaches the run-wide shared decoded-block cache (wall-clock only;
+    /// never affects cycles, digests, or verdicts).
+    pub fn attach_shared_cache(&mut self, shared: std::sync::Arc<rnr_machine::SharedPageCache>) {
+        self.vm.attach_shared_cache(shared);
+    }
+
+    fn push_span_mark(&mut self, record: Option<usize>) {
+        let dirty_pages = self.vm.mem_mut().begin_epoch();
+        let _ = self.vm.mem_mut().take_cow_faults();
+        let dirty_blocks = self.disk.store_mut().begin_epoch();
+        self.span_marks.push(SpanMark {
+            record,
+            retired: self.vm.retired(),
+            cycles: self.vm.cycles(),
+            dirty_pages,
+            dirty_blocks,
+        });
     }
 
     fn finish(mut self) -> ReplayOutcome {

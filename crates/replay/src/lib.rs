@@ -32,6 +32,7 @@
 mod alarm;
 mod checkpoint;
 mod engine;
+mod parallel;
 
 pub use alarm::{resolve_jop, JopVerdict};
 pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
@@ -39,6 +40,7 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use engine::{
     AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer, RewindStep,
 };
+pub use parallel::{replay_spans, ParallelReplayOutcome, SpanFeed};
 
 /// Virtual cycles per "second" of guest time. The paper quotes checkpoint
 /// intervals in seconds (RepChk5/RepChk1/RepChk02); this constant maps them

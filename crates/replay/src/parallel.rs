@@ -1,0 +1,812 @@
+//! Span-partitioned parallel verification replay (DESIGN.md §11).
+//!
+//! The recorder's span seeds cut the input log into contiguous **spans**;
+//! each span is replayed by an independent worker restored from the seed
+//! preceding it, and the workers' per-record [`SpanMark`] traces are folded
+//! back into the serial CR's absolute virtual clock, checkpoint schedule,
+//! and alarm bookkeeping. Parallelism is strictly a **wall-clock**
+//! optimization: cycles, digests, alarm cases, recovery accounting — every
+//! byte of the final [`ReplayOutcome`] that reaches a report — is identical
+//! to what a serial [`Replayer`] produces over the same log.
+//!
+//! Correctness rests on three properties of the replay engine:
+//!
+//! 1. Guest execution never reads the absolute cycle clock — every charge
+//!    is a delta — so a worker that starts its clock at zero accumulates
+//!    exactly the deltas the serial CR would between the same two records.
+//! 2. The only RNG consumed during CR replay is the landing-overshoot draw,
+//!    exactly one per `Interrupt` record; pre-positioning a worker's RNG by
+//!    the number of prior interrupts reproduces the serial draw sequence.
+//! 3. Seeds are captured at quiescent points (no pending IRQs, no in-flight
+//!    faults), so a span's final architectural digest must equal the next
+//!    span's seeded start digest — the **seam check** that replaces the
+//!    serial CR's continuous verification between spans.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+
+use rnr_hypervisor::{CycleAttribution, SpanSeed, VmSpec};
+use rnr_isa::Addr;
+use rnr_log::{Category, FaultPlan, InputLog, LogCursor, LogSource, LogStream, Record, TransportStats};
+use rnr_machine::{BlockStats, Digest, SharedPageCache};
+use rnr_ras::{MispredictKind, ThreadId};
+
+use crate::engine::SpanRun;
+use crate::{
+    AlarmCase, Checkpoint, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer,
+    RewindStep,
+};
+
+/// Re-execution attempts per span before giving up (mirrors the serial
+/// engine's per-point recovery bound).
+const MAX_SPAN_ATTEMPTS: u32 = 3;
+
+/// Transport faults healed by the orchestrator before the run is declared
+/// unrecoverable (mirrors the serial engine's rewind bound).
+const MAX_TRANSPORT_HEALS: u32 = 16;
+
+/// Where a parallel replay gets its records and span seeds.
+#[derive(Debug)]
+pub enum SpanFeed {
+    /// A finished recording plus the seeds its recorder captured.
+    Complete {
+        /// The complete input log.
+        log: Arc<InputLog>,
+        /// Span seeds, in capture order.
+        seeds: Vec<SpanSeed>,
+    },
+    /// A live recording: records arrive on the stream while seeds arrive on
+    /// the channel; spans are dispatched as soon as both sides of their
+    /// boundary have been observed, overlapping replay with recording
+    /// (§4.6.1's concurrent CR, parallelized).
+    Streaming {
+        /// The record transport from the recorder.
+        stream: Box<LogStream>,
+        /// Seed delivery from [`rnr_hypervisor::Recorder::seed_to`].
+        seed_rx: Receiver<SpanSeed>,
+    },
+}
+
+/// Result of [`replay_spans`]: the serial-identical outcome plus the merged
+/// wall-clock block-engine statistics of every worker (the outcome's own VM
+/// is only the *last* worker's, so its stats alone would undercount).
+#[derive(Debug)]
+pub struct ParallelReplayOutcome {
+    /// The replay outcome, byte-identical to a serial run's.
+    pub outcome: ReplayOutcome,
+    /// Decoded-block statistics summed across span workers and checkpoint
+    /// materialization (diagnostic; never part of a report).
+    pub block_stats: BlockStats,
+}
+
+/// How a worker (re)constructs its log view for each attempt.
+#[derive(Debug, Clone)]
+enum JobSource {
+    /// The whole log, shared; the worker's cursor does the partitioning.
+    Complete(Arc<InputLog>),
+    /// Just this span's records, globally indexed from `base`.
+    Slice(Arc<[Record]>, usize),
+}
+
+impl JobSource {
+    fn to_source(&self) -> LogSource {
+        match self {
+            JobSource::Complete(log) => LogSource::Complete(Arc::clone(log)),
+            JobSource::Slice(records, base) => LogSource::Span { records: Arc::clone(records), base: *base },
+        }
+    }
+}
+
+/// One span's work order.
+#[derive(Debug, Clone)]
+struct SpanJob {
+    index: usize,
+    /// `None` for span 0 (fresh boot state), the preceding seed otherwise.
+    seed: Option<SpanSeed>,
+    source: JobSource,
+    /// First record index *not* in this span (`None` = run to `End`).
+    records_end: Option<usize>,
+    /// Seam instruction to run to after the last record (`None` = final span).
+    seam: Option<u64>,
+    /// Retired-instruction count at span entry.
+    start_insn: u64,
+    /// `Interrupt` records before this span: landing-RNG pre-positioning.
+    prior_interrupts: u64,
+    /// Plan injections whose instruction falls inside this span.
+    inject_cr: Option<u64>,
+    inject_block: Option<u64>,
+}
+
+/// A finished span: its trace plus what recovery had to do to finish it.
+#[derive(Debug)]
+struct SpanDone {
+    run: SpanRun,
+    rewinds: u64,
+    rewound_insns: u64,
+    block_fallbacks: u64,
+    trail: Vec<RewindStep>,
+}
+
+/// Records gathered by the drain phase, without copying a complete log.
+enum RecordsStore {
+    Log(Arc<InputLog>),
+    Owned(Vec<Record>),
+}
+
+impl RecordsStore {
+    fn records(&self) -> &[Record] {
+        match self {
+            RecordsStore::Log(log) => log.records(),
+            RecordsStore::Owned(v) => v,
+        }
+    }
+}
+
+/// Everything the drain/dispatch phase produced.
+struct Harvest {
+    records: RecordsStore,
+    jobs: Vec<SpanJob>,
+    results: BTreeMap<usize, Result<SpanDone, ReplayError>>,
+    transport: TransportStats,
+    drain_err: Option<ReplayError>,
+}
+
+/// A checkpoint the fold scheduled; materialized only if an alarm case
+/// references it.
+struct Placement {
+    span: usize,
+    /// Log index of the record after which the checkpoint was taken
+    /// (`None` = the initial checkpoint, before any record).
+    at_record: Option<usize>,
+    at_insn: u64,
+    at_cycle: u64,
+    evicts: HashMap<ThreadId, Vec<Addr>>,
+    dirty_pages: usize,
+    dirty_blocks: usize,
+}
+
+/// An alarm case before checkpoint materialization.
+struct CaseRef {
+    placement: u64,
+    alarm: rnr_log::AlarmInfo,
+    alarm_index: usize,
+    cr_cycle: u64,
+}
+
+/// The serial CR's derived state, reconstructed from the span traces.
+struct FoldOut {
+    cycles: u64,
+    checkpoint_cycles: u64,
+    taken: u64,
+    max_live: usize,
+    alarms_seen: u64,
+    cancelled: u64,
+    jop_cases: Vec<JopCase>,
+    case_refs: Vec<CaseRef>,
+    placements: Vec<Placement>,
+}
+
+/// Replays a recording across `cfg.parallel_spans.max(1)` span workers and
+/// reassembles a [`ReplayOutcome`] byte-identical to a serial CR's.
+///
+/// `expected` arms final-digest verification exactly like
+/// [`Replayer::verify_against`]; `shared` plugs every worker into the
+/// run-wide decoded-block cache.
+///
+/// # Errors
+///
+/// The same failures a serial resilient CR surfaces: an unhealable
+/// transport fault, a persistent divergence ([`ReplayError::Unrecoverable`]
+/// with the rewind trail), or — with `cfg.resilient` off — the first raw
+/// fault. A seam-digest mismatch between adjacent spans surfaces as
+/// [`ReplayError::Divergence`].
+pub fn replay_spans(
+    spec: &VmSpec,
+    feed: SpanFeed,
+    cfg: &ReplayConfig,
+    expected: Option<Digest>,
+    shared: Option<&Arc<SharedPageCache>>,
+) -> Result<ParallelReplayOutcome, ReplayError> {
+    let worker_count = cfg.parallel_spans.max(1);
+    let harvest = run_workers(spec, feed, cfg, shared, worker_count);
+    if let Some(e) = harvest.drain_err {
+        return Err(e);
+    }
+
+    // Order results; surface the earliest span's failure (deterministic
+    // regardless of which worker finished first).
+    let mut results = harvest.results;
+    let mut spans = Vec::with_capacity(harvest.jobs.len());
+    for k in 0..harvest.jobs.len() {
+        match results.remove(&k) {
+            Some(Ok(done)) => spans.push(done),
+            Some(Err(e)) => return Err(e),
+            None => return Err(ReplayError::UnexpectedEndOfLog),
+        }
+    }
+
+    // Seam check: each span must end in exactly the architectural state the
+    // next span was seeded with.
+    for k in 0..spans.len().saturating_sub(1) {
+        if spans[k].run.outcome.final_digest != spans[k + 1].run.start_digest {
+            return Err(ReplayError::Divergence {
+                at_insn: harvest.jobs[k + 1].start_insn,
+                detail: format!("parallel span seam digest mismatch between spans {k} and {}", k + 1),
+            });
+        }
+    }
+
+    let records = harvest.records.records();
+    let runs: Vec<&SpanRun> = spans.iter().map(|s| &s.run).collect();
+    let fold = fold_spans(cfg, records, &runs);
+    let (built, mat_stats) = materialize_checkpoints(spec, cfg, shared, &harvest.jobs, &fold)?;
+
+    let mut block_stats = mat_stats;
+    let mut attribution = CycleAttribution::new();
+    let mut console = Vec::new();
+    let mut callret_traps = 0;
+    let mut recovery = ReplayRecovery { transport: harvest.transport, ..ReplayRecovery::default() };
+    for s in &spans {
+        block_stats.merge(&s.run.outcome.vm.block_stats());
+        for c in Category::ALL {
+            let v = s.run.outcome.attribution.for_category(c);
+            if v > 0 {
+                attribution.charge(c, v);
+            }
+        }
+        console.extend_from_slice(&s.run.outcome.console);
+        callret_traps += s.run.outcome.callret_traps;
+        recovery.rewinds += s.rewinds;
+        recovery.rewound_insns += s.rewound_insns;
+        recovery.block_fallback_spans += s.block_fallbacks;
+        recovery.trail.extend(s.trail.iter().cloned());
+    }
+    attribution.charge_checkpoint(fold.checkpoint_cycles);
+
+    let alarm_cases = fold
+        .case_refs
+        .iter()
+        .map(|c| AlarmCase {
+            checkpoint: built.get(&c.placement).cloned().expect("referenced checkpoint materialized"),
+            alarm: c.alarm,
+            alarm_index: c.alarm_index,
+            cr_cycle: c.cr_cycle,
+        })
+        .collect();
+
+    let last = spans.pop().expect("at least one span");
+    let final_digest = last.run.outcome.final_digest;
+    let outcome = ReplayOutcome {
+        cycles: fold.cycles,
+        retired: last.run.outcome.retired,
+        final_digest,
+        verified: expected.map(|d| d == final_digest),
+        attribution,
+        checkpoints_taken: fold.taken,
+        checkpoints_live_max: fold.max_live,
+        alarms_seen: fold.alarms_seen,
+        underflows_cancelled: fold.cancelled,
+        alarm_cases,
+        jop_cases: fold.jop_cases,
+        callret_traps,
+        console,
+        recovery,
+        shadow_events: Vec::new(),
+        profile: HashMap::new(),
+        vm: last.run.outcome.vm,
+    };
+    Ok(ParallelReplayOutcome { outcome, block_stats })
+}
+
+/// Spawns the worker pool, feeds it spans as the feed makes them ready, and
+/// gathers every result. Never fails itself — drain problems land in
+/// [`Harvest::drain_err`] so the pool always joins cleanly.
+fn run_workers(
+    spec: &VmSpec,
+    feed: SpanFeed,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    worker_count: usize,
+) -> Harvest {
+    std::thread::scope(|scope| {
+        let (job_tx, job_rx) = channel::<SpanJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = channel::<(usize, Result<SpanDone, ReplayError>)>();
+        for _ in 0..worker_count {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move || loop {
+                let job = { job_rx.lock().expect("span job queue").recv() };
+                let Ok(job) = job else { break };
+                let index = job.index;
+                let done = run_one_span(spec, cfg, shared, &job);
+                if res_tx.send((index, done)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+
+        let mut jobs = Vec::new();
+        let mut drain_err = None;
+        let mut transport = TransportStats::default();
+        let records = match feed {
+            SpanFeed::Complete { log, seeds } => {
+                for k in 0..=seeds.len() {
+                    let job = make_job(
+                        k,
+                        &seeds,
+                        log.records(),
+                        &cfg.fault_plan,
+                        JobSource::Complete(Arc::clone(&log)),
+                    );
+                    let _ = job_tx.send(job.clone());
+                    jobs.push(job);
+                }
+                RecordsStore::Log(log)
+            }
+            SpanFeed::Streaming { mut stream, seed_rx } => {
+                let mut records: Vec<Record> = Vec::new();
+                let mut seeds: Vec<SpanSeed> = Vec::new();
+                let mut heals = 0u32;
+                loop {
+                    // The orchestrator owns transport healing: workers only
+                    // ever see already-verified record slices.
+                    match stream.try_get(records.len()) {
+                        Ok(Some(r)) => records.push(r.clone()),
+                        Ok(None) => break,
+                        Err(e) => {
+                            if !cfg.resilient {
+                                drain_err = Some(ReplayError::Transport(e));
+                                break;
+                            }
+                            heals += 1;
+                            if heals > MAX_TRANSPORT_HEALS {
+                                drain_err = Some(ReplayError::Unrecoverable {
+                                    fault: Box::new(ReplayError::Transport(e)),
+                                    trail: Vec::new(),
+                                });
+                                break;
+                            }
+                            if let Err(c) = stream.recover() {
+                                drain_err = Some(ReplayError::Unrecoverable {
+                                    fault: Box::new(ReplayError::Transport(c)),
+                                    trail: Vec::new(),
+                                });
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    while let Ok(s) = seed_rx.try_recv() {
+                        seeds.push(s);
+                    }
+                    // Dispatch every span whose records are fully drained:
+                    // replay overlaps the still-running recording.
+                    while jobs.len() < seeds.len() && records.len() >= seeds[jobs.len()].at_record {
+                        let k = jobs.len();
+                        let job =
+                            make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
+                        let _ = job_tx.send(job.clone());
+                        jobs.push(job);
+                    }
+                }
+                if drain_err.is_none() {
+                    // The recorder is done: its seed sends all happened
+                    // before the sink hung up, so the channel is complete.
+                    while let Ok(s) = seed_rx.try_recv() {
+                        seeds.push(s);
+                    }
+                    while jobs.len() <= seeds.len() {
+                        let k = jobs.len();
+                        let job =
+                            make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
+                        let _ = job_tx.send(job.clone());
+                        jobs.push(job);
+                    }
+                }
+                transport = stream.transport_stats();
+                RecordsStore::Owned(records)
+            }
+        };
+        drop(job_tx);
+
+        let mut results = BTreeMap::new();
+        for (idx, r) in res_rx {
+            results.insert(idx, r);
+        }
+        Harvest { records, jobs, results, transport, drain_err }
+    })
+}
+
+/// The record slice for span `k`, globally indexed.
+fn slice_source(records: &[Record], k: usize, seeds: &[SpanSeed]) -> JobSource {
+    let start = if k == 0 { 0 } else { seeds[k - 1].at_record };
+    let end = if k < seeds.len() { seeds[k].at_record } else { records.len() };
+    JobSource::Slice(Arc::from(&records[start..end]), start)
+}
+
+fn make_job(
+    k: usize,
+    seeds: &[SpanSeed],
+    records: &[Record],
+    plan: &FaultPlan,
+    source: JobSource,
+) -> SpanJob {
+    let (start_rec, start_insn, seed) = if k == 0 {
+        (0, 0, None)
+    } else {
+        let s = &seeds[k - 1];
+        (s.at_record, s.at_insn, Some(s.clone()))
+    };
+    let (records_end, seam, end_insn) = if k < seeds.len() {
+        (Some(seeds[k].at_record), Some(seeds[k].at_insn), seeds[k].at_insn)
+    } else {
+        (None, None, u64::MAX)
+    };
+    let prior_interrupts =
+        records[..start_rec].iter().filter(|r| matches!(r, Record::Interrupt { .. })).count() as u64;
+    // A planned injection belongs to exactly one span: the one whose
+    // instruction range contains it (serial fires it at the first loop-top
+    // at or past `at`; the owning worker does the same).
+    let in_range = |at: &u64| *at >= start_insn && *at < end_insn;
+    SpanJob {
+        index: k,
+        seed,
+        source,
+        records_end,
+        seam,
+        start_insn,
+        prior_interrupts,
+        inject_cr: plan.cr_divergence_at_insn.filter(in_range),
+        inject_block: plan.block_divergence_at_insn.filter(in_range),
+    }
+}
+
+/// The per-worker replay configuration: span workers never checkpoint, never
+/// collect cases (the fold owns both), and never self-recover (the retry
+/// loop around them does).
+fn worker_cfg(cfg: &ReplayConfig) -> ReplayConfig {
+    ReplayConfig {
+        checkpoint_interval: None,
+        collect_cases: false,
+        resilient: false,
+        profile_sample_every: None,
+        parallel_spans: 0,
+        fault_plan: FaultPlan::default(),
+        ..cfg.clone()
+    }
+}
+
+fn build_replayer(
+    spec: &VmSpec,
+    wcfg: ReplayConfig,
+    job: &SpanJob,
+    shared: Option<&Arc<SharedPageCache>>,
+) -> Replayer {
+    let source = job.source.to_source();
+    let mut r = match &job.seed {
+        None => Replayer::new(spec, source, wcfg),
+        Some(seed) => {
+            // A span seed is a checkpoint with no replay-side history: the
+            // worker's clock starts at zero (the fold re-bases it) and the
+            // evict store starts empty (the fold owns alarm bookkeeping).
+            let cp = Checkpoint {
+                id: 0,
+                at_insn: seed.at_insn,
+                at_cycle: 0,
+                cpu: seed.cpu.clone(),
+                mem_pages: seed.mem_pages.clone(),
+                disk: seed.disk.clone(),
+                backras: seed.backras.clone(),
+                current_tid: seed.current_tid,
+                dying: seed.dying,
+                cursor: LogCursor::new(seed.at_record),
+                evict_store: HashMap::new(),
+                dirty_pages: 0,
+                dirty_blocks: 0,
+            };
+            Replayer::from_checkpoint(spec, source, wcfg, &cp, false)
+        }
+    };
+    if let Some(s) = shared {
+        r.attach_shared_cache(Arc::clone(s));
+    }
+    r.skip_landing_draws(job.prior_interrupts);
+    r
+}
+
+/// Runs one span to completion, retrying transient divergences in place:
+/// the span *is* the rewind unit (its seed is the checkpoint), so recovery
+/// re-executes it from scratch, stepped after a block-engine suspect, and
+/// reports the same accounting a serial rewind would.
+fn run_one_span(
+    spec: &VmSpec,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    job: &SpanJob,
+) -> Result<SpanDone, ReplayError> {
+    let mut rewinds = 0;
+    let mut rewound_insns = 0;
+    let mut block_fallbacks = 0;
+    let mut trail: Vec<RewindStep> = Vec::new();
+    let mut degraded = false;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut wcfg = worker_cfg(cfg);
+        if attempt == 1 {
+            // Injections are one-shot, like the serial engine's fired flags:
+            // a retry after a healed transient must not re-fire them.
+            wcfg.fault_plan.cr_divergence_at_insn = job.inject_cr;
+            wcfg.fault_plan.block_divergence_at_insn = job.inject_block;
+        }
+        if degraded {
+            wcfg.block_engine = false;
+        }
+        let r = build_replayer(spec, wcfg, job, shared);
+        match r.run_span(job.records_end, job.seam) {
+            Ok(run) => return Ok(SpanDone { run, rewinds, rewound_insns, block_fallbacks, trail }),
+            Err(err) => {
+                let at = match (&err, cfg.resilient) {
+                    (ReplayError::Divergence { at_insn, .. }, true) => *at_insn,
+                    // Transport faults cannot reach a worker (its slice was
+                    // verified by the drain); everything else is terminal.
+                    _ => return Err(err),
+                };
+                if cfg.block_engine && !degraded {
+                    // Quarantine the block engine for the re-execution, as
+                    // serial recovery does for a divergence-suspect span.
+                    degraded = true;
+                    block_fallbacks += 1;
+                }
+                rewinds += 1;
+                rewound_insns += at.saturating_sub(job.start_insn);
+                trail.push(RewindStep {
+                    at_insn: at,
+                    to_insn: job.start_insn,
+                    checkpoint_id: job.index as u64,
+                    reason: err.to_string(),
+                });
+                if attempt >= MAX_SPAN_ATTEMPTS {
+                    return Err(ReplayError::Unrecoverable { fault: Box::new(err), trail });
+                }
+            }
+        }
+    }
+}
+
+/// Replays the span traces through the serial CR's bookkeeping: one walk
+/// over the records in order, re-basing each worker's relative cycle deltas
+/// onto the absolute clock, scheduling checkpoints where the serial CR
+/// would (charging their costs into the clock), and reproducing the alarm/
+/// evict protocol of §4.6.2.
+fn fold_spans(cfg: &ReplayConfig, records: &[Record], spans: &[&SpanRun]) -> FoldOut {
+    let costs = &cfg.costs;
+    let mut a: u64 = 0;
+    let mut last_cp: u64 = 0;
+    let mut checkpoint_cycles: u64 = 0;
+    let mut taken: u64 = 0;
+    let mut max_live: usize = 0;
+    // The retained-checkpoint window, as (placement id, at_insn).
+    let mut live: VecDeque<(u64, u64)> = VecDeque::new();
+    let mut placements: Vec<Placement> = Vec::new();
+    let mut dirty_pages: HashSet<usize> = HashSet::new();
+    let mut dirty_blocks: HashSet<usize> = HashSet::new();
+    let mut evicts: HashMap<ThreadId, Vec<Addr>> = HashMap::new();
+    let mut alarms_seen = 0;
+    let mut cancelled = 0;
+    let mut jop_cases = Vec::new();
+    let mut case_refs = Vec::new();
+    // A span's record-free tail (seam run) belongs to the serial interval
+    // that ends at the *next* record: carry its delta and dirt forward.
+    let mut pending_delta: u64 = 0;
+    let mut pending_pages: Vec<usize> = Vec::new();
+    let mut pending_blocks: Vec<usize> = Vec::new();
+
+    let place = |a: &mut u64,
+                 checkpoint_cycles: &mut u64,
+                 live: &mut VecDeque<(u64, u64)>,
+                 placements: &mut Vec<Placement>,
+                 taken: &mut u64,
+                 max_live: &mut usize,
+                 dirty_pages: &mut HashSet<usize>,
+                 dirty_blocks: &mut HashSet<usize>,
+                 span: usize,
+                 at_record: Option<usize>,
+                 at_insn: u64,
+                 evicts: HashMap<ThreadId, Vec<Addr>>| {
+        let dp = dirty_pages.len();
+        let db = dirty_blocks.len();
+        // The serial CR's cow-fault counter equals the distinct pages
+        // dirtied in the epoch, which is exactly this union's page count.
+        let cost = costs.checkpoint_fixed
+            + costs.checkpoint_page_copy * (dp + db) as u64
+            + costs.cow_fault * dp as u64;
+        *a += cost;
+        *checkpoint_cycles += cost;
+        let id = placements.len() as u64;
+        placements.push(Placement {
+            span,
+            at_record,
+            at_insn,
+            at_cycle: *a,
+            evicts,
+            dirty_pages: dp,
+            dirty_blocks: db,
+        });
+        live.push_back((id, at_insn));
+        *taken += 1;
+        while live.len() > cfg.retain {
+            live.pop_front();
+        }
+        *max_live = (*max_live).max(live.len());
+        dirty_pages.clear();
+        dirty_blocks.clear();
+    };
+
+    if cfg.collect_cases {
+        // The initial checkpoint: the serial `run()` takes it before the
+        // first record, draining the construction epoch — which is exactly
+        // what worker 0's entry mark recorded.
+        let entry = &spans[0].marks[0];
+        dirty_pages.extend(entry.dirty_pages.iter().copied());
+        dirty_blocks.extend(entry.dirty_blocks.iter().copied());
+        place(
+            &mut a,
+            &mut checkpoint_cycles,
+            &mut live,
+            &mut placements,
+            &mut taken,
+            &mut max_live,
+            &mut dirty_pages,
+            &mut dirty_blocks,
+            0,
+            None,
+            0,
+            HashMap::new(),
+        );
+        last_cp = a;
+    }
+
+    for (w, span) in spans.iter().enumerate() {
+        let mut prev = span.marks[0].cycles;
+        for mark in &span.marks[1..] {
+            let delta = mark.cycles - prev;
+            prev = mark.cycles;
+            let Some(j) = mark.record else {
+                pending_delta += delta;
+                pending_pages.extend_from_slice(&mark.dirty_pages);
+                pending_blocks.extend_from_slice(&mark.dirty_blocks);
+                continue;
+            };
+            a += pending_delta + delta;
+            pending_delta = 0;
+            dirty_pages.extend(pending_pages.drain(..));
+            dirty_blocks.extend(pending_blocks.drain(..));
+            dirty_pages.extend(mark.dirty_pages.iter().copied());
+            dirty_blocks.extend(mark.dirty_blocks.iter().copied());
+            let record = &records[j];
+            let mut is_end = false;
+            match record {
+                Record::End { .. } => is_end = true,
+                Record::Evict { tid, addr } => evicts.entry(*tid).or_default().push(*addr),
+                Record::Alarm(info) => {
+                    alarms_seen += 1;
+                    let mut matched = false;
+                    if info.mispredict.kind == MispredictKind::Underflow {
+                        let stack = evicts.entry(info.tid).or_default();
+                        if stack.last() == Some(&info.mispredict.actual) {
+                            // §4.6.2: matches the thread's latest evict
+                            // record — a false alarm; drop both.
+                            stack.pop();
+                            cancelled += 1;
+                            matched = true;
+                        }
+                    }
+                    if !matched && cfg.collect_cases {
+                        let placement = live
+                            .iter()
+                            .rev()
+                            .find(|(_, ai)| *ai <= info.at_insn)
+                            .or_else(|| live.front())
+                            .expect("initial checkpoint always exists")
+                            .0;
+                        case_refs.push(CaseRef { placement, alarm: *info, alarm_index: j, cr_cycle: a });
+                    }
+                }
+                Record::JopAlarm { tid, branch_pc, target, at_insn, at_cycle } => {
+                    alarms_seen += 1;
+                    jop_cases.push(JopCase {
+                        tid: *tid,
+                        branch_pc: *branch_pc,
+                        target: *target,
+                        at_insn: *at_insn,
+                        at_cycle: *at_cycle,
+                    });
+                }
+                _ => {}
+            }
+            if !is_end {
+                if let Some(interval) = cfg.checkpoint_interval {
+                    if a - last_cp >= interval {
+                        place(
+                            &mut a,
+                            &mut checkpoint_cycles,
+                            &mut live,
+                            &mut placements,
+                            &mut taken,
+                            &mut max_live,
+                            &mut dirty_pages,
+                            &mut dirty_blocks,
+                            w,
+                            Some(j),
+                            mark.retired,
+                            evicts.clone(),
+                        );
+                        last_cp = a;
+                    }
+                }
+            }
+        }
+    }
+
+    FoldOut {
+        cycles: a,
+        checkpoint_cycles,
+        taken,
+        max_live,
+        alarms_seen,
+        cancelled,
+        jop_cases,
+        case_refs,
+        placements,
+    }
+}
+
+/// Builds the checkpoints that alarm cases actually reference, by re-running
+/// the owning span from its seed (injection-free, self-recovery off) and
+/// snapshotting at each scheduled record. Unreferenced placements cost
+/// nothing — serially they were taken and recycled unobserved.
+fn materialize_checkpoints(
+    spec: &VmSpec,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    jobs: &[SpanJob],
+    fold: &FoldOut,
+) -> Result<(HashMap<u64, Checkpoint>, BlockStats), ReplayError> {
+    let needed: BTreeSet<u64> = fold.case_refs.iter().map(|c| c.placement).collect();
+    let mut by_span: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for id in needed {
+        by_span.entry(fold.placements[id as usize].span).or_default().push(id);
+    }
+    let mut built = HashMap::new();
+    let mut stats = BlockStats::default();
+    for (span, ids) in by_span {
+        let mut r = build_replayer(spec, worker_cfg(cfg), &jobs[span], shared);
+        // Placement ids ascend with record order, so one pass per span
+        // reaches every snapshot point without restarting.
+        for id in ids {
+            let p = &fold.placements[id as usize];
+            if let Some(rec) = p.at_record {
+                r.drive_to_record(rec)?;
+            }
+            let cursor = LogCursor::new(p.at_record.map_or(0, |rec| rec + 1));
+            built.insert(
+                id,
+                r.snapshot_checkpoint(
+                    id,
+                    p.at_insn,
+                    p.at_cycle,
+                    cursor,
+                    p.evicts.clone(),
+                    p.dirty_pages,
+                    p.dirty_blocks,
+                ),
+            );
+        }
+        stats.merge(&r.block_stats());
+    }
+    Ok((built, stats))
+}

@@ -3,6 +3,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The suite asserts serial-vs-parallel report identity and runs the fault
+# matrix with span workers active; on a single-core host `cargo test` gets
+# no real parallelism and the wall-clock claims go unexercised. Refuse
+# unless explicitly overridden.
+cores="$(nproc)"
+if [ "$cores" -lt 2 ] && [ "${RNR_ALLOW_SINGLE_CORE:-0}" != "1" ]; then
+    echo "check.sh: only $cores core available; parallel span replay needs >= 2" >&2
+    echo "check.sh: set RNR_ALLOW_SINGLE_CORE=1 to run anyway" >&2
+    exit 1
+fi
+
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo test --workspace -q --offline
@@ -12,6 +23,10 @@ cargo test --workspace -q --offline
 # fault-free run (or shows no recovery activity), or if the unrecoverable
 # scenario does anything but fail with a structured error.
 cargo run --release -q -p rnr-bench --bin fault_matrix --offline
+
+# Same matrix with checkpoint-partitioned span replay active: every
+# scenario must heal to a report byte-identical to a clean parallel run.
+cargo run --release -q -p rnr-bench --bin fault_matrix --offline -- --parallel
 
 # Perf gate: rerun the attack-pipeline comparison and fail if the baseline
 # and optimized reports diverge, or if the speedup regresses >10% below the

@@ -68,6 +68,58 @@ fn transport_faults_heal_on_a_benign_workload_too() {
 }
 
 #[test]
+fn transport_faults_heal_while_parallel_span_replay_is_active() {
+    let cfg = |plan| PipelineConfig {
+        duration_insns: 250_000,
+        parallel_spans: 2,
+        fault_plan: plan,
+        ..Default::default()
+    };
+    let reference =
+        Pipeline::new(Workload::Mysql.spec(false), cfg(FaultPlan::default())).run().expect("clean run");
+    let plan = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 1,
+            kind: TransportFaultKind::CorruptBit,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    let report = Pipeline::new(Workload::Mysql.spec(false), cfg(plan)).run().expect("healed run");
+    assert_eq!(report.to_json(), reference.to_json());
+    assert!(report.recovery.transport.faults_detected >= 1);
+    assert!(report.recovery.transport.batches_refetched >= 1, "damaged batch must be refetched");
+    assert!(report.recovery.any());
+}
+
+#[test]
+fn cr_divergence_rewinds_and_refetches_under_parallel_span_replay() {
+    let run = |plan| {
+        let (spec, _attack) =
+            rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+        let cfg = PipelineConfig {
+            duration_insns: 900_000,
+            checkpoint_interval_secs: Some(0.125),
+            parallel_spans: 2,
+            fault_plan: plan,
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(spec, cfg).run()
+    };
+    let reference = run(FaultPlan::default()).expect("clean parallel run");
+    assert!(!reference.recovery.any(), "clean parallel run must not report recovery");
+    let plan = FaultPlan { seed: SEED, cr_divergence_at_insn: Some(240_000), ..FaultPlan::default() };
+    let report = run(plan).expect("healed run");
+    assert_eq!(report.to_json(), reference.to_json(), "healed parallel report must be byte-identical");
+    assert!(report.replay.verified);
+    // The owning span re-executes from its seed: that rewind-and-refetch is
+    // accounted exactly like a serial rewind to the last checkpoint.
+    assert!(report.recovery.cr_rewinds >= 1, "span retry must be recorded as a rewind");
+    assert!(!report.recovery.rewind_trail.is_empty());
+}
+
+#[test]
 fn poisoned_retained_store_fails_with_structured_error_not_panic() {
     let (name, plan) = unrecoverable_scenario(SEED);
     match attack_run(plan) {

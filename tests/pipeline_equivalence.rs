@@ -203,6 +203,62 @@ fn block_engine_edge_cases_match_single_step() {
     assert_eq!(skewed(true), skewed(false));
 }
 
+/// Checkpoint-partitioned span replay is a pure wall-clock knob: for every
+/// worker count, workload, and block-engine setting, the parallel pipeline
+/// report is byte-identical to the serial one of the same configuration.
+#[test]
+fn parallel_span_replay_matches_serial_across_matrix() {
+    let all = [Workload::Apache, Workload::Fileio, Workload::Make, Workload::Mysql, Workload::Radiosity];
+    for workload in all {
+        for block_engine in [true, false] {
+            let run = |parallel_spans: usize| {
+                let cfg = PipelineConfig {
+                    duration_insns: 250_000,
+                    block_engine,
+                    parallel_spans,
+                    ..PipelineConfig::default()
+                };
+                Pipeline::new(workload.spec(false), cfg).run().unwrap()
+            };
+            let serial = run(0);
+            assert!(serial.replay.verified);
+            for workers in [1, 2, 4, 8] {
+                let parallel = run(workers);
+                assert_eq!(
+                    parallel.to_json(),
+                    serial.to_json(),
+                    "{workload:?} block_engine={block_engine} workers={workers}: report diverged"
+                );
+            }
+        }
+    }
+}
+
+/// On the mounted attack, span-parallel verification reproduces the serial
+/// report exactly — verdicts, detection window, and alarm resolutions
+/// included — in both streaming and sequential feed modes.
+#[test]
+fn attack_pipeline_parallel_spans_match_serial() {
+    let base_cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        ..PipelineConfig::default()
+    };
+    let run = |cfg: PipelineConfig| {
+        let (spec, _plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let serial = run(base_cfg.clone());
+    assert!(serial.attacks_confirmed() >= 1);
+    for workers in [2, 4] {
+        let streamed = run(PipelineConfig { parallel_spans: workers, ..base_cfg.clone() });
+        assert_eq!(serial.to_json(), streamed.to_json(), "streaming feed, {workers} workers");
+        let sequential =
+            run(PipelineConfig { parallel_spans: workers, streaming: false, ..base_cfg.clone() });
+        assert_eq!(serial.to_json(), sequential.to_json(), "complete feed, {workers} workers");
+    }
+}
+
 /// `Arc`-shared logs replay without copies: two replayers can hold the same
 /// recording concurrently.
 #[test]
