@@ -18,14 +18,19 @@
 //! span replay active (`parallel_spans = 2`): every scenario must heal to a
 //! report byte-identical to a *clean run of the same configuration* — which
 //! is itself byte-identical to the serial report.
+//!
+//! A final section reruns the self-modifying JIT workload — the superblock
+//! trace engine's hardest input — fault-free with traces on and off (the
+//! reports must be byte-identical) and under a corrupted transport batch
+//! (which must heal back to the clean report).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rnr_bench::SEED;
-use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan};
+use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan, TransportFault, TransportFaultKind};
 use rnr_replay::ReplayError;
 use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
-use rnr_workloads::WorkloadParams;
+use rnr_workloads::{Workload, WorkloadParams};
 
 /// The attack pipeline under one fault plan — same workload and knobs as
 /// the pipeline equivalence tests, so the fault-free reference exercises
@@ -65,6 +70,12 @@ fn main() {
             "fault-free: {} attack(s) confirmed, {} alarm(s) escalated, recovery quiet",
             reference.attacks_confirmed(),
             reference.replay.alarms_escalated
+        );
+        let b = &reference.block_stats;
+        println!(
+            "fault-free: block cache {} hits / {} builds / {} shared imports, \
+             trace cache {} hits / {} builds / {} fallbacks",
+            b.hits, b.builds, b.shared_imports, b.trace_hits, b.trace_builds, b.trace_fallbacks
         );
     }
 
@@ -130,9 +141,90 @@ fn main() {
         }
     }
 
+    failures += jit_section(parallel_spans);
+
     if failures > 0 {
         eprintln!("fault matrix FAILED: {failures} scenario(s)");
         std::process::exit(1);
     }
     println!("fault matrix passed");
+}
+
+/// The self-modifying JIT workload under the trace engine: superblocks must
+/// be invisible in the report (on vs off byte-identical), actually engage
+/// (trace dispatches observed despite the code churn), and heal a corrupted
+/// transport batch back to the clean report.
+fn jit_section(parallel_spans: usize) -> u32 {
+    let run = |superblocks: bool, plan: FaultPlan| {
+        let cfg = PipelineConfig {
+            duration_insns: 400_000,
+            checkpoint_interval_secs: Some(0.125),
+            parallel_spans,
+            superblocks,
+            fault_plan: plan,
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(Workload::Jit.spec(false), cfg).run()
+    };
+    let traced = match run(true, FaultPlan::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("FAIL jit-fault-free: pipeline error: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    let b = &traced.block_stats;
+    if traced.recovery.any() {
+        println!("FAIL jit-fault-free: recovery block not quiet: {:?}", traced.recovery);
+        failures += 1;
+    }
+    if b.trace_hits == 0 {
+        println!("FAIL jit-fault-free: trace cache never dispatched on the JIT workload");
+        failures += 1;
+    }
+    match run(false, FaultPlan::default()) {
+        Ok(plain) if plain.to_json() == traced.to_json() => {}
+        Ok(_) => {
+            println!("FAIL jit-superblocks-off: report differs from superblocks-on run");
+            failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL jit-superblocks-off: pipeline error: {e}");
+            failures += 1;
+        }
+    }
+    // Frame 0 always exists (the JIT log is far sparser than the attack
+    // workload's, so the matrix's usual seq-2 target may never stream).
+    let corrupt = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 0,
+            kind: TransportFaultKind::CorruptBit,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    match run(true, corrupt) {
+        Ok(healed) if healed.to_json() == traced.to_json() && healed.recovery.any() => {
+            println!(
+                "ok   jit: {} trace hit(s), superblocks report-invisible, corrupt batch healed \
+                 (refetched={})",
+                b.trace_hits, healed.recovery.transport.batches_refetched
+            );
+        }
+        Ok(healed) => {
+            println!(
+                "FAIL jit-corrupt-batch: healed={} identical={}",
+                healed.recovery.any(),
+                healed.to_json() == traced.to_json()
+            );
+            failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL jit-corrupt-batch: pipeline error: {e}");
+            failures += 1;
+        }
+    }
+    failures
 }

@@ -19,6 +19,8 @@ fn main() {
                 "B-tree lookups + query compute, 2 rdtsc per transaction, 1/16 disk reads".to_string()
             }
             Workload::Radiosity => "pure compute: recursion depth 22 + xorshift loops".to_string(),
+            // Not part of Table 3 (Workload::ALL is the paper's five).
+            Workload::Jit => unreachable!("jit is not a paper benchmark"),
         };
         t.row(vec![w.label().to_string(), w.paper_parameters().to_string(), repro]);
     }

@@ -57,6 +57,10 @@ pub struct PipelineConfig {
     /// recorder and all replayers (wall-clock optimization; virtual cycles,
     /// digests, and verdicts are identical either way).
     pub block_engine: bool,
+    /// Chain hot blocks into superblock traces in the recorder and all
+    /// replayers (wall-clock optimization; virtual cycles, digests, and
+    /// verdicts are identical either way). Requires `block_engine`.
+    pub superblocks: bool,
     /// Partition verification replay across this many span workers along
     /// the recorder's seed stream (DESIGN.md §11). `0` replays serially.
     /// Wall-clock only: the report, logs, virtual cycles, digests, and
@@ -84,6 +88,7 @@ impl Default for PipelineConfig {
             streaming: true,
             decode_cache: true,
             block_engine: true,
+            superblocks: true,
             parallel_spans: 0,
             fault_plan: FaultPlan::default(),
         }
@@ -375,6 +380,7 @@ impl Pipeline {
         rc.stall_on_alarm = cfg.stall_on_alarm;
         rc.decode_cache = cfg.decode_cache;
         rc.block_engine = cfg.block_engine;
+        rc.superblocks = cfg.superblocks;
         if cfg.parallel_spans > 0 {
             rc.span_seed_every_insns = Some(span_seed_cadence(cfg));
         }
@@ -385,6 +391,7 @@ impl Pipeline {
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
             block_engine: cfg.block_engine,
+            superblocks: cfg.superblocks,
             // The CR is supervised: it retains recovery points and heals
             // transport faults and transient divergences by rewinding to
             // the last good checkpoint (recovery activity never changes

@@ -79,6 +79,10 @@ pub struct RecordConfig {
     /// Execute whole cached basic blocks between event horizons (wall-clock
     /// optimization; never changes virtual cycles, the log, or digests).
     pub block_engine: bool,
+    /// Chain hot blocks into superblock traces (wall-clock optimization;
+    /// never changes virtual cycles, the log, or digests). Requires
+    /// `block_engine`.
+    pub superblocks: bool,
     /// RAS capacity (the paper simulates 48).
     pub ras_capacity: usize,
     /// Cycle cost model.
@@ -113,6 +117,7 @@ impl RecordConfig {
             functional_ras_analysis: false,
             decode_cache: true,
             block_engine: true,
+            superblocks: true,
             ras_capacity: RasConfig::DEFAULT_CAPACITY,
             costs: CostModel::default(),
             trace: 0,
@@ -325,6 +330,7 @@ impl Recorder {
             costs: config.costs,
             decode_cache: config.decode_cache,
             block_engine: config.block_engine,
+            superblocks: config.superblocks,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];

@@ -37,6 +37,13 @@ pub struct MachineConfig {
     /// [`CostModel::decode`] is non-zero or per-instruction debugging
     /// (tracing, watchpoints) is active.
     pub block_engine: bool,
+    /// Chain hot basic blocks across taken branches and page boundaries
+    /// into superblock traces with one dispatch and one counter commit per
+    /// trace (see `GuestVm::run` and DESIGN.md §12). Requires
+    /// `block_engine`; like it, a pure wall-clock knob — the retired
+    /// stream, virtual cycles, digests, and exits are byte-identical with
+    /// superblocks on or off.
+    pub superblocks: bool,
 }
 
 impl MachineConfig {
@@ -63,6 +70,7 @@ impl Default for MachineConfig {
             costs: CostModel::default(),
             decode_cache: true,
             block_engine: true,
+            superblocks: true,
         }
     }
 }

@@ -15,8 +15,19 @@
 //!   The block executor in [`crate::GuestVm`] retires whole blocks between
 //!   *event horizons* with a single counter bump and no per-instruction
 //!   budget/breakpoint checks.
+//! * **Superblocks (traces)** — chains of hot blocks across taken branches,
+//!   direct calls, profiled indirect targets, and page boundaries, flattened
+//!   into one contiguous op array with a single dispatch per trace
+//!   ([`BlockCache::trace_at`]/[`BlockCache::install_trace`]). Heads are
+//!   found by wall-clock-only heat counters fed from block-exit edge
+//!   profiling ([`BlockCache::record_edge`]); loops unroll through the head
+//!   until the op cap. Every constituent page contributes a write-version
+//!   guard ([`TraceGuards`]) plus a bitmap of the 8-byte slots its ops
+//!   decode from ([`TracePage`]): a page bump re-validates the trace
+//!   against exactly those slots, so data writes into pages that share
+//!   hot code don't kill it.
 //!
-//! Both layers are invalidated wholesale when the page's write-version
+//! The two lower layers are invalidated wholesale when the page's write-version
 //! ([`Memory::page_version`]) moves — which is what makes self-modifying
 //! code (and checkpoint restores) correct without any explicit flush
 //! protocol.
@@ -31,12 +42,218 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use serde::{Deserialize, Serialize};
+
 use rnr_isa::{Addr, Instruction};
 
 use crate::mem::{Memory, PAGE_SIZE};
 
 /// Decoded slots per page (8-byte instructions).
 const SLOTS: usize = PAGE_SIZE / 8;
+
+/// Block-head executions before a superblock is chained from that head.
+/// High enough that cold code never pays the build, low enough that every
+/// hot loop crosses it within its first few thousand retired instructions.
+pub const TRACE_HEAT: u16 = 64;
+
+/// Maximum instructions per superblock trace. Loops unroll up to this cap,
+/// so one dispatch covers up to this many retirements; it is also the upper
+/// bound a dispatch needs below the event horizon.
+pub const TRACE_MAX_OPS: usize = 256;
+
+/// Maximum distinct constituent pages per trace (the guard list is a fixed
+/// array so dispatch copies it without allocating).
+pub const TRACE_MAX_PAGES: usize = 8;
+
+/// Heat sentinel: trace formation failed at this head, stop profiling it.
+/// Lives in the (local-only) profile so the `heads` list stays short.
+const UNTRACEABLE: u16 = u16::MAX;
+
+/// "No successor observed yet" marker in the edge-profile array.
+const NO_SUCC: Addr = Addr::MAX;
+
+/// How a trace op executes: straight-line ops batch through the fast
+/// interpreter; control transfers are inlined with a guard on the expected
+/// next PC. Every other opcode (privileged, IO, interrupt-flag, `Rdtsc`,
+/// `Hlt`, `Syscall`/`Sysret`/`Iret`) ends trace formation, so a running
+/// trace can never change the halt/interrupt state or observe the cycle
+/// counter mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Non-store straight-line instruction.
+    Straight,
+    /// Store-class straight-line instruction (`St`/`St8`/`Push`): the
+    /// executor checks the written range against the trace's op-slot map
+    /// after it (self-modification side-exits).
+    StraightStore,
+    /// Unconditional direct jump — free at runtime (the next op *is* the
+    /// target), it only retires.
+    Jmp,
+    /// Conditional branch, guarded on the direction observed at build time.
+    Branch,
+    /// Direct call: push + RAS, target known statically.
+    Call,
+    /// Indirect call: push + RAS + JOP check, guarded on the profiled
+    /// target.
+    CallR,
+    /// Return: pop + RAS, guarded on the profiled target.
+    Ret,
+    /// Indirect jump: JOP check, guarded on the profiled target.
+    JmpR,
+}
+
+/// One flattened instruction of a superblock trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOp {
+    /// The op's own PC (partial commits restore from here).
+    pub pc: Addr,
+    /// The decoded instruction.
+    pub insn: Instruction,
+    /// Execution kind, classified at build time.
+    pub step: TraceStep,
+    /// The next PC the trace expects to execute: the following op's `pc`,
+    /// or the trace's `end_pc` for the last op. Control transfers whose
+    /// actual next PC differs side-exit the trace here.
+    pub expect: Addr,
+}
+
+/// One constituent page of a trace body: the build-time page bytes (pinned
+/// so pointer equality proves "unchanged"), plus a bitmap of the 8-byte
+/// slots the trace's ops actually decode from. The bitmap is what lets
+/// data and hot code share a page: writes that miss every op slot leave
+/// the trace usable.
+#[derive(Debug)]
+pub struct TracePage {
+    /// Page index.
+    pub index: usize,
+    /// Full page contents at build time.
+    pub bytes: Arc<[u8; PAGE_SIZE]>,
+    /// Bit `s` set ⇔ some op decodes from slot `s` (bytes `8s..8s+8`).
+    op_slots: [u64; SLOTS / 64],
+}
+
+impl TracePage {
+    /// A page entry with no op slots marked yet.
+    pub fn new(index: usize, bytes: Arc<[u8; PAGE_SIZE]>) -> TracePage {
+        TracePage { index, bytes, op_slots: [0; SLOTS / 64] }
+    }
+
+    /// Marks slot `s` as holding an op of this trace.
+    pub fn mark_slot(&mut self, s: usize) {
+        self.op_slots[s / 64] |= 1 << (s % 64);
+    }
+
+    /// True when slot `s` holds an op of this trace.
+    #[inline]
+    fn covers_slot(&self, s: usize) -> bool {
+        self.op_slots[s / 64] & (1u64 << (s % 64)) != 0
+    }
+
+    /// True when `cur` still decodes every op identically: each op slot's
+    /// 8 bytes match the pinned build-time bytes. Non-op bytes are free to
+    /// differ — only bytes an op decodes from can change its meaning.
+    /// Code is mostly contiguous, so compare maximal runs of set bits as
+    /// single slices (memcmp speed) rather than slot by slot.
+    fn ops_unchanged(&self, cur: &[u8; PAGE_SIZE]) -> bool {
+        self.op_slots.iter().enumerate().all(|(w, &bits)| {
+            let mut bits = bits;
+            while bits != 0 {
+                let first = bits.trailing_zeros() as usize;
+                let run = (bits >> first).trailing_ones() as usize;
+                let lo = (w * 64 + first) * 8;
+                let hi = lo + run * 8;
+                if cur[lo..hi] != self.bytes[lo..hi] {
+                    return false;
+                }
+                // A full word (first 0, run 64) must not shift by 64.
+                if run == 64 {
+                    bits = 0;
+                } else {
+                    bits &= !(((1u64 << run) - 1) << first);
+                }
+            }
+            true
+        })
+    }
+}
+
+/// The immutable body of a superblock, shared across VMs via `Arc`: the
+/// flattened ops plus everything a dispatcher or importer needs to validate
+/// it (PC bounds for breakpoint filtering, the exact page `Arc`s it was
+/// decoded from for shared-pool identity checks).
+#[derive(Debug)]
+pub struct TraceBody {
+    /// Flattened ops, head first; loops appear unrolled.
+    pub ops: Vec<TraceOp>,
+    /// Where execution continues after the last op retires.
+    pub end_pc: Addr,
+    /// Every page the ops decode from, with pinned bytes and op-slot map.
+    pub pages: Vec<TracePage>,
+    /// Lowest op PC (breakpoint-span prefilter).
+    pub min_pc: Addr,
+    /// Highest op PC (breakpoint-span prefilter).
+    pub max_pc: Addr,
+    /// Sorted, deduplicated op PCs, each with the index of its *first*
+    /// occurrence in `ops` (loops appear unrolled, so a PC can repeat).
+    /// Lets the dispatcher resolve an armed breakpoint to a cut point with
+    /// one binary search instead of scanning every op.
+    pub pcs: Vec<(Addr, u32)>,
+}
+
+impl TraceBody {
+    /// True when a write covering the inclusive byte range `[lo, hi]`
+    /// overlaps a byte any op decodes from — the store might rewrite trace
+    /// code, so the dispatcher must side-exit. Mid-trace, only the guest's
+    /// own stores can invalidate decoded code, so this check after each
+    /// store *is* re-validation; writes to non-op bytes of a constituent
+    /// page (data sharing the page with hot code) deliberately miss.
+    #[inline]
+    pub fn write_hits_ops(&self, lo: Addr, hi: Addr) -> bool {
+        self.pages.iter().any(|p| {
+            let base = (p.index * PAGE_SIZE) as Addr;
+            if hi < base || lo >= base + PAGE_SIZE as Addr {
+                return false;
+            }
+            let s0 = (lo.max(base) - base) as usize / 8;
+            let s1 = (hi.min(base + PAGE_SIZE as Addr - 1) - base) as usize / 8;
+            (s0..=s1).any(|s| p.covers_slot(s))
+        })
+    }
+
+    /// The index of the first op at `pc`, if any op sits there.
+    #[inline]
+    pub fn first_op_at(&self, pc: Addr) -> Option<usize> {
+        self.pcs.binary_search_by_key(&pc, |&(p, _)| p).ok().map(|i| self.pcs[i].1 as usize)
+    }
+}
+
+/// Per-VM write-version guards of a trace: one `(page, version)` pair per
+/// constituent page, stamped at install time against the owning VM's
+/// memory (versions are per-VM, so shared-pool imports re-stamp them).
+/// `Copy` by design — dispatch grabs a snapshot without allocating.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceGuards {
+    len: u8,
+    pages: [(u32, u64); TRACE_MAX_PAGES],
+}
+
+impl TraceGuards {
+    /// Stamps guards for `body`'s pages against `mem`'s current versions.
+    fn stamp(body: &TraceBody, mem: &Memory) -> TraceGuards {
+        let mut g = TraceGuards::default();
+        for p in &body.pages {
+            g.pages[g.len as usize] = (p.index as u32, mem.page_version(p.index));
+            g.len += 1;
+        }
+        g
+    }
+
+    /// True while no constituent page's write-version has moved.
+    #[inline]
+    pub fn valid(&self, mem: &Memory) -> bool {
+        self.pages[..self.len as usize].iter().all(|&(p, v)| mem.page_version(p as usize) == v)
+    }
+}
 
 /// Packed block metadata: low 10 bits = length in instructions (1..=512),
 /// bit 10 = ends in a terminal (non-straight-line) instruction, bit 11 =
@@ -78,7 +295,7 @@ impl BlockInfo {
 }
 
 /// Wall-clock counters of the block cache (never affect virtual time).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockStats {
     /// Block lookups served straight from the cache.
     pub hits: u64,
@@ -89,6 +306,21 @@ pub struct BlockStats {
     /// Page caches adopted from the run-wide shared cache instead of being
     /// rebuilt locally.
     pub shared_imports: u64,
+    /// Superblock traces chained and installed (locally built or adopted
+    /// from the shared pool).
+    pub trace_builds: u64,
+    /// Superblock dispatches: a valid trace was entered (it may still
+    /// side-exit early on a guard mispredict, fault, or SMC).
+    pub trace_hits: u64,
+    /// Traces dropped because a constituent page's write-version moved
+    /// (self-modifying code, checkpoint restores) or its page flushed.
+    pub trace_flushes: u64,
+    /// Valid traces skipped at dispatch because a budget horizon or a
+    /// breakpoint intruded — execution fell back to the block engine.
+    pub trace_fallbacks: u64,
+    /// Instructions retired through trace dispatches (coverage diagnostic:
+    /// divide by `trace_hits` for the mean retirement per dispatch).
+    pub trace_insns: u64,
 }
 
 impl BlockStats {
@@ -98,6 +330,11 @@ impl BlockStats {
         self.builds += other.builds;
         self.flushes += other.flushes;
         self.shared_imports += other.shared_imports;
+        self.trace_builds += other.trace_builds;
+        self.trace_hits += other.trace_hits;
+        self.trace_flushes += other.trace_flushes;
+        self.trace_fallbacks += other.trace_fallbacks;
+        self.trace_insns += other.trace_insns;
     }
 }
 
@@ -108,19 +345,80 @@ struct PageCache {
     version: u64,
     slots: Box<[Option<Instruction>; SLOTS]>,
     blocks: Box<[u16; SLOTS]>,
+    // Live superblock heads: per-slot trace pool id, 0 = none. Allocated
+    // on the first install so trace-free pages (and every shared-pool
+    // clone — publishing strips heads) stay light; the direct index keeps
+    // the per-dispatch lookup O(1). Heads formation gave up on are not
+    // recorded here; they carry the `UNTRACEABLE` heat sentinel in the
+    // profile instead.
+    heads: Option<Box<[u32; SLOTS]>>,
+    // Edge profile, allocated on the first profiled block exit. Kept out
+    // of the decode arrays on purpose: heat and successors are per-VM
+    // profiling state, so the shared pool never carries them — publishing
+    // or importing a page clones only the decode, exactly as it did
+    // before superblocks existed.
+    profile: Option<Box<Profile>>,
+}
+
+/// Per-block-head edge profile for one page. `heat` counts block-exit
+/// executions (saturating) and `succ` remembers the last observed
+/// successor PC (`NO_SUCC` when never seen). All wall-clock-only.
+#[derive(Debug, Clone)]
+struct Profile {
+    heat: [u16; SLOTS],
+    succ: [Addr; SLOTS],
+}
+
+impl Profile {
+    fn boxed() -> Box<Profile> {
+        Box::new(Profile { heat: [0; SLOTS], succ: [NO_SUCC; SLOTS] })
+    }
 }
 
 impl PageCache {
     fn new(version: u64) -> PageCache {
-        PageCache { version, slots: Box::new([None; SLOTS]), blocks: Box::new([0; SLOTS]) }
+        PageCache {
+            version,
+            slots: Box::new([None; SLOTS]),
+            blocks: Box::new([0; SLOTS]),
+            heads: None,
+            profile: None,
+        }
+    }
+
+    /// The trace pool id installed at `slot` (0 = none).
+    #[inline]
+    fn head(&self, slot: usize) -> u32 {
+        self.heads.as_ref().map_or(0, |h| h[slot])
+    }
+
+    fn set_head(&mut self, slot: usize, id: u32) {
+        self.heads.get_or_insert_with(|| Box::new([0; SLOTS]))[slot] = id;
+    }
+
+    fn clear_head(&mut self, slot: usize) {
+        if let Some(h) = self.heads.as_mut() {
+            h[slot] = 0;
+        }
     }
 }
 
-/// A lazily filled, version-checked decode and basic-block cache over guest
-/// memory.
+/// A pooled superblock: the shared body plus this VM's guard stamps.
+#[derive(Debug, Clone)]
+struct TraceRef {
+    body: Arc<TraceBody>,
+    guards: TraceGuards,
+}
+
+/// A lazily filled, version-checked decode, basic-block, and superblock
+/// cache over guest memory.
 #[derive(Debug, Clone, Default)]
 pub struct BlockCache {
     pages: Vec<Option<PageCache>>,
+    // Superblock pool, referenced by `PageCache::trace_idx` as index + 1.
+    // Freed entries recycle through `free_traces`.
+    traces: Vec<Option<TraceRef>>,
+    free_traces: Vec<u32>,
     stats: BlockStats,
 }
 
@@ -223,13 +521,171 @@ impl BlockCache {
             self.pages.resize(page + 1, None);
         }
         let version = mem.page_version(page);
-        let slot = &mut self.pages[page];
-        let stale = matches!(slot, Some(c) if c.version != version);
+        let stale = matches!(&self.pages[page], Some(c) if c.version != version);
         if stale {
             self.stats.flushes += 1;
-            *slot = None;
+            // The page's decodes are gone, but traces headed here may
+            // survive: their bodies pin the exact bytes they decoded from,
+            // and most version bumps on mixed code/data pages are data
+            // writes that touch no op byte. Carry the heads into the fresh
+            // cache — the next `trace_at` re-validates each against its
+            // op-slot map and frees the ones the write really changed.
+            let dropped = self.pages[page].take().expect("stale entry present");
+            let fresh = self.pages[page].get_or_insert_with(|| PageCache::new(version));
+            fresh.heads = dropped.heads;
+            return fresh;
         }
-        slot.get_or_insert_with(|| PageCache::new(version))
+        self.pages[page].get_or_insert_with(|| PageCache::new(version))
+    }
+
+    /// Returns a pool entry to the free list (idempotent).
+    fn free_trace(&mut self, id: u32) {
+        let idx = (id - 1) as usize;
+        if self.traces.get(idx).is_some_and(Option::is_some) {
+            self.traces[idx] = None;
+            self.free_traces.push(id);
+            self.stats.trace_flushes += 1;
+        }
+    }
+
+    /// Allocates a pool slot for a trace, recycling freed entries.
+    fn alloc_trace(&mut self, tr: TraceRef) -> u32 {
+        if let Some(id) = self.free_traces.pop() {
+            self.traces[(id - 1) as usize] = Some(tr);
+            id
+        } else {
+            self.traces.push(Some(tr));
+            u32::try_from(self.traces.len()).expect("trace pool fits in u32")
+        }
+    }
+
+    /// The valid superblock headed at `pc`, as `(shared body, this VM's
+    /// guard snapshot)`. A trace whose guards went stale is dropped on the
+    /// spot and its head re-heats, so the next threshold crossing rebuilds
+    /// against the new bytes.
+    #[inline]
+    pub fn trace_at(&mut self, pc: Addr, mem: &Memory) -> Option<Arc<TraceBody>> {
+        let page = (pc as usize) / PAGE_SIZE;
+        let slot = (pc as usize % PAGE_SIZE) / 8;
+        let cached = self.pages.get(page)?.as_ref()?;
+        if cached.version != mem.page_version(page) {
+            return None;
+        }
+        let id = cached.head(slot);
+        if id == 0 {
+            return None;
+        }
+        let tr = self.traces[(id - 1) as usize].as_mut().expect("indexed trace present");
+        if !tr.guards.valid(mem) {
+            // Version counters are per-VM and bump on every write and
+            // checkpoint restore, including ones that change no op byte.
+            // The body pins its constituent pages' `Arc`s (refcount ≥ 2 ⇒
+            // any write copies first), so pointer equality proves the page
+            // never changed; failing that, compare just the op slots —
+            // data writes into a page shared with hot code leave them
+            // intact. Either way the trace survives: re-stamp the guards
+            // instead of burning it and re-heating.
+            let unchanged = tr.body.pages.iter().all(|p| {
+                mem.page_arc(p.index).is_some_and(|cur| Arc::ptr_eq(&p.bytes, cur) || p.ops_unchanged(cur))
+            });
+            if unchanged {
+                tr.guards = TraceGuards::stamp(&tr.body, mem);
+            } else {
+                self.free_trace(id);
+                let cached = self.pages[page].as_mut().expect("page checked above");
+                cached.clear_head(slot);
+                if let Some(profile) = cached.profile.as_mut() {
+                    profile.heat[slot] = 0;
+                }
+                return None;
+            }
+        }
+        let tr = self.traces[(id - 1) as usize].as_ref().expect("indexed trace present");
+        Some(Arc::clone(&tr.body))
+    }
+
+    /// Counts a trace dispatch (the executor entered a valid trace).
+    #[inline]
+    pub fn note_trace_hit(&mut self) {
+        self.stats.trace_hits += 1;
+    }
+
+    /// Counts instructions retired by a trace dispatch.
+    #[inline]
+    pub fn note_trace_insns(&mut self, n: u64) {
+        self.stats.trace_insns += n;
+    }
+
+    /// Profiles a block-exit edge: remembers `succ` as the last observed
+    /// successor of the block headed at `(page, slot)` and bumps the head's
+    /// heat. Returns the new heat, or `None` once a trace exists (or
+    /// formation was marked hopeless) for this head.
+    #[inline]
+    pub fn record_edge(&mut self, page: usize, slot: usize, succ: Addr) -> Option<u16> {
+        let cached = self.pages.get_mut(page)?.as_mut()?;
+        let heat = cached.profile.as_ref().map_or(0, |p| p.heat[slot]);
+        if heat == UNTRACEABLE {
+            return None;
+        }
+        if heat >= TRACE_HEAT && cached.head(slot) != 0 {
+            // A live trace covers this head; the block path only sees it
+            // on horizon or breakpoint fallbacks. (The `heads` scan is
+            // gated behind the heat test so cold code never pays it.)
+            return None;
+        }
+        let profile = cached.profile.get_or_insert_with(Profile::boxed);
+        profile.succ[slot] = succ;
+        // Cap below the sentinel: a head whose install failed must not
+        // drift into "untraceable" by sheer execution count.
+        let heat = heat.saturating_add(1).min(UNTRACEABLE - 1);
+        profile.heat[slot] = heat;
+        Some(heat)
+    }
+
+    /// The last observed successor of the block headed at `(page, slot)`.
+    pub fn observed_succ(&self, page: usize, slot: usize) -> Option<Addr> {
+        let succ = self.pages.get(page)?.as_ref()?.profile.as_ref()?.succ[slot];
+        (succ != NO_SUCC).then_some(succ)
+    }
+
+    /// Marks the block head at `pc` as untraceable (formation produced
+    /// nothing worth dispatching) so profiling stops retrying it. Cleared
+    /// naturally when the page flushes.
+    pub fn mark_untraceable(&mut self, pc: Addr) {
+        let page = (pc as usize) / PAGE_SIZE;
+        let slot = (pc as usize % PAGE_SIZE) / 8;
+        if let Some(Some(cached)) = self.pages.get_mut(page) {
+            cached.profile.get_or_insert_with(Profile::boxed).heat[slot] = UNTRACEABLE;
+        }
+    }
+
+    /// Installs a built superblock at its head `pc`, stamping guards from
+    /// `mem`'s current page versions. Returns false (and installs nothing)
+    /// when the head's page cache is missing or stale.
+    pub fn install_trace(&mut self, pc: Addr, body: Arc<TraceBody>, mem: &Memory) -> bool {
+        debug_assert!(body.pages.len() <= TRACE_MAX_PAGES);
+        let page = (pc as usize) / PAGE_SIZE;
+        let slot = (pc as usize % PAGE_SIZE) / 8;
+        let Some(Some(cached)) = self.pages.get(page) else { return false };
+        if cached.version != mem.page_version(page) {
+            return false;
+        }
+        let old = cached.head(slot);
+        let guards = TraceGuards::stamp(&body, mem);
+        let id = self.alloc_trace(TraceRef { body, guards });
+        if old != 0 {
+            self.free_trace(old);
+        }
+        self.pages[page].as_mut().expect("page checked above").set_head(slot, id);
+        self.stats.trace_builds += 1;
+        true
+    }
+
+    /// Counts a dispatch fallback: a valid trace was found but a budget
+    /// horizon or breakpoint forced block-at-a-time execution instead.
+    #[inline]
+    pub fn note_trace_fallback(&mut self) {
+        self.stats.trace_fallbacks += 1;
     }
 }
 
@@ -254,8 +710,15 @@ pub struct SharedPageCache {
     entries: Mutex<HashMap<usize, SharedEntry>>,
 }
 
-/// The exact page bytes a decode came from, paired with that decode.
-type SharedEntry = (Arc<[u8; PAGE_SIZE]>, PageCache);
+/// The exact page bytes a decode came from, paired with that decode and
+/// the superblocks headed in the page (shared by body; guard stamps are
+/// per-VM and re-issued on import).
+#[derive(Debug)]
+struct SharedEntry {
+    bytes: Arc<[u8; PAGE_SIZE]>,
+    cache: PageCache,
+    traces: Vec<(usize, Arc<TraceBody>)>,
+}
 
 impl SharedPageCache {
     /// An empty pool.
@@ -266,37 +729,98 @@ impl SharedPageCache {
 
 impl BlockCache {
     /// Offers this cache's decode of `page` to the run-wide pool, keyed by
-    /// the exact page bytes it was decoded from. Later publications simply
-    /// overwrite — the decode is a pure function of the page bytes, so any
-    /// publication for the same `Arc` is interchangeable.
+    /// the exact page bytes it was decoded from, together with the
+    /// superblocks headed in the page. Later publications simply overwrite
+    /// — decodes are a pure function of the page bytes, and any trace that
+    /// survives the importer's per-page identity checks is valid for it.
     pub fn publish_to(&self, shared: &SharedPageCache, page: usize, mem: &Memory) {
         let Some(bytes) = mem.page_arc(page) else { return };
         let Some(Some(local)) = self.pages.get(page) else { return };
         if local.version != mem.page_version(page) {
             return;
         }
+        // Only the decode travels; heat/succ are per-VM profiling state and
+        // pool indices are publisher-local, so importers rebuild their own.
+        let cache = PageCache {
+            version: local.version,
+            slots: local.slots.clone(),
+            blocks: local.blocks.clone(),
+            heads: None,
+            profile: None,
+        };
+        let traces = local.heads.as_ref().map_or_else(Vec::new, |hs| {
+            hs.iter()
+                .enumerate()
+                .filter(|&(_, &id)| id != 0)
+                .map(|(slot, &id)| {
+                    (slot, Arc::clone(&self.traces[(id - 1) as usize].as_ref().expect("indexed").body))
+                })
+                .collect()
+        });
         let mut entries = shared.entries.lock().expect("shared cache lock");
-        entries.insert(page, (Arc::clone(bytes), local.clone()));
+        entries.insert(page, SharedEntry { bytes: Arc::clone(bytes), cache, traces });
     }
 
     /// Adopts the pool's decode of `page` if the pool's entry was decoded
     /// from the very `Arc` this memory currently holds (pointer equality ⇒
-    /// identical bytes ⇒ identical decode). Returns whether an entry was
-    /// installed.
+    /// identical bytes ⇒ identical decode). Published superblocks ride
+    /// along when *every* constituent page passes the same identity check;
+    /// their guards are re-stamped against the importer's own versions.
+    /// Returns whether an entry was installed.
     pub fn import_from(&mut self, shared: &SharedPageCache, page: usize, mem: &Memory) -> bool {
         let Some(bytes) = mem.page_arc(page) else { return false };
         let entries = shared.entries.lock().expect("shared cache lock");
-        let Some((published, cache)) = entries.get(&page) else { return false };
-        if !Arc::ptr_eq(published, bytes) {
+        let Some(entry) = entries.get(&page) else { return false };
+        if !Arc::ptr_eq(&entry.bytes, bytes) {
             return false;
         }
-        let mut cache = cache.clone();
+        let mut cache = entry.cache.clone();
+        let traces: Vec<(usize, Arc<TraceBody>)> = entry
+            .traces
+            .iter()
+            .filter(|(_, body)| {
+                body.pages.iter().all(|p| {
+                    mem.page_arc(p.index)
+                        .is_some_and(|cur| Arc::ptr_eq(&p.bytes, cur) || p.ops_unchanged(cur))
+                })
+            })
+            .cloned()
+            .collect();
         drop(entries);
         // Re-stamp with the importer's own version counter (versions are
         // per-VM, not per-content).
         cache.version = mem.page_version(page);
         if self.pages.len() <= page {
             self.pages.resize(page + 1, None);
+        }
+        // Keep pool entries whose body the pool would re-install anyway:
+        // repeated imports of a hot page then neither free nor re-stamp
+        // per trace, and the flush counter stays an invalidation count
+        // instead of an import-churn count.
+        let mut old_heads = self.pages[page].take().and_then(|old| old.heads);
+        for (slot, body) in traces {
+            let reusable = old_heads.as_ref().map_or(0, |h| h[slot]);
+            let id = if reusable != 0
+                && self.traces[(reusable - 1) as usize]
+                    .as_ref()
+                    .is_some_and(|tr| Arc::ptr_eq(&tr.body, &body))
+            {
+                let tr = self.traces[(reusable - 1) as usize].as_mut().expect("checked live");
+                tr.guards = TraceGuards::stamp(&body, mem);
+                old_heads.as_mut().expect("non-empty")[slot] = 0;
+                reusable
+            } else {
+                let guards = TraceGuards::stamp(&body, mem);
+                self.alloc_trace(TraceRef { body, guards })
+            };
+            cache.set_head(slot, id);
+        }
+        if let Some(h) = old_heads {
+            for &id in h.iter() {
+                if id != 0 {
+                    self.free_trace(id);
+                }
+            }
         }
         self.pages[page] = Some(cache);
         self.stats.shared_imports += 1;

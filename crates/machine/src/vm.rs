@@ -6,7 +6,10 @@ use rnr_isa::{Addr, Image, Instruction, Opcode, Reg};
 use rnr_ras::RasOutcome;
 
 use crate::digest::Fnv1a;
-use crate::icache::{BlockCache, BlockInfo, BlockStats};
+use crate::icache::{
+    BlockCache, BlockInfo, BlockStats, TraceBody, TraceOp, TracePage, TraceStep, TRACE_HEAT, TRACE_MAX_OPS,
+    TRACE_MAX_PAGES,
+};
 use crate::{
     is_mmio, CallRetTrap, Cpu, Digest, Exit, ExitControls, FaultKind, FinishIo, MachineConfig, MemError,
     Memory, Mode,
@@ -489,12 +492,36 @@ impl GuestVm {
             (lo <= hi).then_some((lo, hi))
         };
         let icost = self.config.costs.insn;
+        let traces = self.config.superblocks;
         let mut progressed = false;
         loop {
             let pc = self.cpu.pc;
             if pc & 7 != 0 {
                 // Hijacked-return targets fall back to stepping.
                 return Ok(progressed);
+            }
+            // Superblock dispatch: a hot head with a valid trace executes
+            // the longest event-horizon-safe prefix of the chain in one
+            // call. Only when not even the head op may run (a breakpoint
+            // or armed skip sits on it) does execution fall through to the
+            // block path, which hands such PCs to step().
+            if traces {
+                if let Some(body) = self.icache.trace_at(pc, &self.mem) {
+                    let prefix = self.trace_prefix(&body, budget, bp_span);
+                    if prefix > 0 {
+                        self.icache.note_trace_hit();
+                        self.exec_trace(&body, prefix, icost)?;
+                        progressed = true;
+                        if self.budget_exhausted(budget)
+                            || self.cpu.halted
+                            || (self.interrupt_window && self.cpu.interrupts_enabled)
+                        {
+                            return Ok(true);
+                        }
+                        continue;
+                    }
+                    self.icache.note_trace_fallback();
+                }
             }
             let info = match self.block_info_shared(pc) {
                 Some(info) => info,
@@ -570,6 +597,15 @@ impl GuestVm {
                 if let Some(exit) = self.execute(tpc, insn) {
                     return Err(exit);
                 }
+                if traces {
+                    // Profile the block-exit edge; at the heat threshold,
+                    // chain a superblock from this head.
+                    if let Some(heat) = self.icache.record_edge(page, base_slot, self.cpu.pc) {
+                        if heat == TRACE_HEAT {
+                            self.build_trace(pc);
+                        }
+                    }
+                }
             }
             progressed = true;
             // Chain into the next block only while none of the run-loop
@@ -579,6 +615,361 @@ impl GuestVm {
                 || (self.interrupt_window && self.cpu.interrupts_enabled)
             {
                 return Ok(true);
+            }
+        }
+    }
+
+    /// How many leading trace ops may execute right now: a trace never
+    /// retires past a budget horizon, and never runs an op whose PC holds
+    /// a breakpoint or armed skip (step() owns those semantics). Because
+    /// every op boundary is a valid commit point (`ops[i].expect` is the
+    /// architectural PC after op `i`), an event horizon that cuts through
+    /// the trace truncates the dispatch instead of rejecting it — exactly
+    /// like the block engine's hoisted `exec = min(horizon, nearest)`.
+    /// Returns 0 when the head op itself can't run (fall back to blocks).
+    #[inline]
+    fn trace_prefix(&self, body: &TraceBody, budget: RunBudget, bp_span: Option<(u64, u64)>) -> usize {
+        let mut n = (body.ops.len() as u64).min(self.horizon_insns(budget)) as usize;
+        if let Some((lo, hi)) = bp_span {
+            if body.min_pc <= hi && lo <= body.max_pc {
+                // Armed PCs are few; resolve each to its first op index
+                // with a binary search instead of scanning every op.
+                for &bp in self.breakpoints.iter().chain(self.skip_bp_at.iter()) {
+                    if let Some(i) = body.first_op_at(bp) {
+                        n = n.min(i);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// A partial or full trace commit: position the PC and bump the
+    /// counters for `done` retirements in one step.
+    #[inline(always)]
+    fn trace_commit(&mut self, pc: Addr, done: u64, icost: u64) {
+        self.cpu.pc = pc;
+        self.retired += done;
+        self.cycles += icost * done;
+        self.icache.note_trace_insns(done);
+    }
+
+    /// Executes one superblock: a single dispatch retiring up to `limit`
+    /// leading trace ops with one counter commit on the hot path. Early
+    /// exits — faults, MMIO, detector exits, mispredicted guards,
+    /// self-modification of a constituent page — commit partial progress
+    /// with PC and counters exactly where the block engine and `execute`
+    /// would leave them.
+    #[allow(clippy::too_many_lines)]
+    fn exec_trace(&mut self, body: &TraceBody, limit: usize, icost: u64) -> Result<(), Exit> {
+        let ops = &body.ops[..limit];
+        let mut done: u64 = 0;
+        let mut i = 0usize;
+        while i < ops.len() {
+            let op = &ops[i];
+            match op.step {
+                TraceStep::Straight | TraceStep::StraightStore => {
+                    if let Err(exit) = self.exec_straight(op.insn) {
+                        // Exits from straight-line instructions (faults,
+                        // MMIO) do not retire the instruction.
+                        self.trace_commit(op.pc, done, icost);
+                        return Err(exit);
+                    }
+                    done += 1;
+                    if op.step == TraceStep::StraightStore {
+                        // Stores don't write registers, so the effective
+                        // address recomputes exactly.
+                        let (lo, hi) = match op.insn.op {
+                            Opcode::St8 => {
+                                let a = self.cpu.reg(op.insn.rs1).wrapping_add(op.insn.imm as i64 as u64);
+                                (a, a)
+                            }
+                            Opcode::St => {
+                                let a = self.cpu.reg(op.insn.rs1).wrapping_add(op.insn.imm as i64 as u64);
+                                (a, a.wrapping_add(7))
+                            }
+                            // Push: sp already points at the written slot.
+                            _ => (self.cpu.sp(), self.cpu.sp().wrapping_add(7)),
+                        };
+                        if body.write_hits_ops(lo, hi) {
+                            // The store patched a constituent page: commit
+                            // what retired and let the next lookup rebuild
+                            // against the new bytes.
+                            self.trace_commit(op.expect, done, icost);
+                            return Ok(());
+                        }
+                    }
+                }
+                TraceStep::Jmp => {
+                    // The next trace op *is* the jump target: retiring is
+                    // all that's left of the instruction.
+                    done += 1;
+                }
+                TraceStep::Branch => {
+                    let rs1 = self.cpu.reg(op.insn.rs1);
+                    let rs2 = self.cpu.reg(op.insn.rs2);
+                    let taken = match op.insn.op {
+                        Opcode::Beq => rs1 == rs2,
+                        Opcode::Bne => rs1 != rs2,
+                        Opcode::Blt => (rs1 as i64) < (rs2 as i64),
+                        Opcode::Bge => (rs1 as i64) >= (rs2 as i64),
+                        Opcode::Bltu => rs1 < rs2,
+                        Opcode::Bgeu => rs1 >= rs2,
+                        _ => unreachable!("non-branch classified as Branch"),
+                    };
+                    let next = if taken { op.insn.target() } else { op.pc + 8 };
+                    done += 1;
+                    if next != op.expect {
+                        // The profiled direction mispredicted: side-exit at
+                        // the architecturally correct target.
+                        self.trace_commit(next, done, icost);
+                        return Ok(());
+                    }
+                }
+                TraceStep::Call | TraceStep::CallR => {
+                    let target =
+                        if op.step == TraceStep::Call { op.insn.target() } else { self.cpu.reg(op.insn.rs1) };
+                    let ret_addr = op.pc + 8;
+                    if self.push(ret_addr).is_err() {
+                        self.trace_commit(op.pc, done, icost);
+                        return Err(Exit::Fault(FaultKind::BadMemory {
+                            addr: self.cpu.sp().wrapping_sub(8),
+                        }));
+                    }
+                    let outcome = self.cpu.ras.on_call(ret_addr);
+                    let mut exit = None;
+                    if op.step == TraceStep::CallR {
+                        if let Some(table) = &self.config.jop_table {
+                            if !table.is_legal(op.pc, target) {
+                                exit = Some(Exit::JopAlarm { branch_pc: op.pc, target });
+                            }
+                        }
+                    }
+                    if exit.is_none() {
+                        if let RasOutcome::Evicted(evicted) = outcome {
+                            if self.config.exits.evict_exiting {
+                                exit = Some(Exit::RasEvict { evicted, ret_addr });
+                            }
+                        }
+                    }
+                    if exit.is_none() && self.callret_trapped() {
+                        exit = Some(Exit::CallTrap { ret_addr, pc: op.pc });
+                    }
+                    done += 1;
+                    if let Some(exit) = exit {
+                        // Detector exits retire the call first, like
+                        // `execute`.
+                        self.trace_commit(target, done, icost);
+                        return Err(exit);
+                    }
+                    if target != op.expect {
+                        // Indirect target mispredicted (CallR only).
+                        self.trace_commit(target, done, icost);
+                        return Ok(());
+                    }
+                    if body.write_hits_ops(self.cpu.sp(), self.cpu.sp().wrapping_add(7)) {
+                        // The return-address push landed in a constituent
+                        // page.
+                        self.trace_commit(op.expect, done, icost);
+                        return Ok(());
+                    }
+                }
+                TraceStep::Ret => {
+                    let target = match self.pop() {
+                        Ok(v) => v,
+                        Err(_) => {
+                            self.trace_commit(op.pc, done, icost);
+                            return Err(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() }));
+                        }
+                    };
+                    let outcome = self.cpu.ras.on_ret(op.pc, target);
+                    let mut exit = None;
+                    if let RasOutcome::Mispredict(m) = outcome {
+                        if self.cpu.ras.alarms_enabled() {
+                            exit = Some(Exit::RasMispredict(m));
+                        }
+                    }
+                    if exit.is_none() && self.callret_trapped() {
+                        exit = Some(Exit::RetTrap { ret_pc: op.pc, target });
+                    }
+                    done += 1;
+                    if let Some(exit) = exit {
+                        self.trace_commit(target, done, icost);
+                        return Err(exit);
+                    }
+                    if target != op.expect {
+                        self.trace_commit(target, done, icost);
+                        return Ok(());
+                    }
+                }
+                TraceStep::JmpR => {
+                    let target = self.cpu.reg(op.insn.rs1);
+                    let mut exit = None;
+                    if let Some(table) = &self.config.jop_table {
+                        if !table.is_legal(op.pc, target) {
+                            exit = Some(Exit::JopAlarm { branch_pc: op.pc, target });
+                        }
+                    }
+                    done += 1;
+                    if let Some(exit) = exit {
+                        self.trace_commit(target, done, icost);
+                        return Err(exit);
+                    }
+                    if target != op.expect {
+                        self.trace_commit(target, done, icost);
+                        return Ok(());
+                    }
+                }
+            }
+            i += 1;
+        }
+        // The prefix retired: the single counter commit. A horizon-cut
+        // dispatch (`limit < ops.len()`) continues at the next op's PC —
+        // `ops[i].expect` is `ops[i + 1].pc` by construction.
+        let cont = if limit < body.ops.len() { body.ops[limit].pc } else { body.end_pc };
+        self.trace_commit(cont, done, icost);
+        Ok(())
+    }
+
+    /// Chains cached blocks from the hot head `head` into a superblock:
+    /// straight-line runs flatten in, direct jumps and calls chain
+    /// statically, conditional branches follow the profiled direction, and
+    /// rets/indirect branches follow the profiled target behind a runtime
+    /// guard. Loops unroll through the head until [`TRACE_MAX_OPS`].
+    /// Formation stops at any opcode that could change the halt/interrupt
+    /// state, observe cycles, or exit to the hypervisor (`Rdtsc`, IO,
+    /// syscalls, ...): those stay on the block/step path.
+    fn build_trace(&mut self, head: Addr) {
+        use std::sync::Arc;
+        let mut ops: Vec<TraceOp> = Vec::with_capacity(TRACE_MAX_OPS);
+        let mut pages: Vec<TracePage> = Vec::new();
+        let mut blocks = 0u32;
+        let mut pc = head;
+        loop {
+            if ops.len() >= TRACE_MAX_OPS || pc & 7 != 0 {
+                break;
+            }
+            let info = match self.block_info_shared(pc) {
+                Some(info) => info,
+                None => match self.build_block(pc) {
+                    Some(info) => info,
+                    None => break,
+                },
+            };
+            if ops.len() + info.len as usize > TRACE_MAX_OPS {
+                break;
+            }
+            let page = (pc as usize) / crate::mem::PAGE_SIZE;
+            let base_slot = (pc as usize % crate::mem::PAGE_SIZE) / 8;
+            if !pages.iter().any(|p| p.index == page) {
+                if pages.len() == TRACE_MAX_PAGES {
+                    break;
+                }
+                match self.mem.page_arc(page) {
+                    Some(arc) => pages.push(TracePage::new(page, Arc::clone(arc))),
+                    None => break,
+                }
+            }
+            let straight = u64::from(info.len) - u64::from(info.has_terminal);
+            for k in 0..straight {
+                let insn = self.icache.slot_insn(page, base_slot + k as usize);
+                let step = if matches!(insn.op, Opcode::St | Opcode::St8 | Opcode::Push) {
+                    TraceStep::StraightStore
+                } else {
+                    TraceStep::Straight
+                };
+                let opc = pc + 8 * k;
+                ops.push(TraceOp { pc: opc, insn, step, expect: opc + 8 });
+            }
+            if !info.has_terminal {
+                // Truncated at the page boundary: chain straight across it
+                // (undecodable bytes stop the walk on the next iteration).
+                blocks += 1;
+                pc += 8 * straight;
+                continue;
+            }
+            let tpc = pc + 8 * straight;
+            let insn = self.icache.slot_insn(page, base_slot + straight as usize);
+            let continue_at = match insn.op {
+                Opcode::Jmp => {
+                    let target = insn.target();
+                    ops.push(TraceOp { pc: tpc, insn, step: TraceStep::Jmp, expect: target });
+                    Some(target)
+                }
+                Opcode::Call => {
+                    let target = insn.target();
+                    ops.push(TraceOp { pc: tpc, insn, step: TraceStep::Call, expect: target });
+                    Some(target)
+                }
+                Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu => {
+                    // Follow the profiled direction; an edge that was never
+                    // observed (or that doesn't match either side — can't
+                    // happen architecturally) ends the trace before the
+                    // branch.
+                    match self.icache.observed_succ(page, base_slot) {
+                        Some(succ) if succ == insn.target() || succ == tpc + 8 => {
+                            ops.push(TraceOp { pc: tpc, insn, step: TraceStep::Branch, expect: succ });
+                            Some(succ)
+                        }
+                        _ => None,
+                    }
+                }
+                Opcode::Ret | Opcode::CallR | Opcode::JmpR => {
+                    match self.icache.observed_succ(page, base_slot) {
+                        Some(succ) => {
+                            let step = match insn.op {
+                                Opcode::Ret => TraceStep::Ret,
+                                Opcode::CallR => TraceStep::CallR,
+                                _ => TraceStep::JmpR,
+                            };
+                            ops.push(TraceOp { pc: tpc, insn, step, expect: succ });
+                            Some(succ)
+                        }
+                        None => None,
+                    }
+                }
+                _ => None,
+            };
+            match continue_at {
+                Some(next) => {
+                    blocks += 1;
+                    pc = next;
+                }
+                None => {
+                    // The terminal stays outside the trace; execution
+                    // continues at it on the block/step path.
+                    pc = tpc;
+                    break;
+                }
+            }
+        }
+        if blocks < 2 || ops.len() < 2 {
+            // Nothing chained beyond the head block — a trace would only
+            // re-label block dispatch. Stop profiling this head.
+            self.icache.mark_untraceable(head);
+            return;
+        }
+        // Mark every slot an op decodes from: the body's self-modification
+        // checks are exact, so data writes elsewhere in these pages don't
+        // kill the trace. Every op's page is in `pages` by construction.
+        for op in &ops {
+            let pg = (op.pc as usize) / crate::mem::PAGE_SIZE;
+            let slot = (op.pc as usize % crate::mem::PAGE_SIZE) / 8;
+            if let Some(p) = pages.iter_mut().find(|p| p.index == pg) {
+                p.mark_slot(slot);
+            }
+        }
+        let mut pcs: Vec<(Addr, u32)> = ops.iter().enumerate().map(|(i, op)| (op.pc, i as u32)).collect();
+        // Stable on pc: ties keep ascending op order, so dedup retains the
+        // first occurrence of every unrolled PC.
+        pcs.sort_by_key(|&(p, _)| p);
+        pcs.dedup_by_key(|&mut (p, _)| p);
+        let (min_pc, max_pc) = (pcs[0].0, pcs.last().expect("non-empty").0);
+        let body = Arc::new(TraceBody { ops, end_pc: pc, pages, min_pc, max_pc, pcs });
+        if self.icache.install_trace(head, body, &self.mem) {
+            if let Some(shared) = &self.shared_cache {
+                let page = (head as usize) / crate::mem::PAGE_SIZE;
+                self.icache.publish_to(shared, page, &self.mem);
             }
         }
     }
@@ -1516,5 +1907,177 @@ mod tests {
         b.run(RunBudget::unbounded());
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.retired(), b.retired());
+    }
+
+    /// A loop hot enough to cross the trace-heat threshold many times over.
+    fn hot_loop(iters: i32) -> impl Fn(&mut Assembler) + Copy {
+        move |a: &mut Assembler| {
+            a.movi(Reg::R1, iters);
+            a.movi(Reg::R2, 0);
+            a.label("loop");
+            a.st(Reg::SP, -64, Reg::R1);
+            a.addi(Reg::R3, Reg::R3, 5);
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+        }
+    }
+
+    /// Three engines over the same program must agree exactly.
+    fn assert_engines_agree(build: impl Fn(&mut Assembler) + Copy) -> BlockStats {
+        let run = |block: bool, sb: bool| {
+            let mut vm = vm_with(build);
+            vm.config.block_engine = block;
+            vm.config.superblocks = sb;
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+            vm
+        };
+        let traced = run(true, true);
+        let blocked = run(true, false);
+        let stepped = run(false, false);
+        for vm in [&blocked, &stepped] {
+            assert_eq!(traced.digest(), vm.digest());
+            assert_eq!(traced.retired(), vm.retired());
+            assert_eq!(traced.cycles(), vm.cycles());
+        }
+        traced.block_stats()
+    }
+
+    #[test]
+    fn superblocks_match_stepped_on_hot_loop() {
+        let stats = assert_engines_agree(hot_loop(500));
+        assert!(stats.trace_builds > 0, "hot head crossed the heat threshold: {stats:?}");
+        assert!(stats.trace_hits > 0, "trace re-dispatched: {stats:?}");
+    }
+
+    #[test]
+    fn superblocks_match_stepped_on_hot_call_ret() {
+        let stats = assert_engines_agree(|a| {
+            a.movi(Reg::R1, 300);
+            a.movi(Reg::R2, 0);
+            a.label("loop");
+            a.call("f");
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+            a.label("f");
+            a.addi(Reg::R4, Reg::R4, 1);
+            a.ret();
+        });
+        assert!(stats.trace_hits > 0, "call/ret chain traced: {stats:?}");
+    }
+
+    #[test]
+    fn superblock_smc_invalidates_whole_trace() {
+        // The loop patches one of its own instructions after the trace is
+        // hot: every constituent-page bump must flush the trace and the
+        // partial commit must match single-stepping exactly.
+        let patched =
+            u64::from_le_bytes(Instruction::new(Opcode::MovImm, Reg::R5, Reg::R0, Reg::R0, 9).encode());
+        let stats = assert_engines_agree(move |a| {
+            a.movi(Reg::R1, 300);
+            a.movi(Reg::R2, 0);
+            a.movi64(Reg::R6, patched);
+            a.movi(Reg::R8, 100);
+            a.label("loop");
+            a.label("patchme");
+            a.movi(Reg::R5, 4);
+            // Patch the hot loop's own body exactly once, long after the
+            // trace has formed (iteration counts down from 300; the store
+            // fires at 100).
+            a.bne(Reg::R1, Reg::R8, "skip");
+            a.lea(Reg::R7, "patchme");
+            a.st(Reg::R7, 0, Reg::R6);
+            a.label("skip");
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+        });
+        assert!(stats.trace_flushes > 0, "self-patching flushed the trace: {stats:?}");
+        assert!(stats.trace_builds >= 2, "the head re-heats and rebuilds after the flush: {stats:?}");
+    }
+
+    #[test]
+    fn superblock_budget_cuts_dispatch_to_a_prefix() {
+        // Tiny retired budgets land mid-trace on every dispatch: the
+        // horizon-cut prefix must stop at exactly the same instruction
+        // as the stepped engine.
+        let run = |sb: bool| {
+            let mut vm = vm_with(hot_loop(400));
+            vm.config.block_engine = sb;
+            vm.config.superblocks = sb;
+            let mut stop = 0;
+            loop {
+                stop += 7;
+                match vm.run(RunBudget::until(stop)) {
+                    Exit::BudgetExhausted => assert_eq!(vm.retired(), stop),
+                    Exit::Halt => return vm,
+                    other => panic!("unexpected exit {other:?}"),
+                }
+            }
+        };
+        let traced = run(true);
+        let stepped = run(false);
+        assert_eq!(traced.digest(), stepped.digest());
+        assert_eq!(traced.retired(), stepped.retired());
+        assert_eq!(traced.cycles(), stepped.cycles());
+        let stats = traced.block_stats();
+        assert!(stats.trace_hits > 0, "prefix dispatches still count as hits: {stats:?}");
+    }
+
+    #[test]
+    fn superblock_respects_breakpoint_inside_trace() {
+        // Warm the trace, then drop a breakpoint on an op in its middle:
+        // the dispatch prefix must stop short and step() must fire the
+        // breakpoint at exactly the stepped engine's instruction count.
+        let run = |sb: bool| {
+            let mut vm = vm_with(hot_loop(400));
+            vm.config.block_engine = sb;
+            vm.config.superblocks = sb;
+            assert_eq!(vm.run(RunBudget::until(1000)), Exit::BudgetExhausted);
+            // The `addi r3` op inside the loop body (entry 0x1000, two
+            // movi, then the loop's store at 0x1010 and addi at 0x1018).
+            vm.add_breakpoint(0x1018);
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Breakpoint { pc: 0x1018 });
+            let at_bp = vm.retired();
+            vm.skip_breakpoint_once();
+            vm.remove_breakpoint(0x1018);
+            assert_eq!(vm.run(RunBudget::unbounded()), Exit::Halt);
+            (vm, at_bp)
+        };
+        let (traced, traced_bp) = run(true);
+        let (stepped, stepped_bp) = run(false);
+        assert_eq!(traced_bp, stepped_bp);
+        assert_eq!(traced.digest(), stepped.digest());
+        assert_eq!(traced.retired(), stepped.retired());
+        assert_eq!(traced.cycles(), stepped.cycles());
+    }
+
+    #[test]
+    fn superblock_knob_is_wall_clock_only_on_indirect_code() {
+        // Indirect jumps whose target alternates: the trace's
+        // expected-target guard mispredicts on every other iteration and
+        // must side-exit with exact partial commits.
+        assert_engines_agree(|a| {
+            a.movi(Reg::R1, 400);
+            a.movi(Reg::R2, 0);
+            a.label("loop");
+            a.andi(Reg::R4, Reg::R1, 1);
+            a.lea(Reg::R5, "even");
+            a.lea(Reg::R6, "odd");
+            a.bne(Reg::R4, Reg::R2, "go_odd");
+            a.jmpr(Reg::R5);
+            a.label("go_odd");
+            a.jmpr(Reg::R6);
+            a.label("even");
+            a.addi(Reg::R3, Reg::R3, 2);
+            a.jmp("next");
+            a.label("odd");
+            a.addi(Reg::R3, Reg::R3, 3);
+            a.label("next");
+            a.addi(Reg::R1, Reg::R1, -1);
+            a.bne(Reg::R1, Reg::R2, "loop");
+            a.hlt();
+        });
     }
 }

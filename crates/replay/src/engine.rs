@@ -46,6 +46,9 @@ pub struct ReplayConfig {
     /// Execute whole cached basic blocks between event horizons (wall-clock
     /// optimization; never changes virtual cycles or digests).
     pub block_engine: bool,
+    /// Chain hot blocks into superblock traces (wall-clock optimization;
+    /// never changes virtual cycles or digests). Requires `block_engine`.
+    pub superblocks: bool,
     /// Sample the guest PC every `n` retired instructions — a heavier
     /// instrumentation level for re-running alarm replayers ("with
     /// increasing levels of instrumentation", §4.6.2) and for the DOS
@@ -80,6 +83,7 @@ impl Default for ReplayConfig {
             nesting_ret_sites: Vec::new(),
             decode_cache: true,
             block_engine: true,
+            superblocks: true,
             profile_sample_every: None,
             resilient: false,
             fault_plan: rnr_log::FaultPlan::default(),
@@ -407,6 +411,7 @@ impl Replayer {
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
             block_engine: cfg.block_engine,
+            superblocks: cfg.superblocks,
             ..MachineConfig::default()
         };
         let mut images = vec![spec.kernel.image().clone()];
@@ -438,6 +443,7 @@ impl Replayer {
             costs: cfg.costs,
             decode_cache: cfg.decode_cache,
             block_engine: cfg.block_engine,
+            superblocks: cfg.superblocks,
             ..MachineConfig::default()
         };
         let mut vm = GuestVm::new(machine, &[]);

@@ -544,6 +544,7 @@ fn run_one_span(
         }
         if degraded {
             wcfg.block_engine = false;
+            wcfg.superblocks = false;
         }
         let r = build_replayer(spec, wcfg, job, shared);
         match r.run_span(job.records_end, job.seam) {

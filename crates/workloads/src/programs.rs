@@ -2,7 +2,7 @@
 
 use rnr_guest::{layout, runtime, KernelBuilder};
 use rnr_hypervisor::{NetProfile, VmSpec};
-use rnr_isa::{Assembler, Image, Reg};
+use rnr_isa::{Assembler, Image, Instruction, Opcode, Reg};
 
 use Reg::{R1, R2, R3, R5, R6};
 
@@ -22,6 +22,8 @@ mod bufs {
     pub const JMPBUF: u64 = 0x39_0000;
     /// Per-thread make-job disk buffers: `MAKE_DISK + tid * 0x800`.
     pub const MAKE_DISK: u64 = 0x3A_0000;
+    /// jit's generated-code buffer (written, then executed, then patched).
+    pub const JIT_CODE: u64 = 0x3B_0000;
 }
 
 /// Tunable workload parameters (Table 3 analogue).
@@ -76,12 +78,29 @@ pub enum Workload {
     Mysql,
     /// SPLASH-2 radiosity: pure user-mode compute.
     Radiosity,
+    /// Adversarial JIT-style self-modifying workload (not in the paper):
+    /// the guest synthesizes a hot loop into a data buffer, executes it,
+    /// and patches it on every pass — the worst case for host-side
+    /// predecode/block/trace caches, which must invalidate on each write.
+    Jit,
 }
 
 impl Workload {
     /// All workloads, in the paper's figure order.
     pub const ALL: [Workload; 5] =
         [Workload::Apache, Workload::Fileio, Workload::Make, Workload::Mysql, Workload::Radiosity];
+
+    /// The paper's five plus the adversarial self-modifying JIT workload —
+    /// the set equivalence and fault matrices sweep. [`Workload::ALL`]
+    /// keeps the paper's figure order for tables and benchmarks.
+    pub const ADVERSARIAL: [Workload; 6] = [
+        Workload::Apache,
+        Workload::Fileio,
+        Workload::Make,
+        Workload::Mysql,
+        Workload::Radiosity,
+        Workload::Jit,
+    ];
 
     /// Figure/table label.
     pub fn label(self) -> &'static str {
@@ -91,6 +110,7 @@ impl Workload {
             Workload::Make => "make",
             Workload::Mysql => "mysql",
             Workload::Radiosity => "radiosity",
+            Workload::Jit => "jit",
         }
     }
 
@@ -106,6 +126,7 @@ impl Workload {
                 "--test=oltp --oltp-test-mode=simple --max-requests=500000 --table-size=4000000"
             }
             Workload::Radiosity => "-p1 -bf 0.005 -batch -largeroom",
+            Workload::Jit => "self-modifying hot loops (adversarial extension; not in the paper)",
         }
     }
 
@@ -162,6 +183,9 @@ fn build_spec(kind: Workload, pv: bool, params: &WorkloadParams, vulnerable: boo
         Workload::Radiosity => {
             spec.boot.user_thread(entry("radiosity_main"));
         }
+        Workload::Jit => {
+            spec.boot.user_thread(entry("jit_main"));
+        }
     }
     spec.boot.set_param(0, params.compute);
     spec
@@ -176,6 +200,7 @@ fn build_user_image(kind: Workload, params: &WorkloadParams, vulnerable: bool) -
         Workload::Make => emit_make(&mut a, params),
         Workload::Mysql => emit_mysql(&mut a),
         Workload::Radiosity => emit_radiosity(&mut a),
+        Workload::Jit => emit_jit(&mut a),
     }
     runtime::emit_runtime(&mut a);
     a.assemble().expect("workload assembly must succeed")
@@ -372,13 +397,64 @@ fn emit_radiosity(a: &mut Assembler) {
     a.jmp("rad_loop");
 }
 
+fn emit_jit(a: &mut Assembler) {
+    // The guest "compiles" this loop into `bufs::JIT_CODE` and calls it:
+    //
+    //   gen+0x00:  addi r3, r3, <imm>   ; patched on every pass
+    //   gen+0x08:  xor  r5, r3, r2
+    //   gen+0x10:  addi r2, r2, -1
+    //   gen+0x18:  bne  r2, r4, gen     ; absolute branch back to the head
+    //   gen+0x20:  ret
+    //
+    // Each pass rewrites the first instruction's immediate in place, so the
+    // host's predecoded blocks and superblock traces over the generated
+    // page are invalidated and rebuilt continuously — a JIT recompiling
+    // its hot loop, the adversarial case for trace caching.
+    let gen = bufs::JIT_CODE;
+    let enc = |op, rd, rs1, rs2, imm| u64::from_le_bytes(Instruction::new(op, rd, rs1, rs2, imm).encode());
+    let body: [u64; 5] = [
+        enc(Opcode::Addi, R3, R3, Reg::R0, 0),
+        enc(Opcode::Xor, R5, R3, R2, 0),
+        enc(Opcode::Addi, R2, R2, Reg::R0, -1),
+        enc(Opcode::Bne, Reg::R0, R2, Reg::R4, gen as i32),
+        enc(Opcode::Ret, Reg::R0, Reg::R0, Reg::R0, 0),
+    ];
+
+    a.label("jit_main");
+    // Emit the generated function once.
+    a.movi64(Reg::R10, gen);
+    for (i, word) in body.iter().enumerate() {
+        a.movi64(R5, *word);
+        a.st(Reg::R10, 8 * i as i32, R5);
+    }
+    a.movi(Reg::R13, 0); // pass counter
+    a.label("jit_loop");
+    // Recompile: patch the first instruction's immediate to 1 + (pass & 63)
+    // (the immediate lives in the encoding's top four bytes).
+    a.movi64(R5, body[0]);
+    a.andi(R6, Reg::R13, 63);
+    a.addi(R6, R6, 1);
+    a.shli(R6, R6, 32);
+    a.or(R5, R5, R6);
+    a.st(Reg::R10, 0, R5);
+    // Run the generated loop for 40 iterations.
+    a.movi(R2, 40);
+    a.movi(Reg::R4, 0);
+    a.callr(Reg::R10);
+    a.movi(R1, 60);
+    a.call("u_compute");
+    a.call("u_op_done"); // one recompile+run pass
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("jit_loop");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn all_specs_build() {
-        for w in Workload::ALL {
+        for w in Workload::ADVERSARIAL {
             let spec = w.spec(false);
             assert!(!spec.boot.entries().is_empty(), "{}", w.label());
             assert!(!spec.kernel.is_paravirtual());

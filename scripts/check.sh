@@ -14,21 +14,51 @@ if [ "$cores" -lt 2 ] && [ "${RNR_ALLOW_SINGLE_CORE:-0}" != "1" ]; then
     exit 1
 fi
 
-cargo fmt --all --check
-cargo clippy --workspace --all-targets --offline -- -D warnings
-cargo test --workspace -q --offline
+# Per-gate wall-clock accounting: every gate runs under `timed <name> cmd…`
+# and a summary table prints at the end (also on failure, so a hung or slow
+# gate is identifiable from the partial table).
+gate_names=()
+gate_secs=()
+timed() {
+    local name="$1"
+    shift
+    local start end
+    start=$(date +%s.%N)
+    "$@"
+    end=$(date +%s.%N)
+    gate_names+=("$name")
+    gate_secs+=("$(echo "$end $start" | awk '{printf "%.1f", $1 - $2}')")
+}
+summary() {
+    echo
+    echo "check.sh gate wall-clock:"
+    local i total=0
+    for i in "${!gate_names[@]}"; do
+        printf '  %-22s %8ss\n' "${gate_names[$i]}" "${gate_secs[$i]}"
+        total=$(echo "$total ${gate_secs[$i]}" | awk '{printf "%.1f", $1 + $2}')
+    done
+    printf '  %-22s %8ss\n' "total" "$total"
+}
+trap summary EXIT
+
+timed fmt cargo fmt --all --check
+timed clippy cargo clippy --workspace --all-targets --offline -- -D warnings
+timed tests cargo test --workspace -q --offline
 
 # Fault-matrix gate: run the attack pipeline under every seeded fault
 # scenario. Fails if any recoverable scenario's report differs from the
 # fault-free run (or shows no recovery activity), or if the unrecoverable
-# scenario does anything but fail with a structured error.
-cargo run --release -q -p rnr-bench --bin fault_matrix --offline
+# scenario does anything but fail with a structured error. Ends with the
+# self-modifying JIT workload under the superblock trace engine.
+timed fault-matrix cargo run --release -q -p rnr-bench --bin fault_matrix --offline
 
 # Same matrix with checkpoint-partitioned span replay active: every
 # scenario must heal to a report byte-identical to a clean parallel run.
-cargo run --release -q -p rnr-bench --bin fault_matrix --offline -- --parallel
+timed fault-matrix-par cargo run --release -q -p rnr-bench --bin fault_matrix --offline -- --parallel
 
-# Perf gate: rerun the attack-pipeline comparison and fail if the baseline
-# and optimized reports diverge, or if the speedup regresses >10% below the
-# committed BENCH_pipeline.json figure. Never rewrites the committed file.
-cargo run --release -q -p rnr-bench --bin pipeline_speed --offline -- --check
+# Perf gate: rerun the attack-pipeline comparison and fail if the reports
+# diverge across configurations, or if either the overall speedup or the
+# superblock trace engine's speedup over the block engine regresses >20%
+# below the committed BENCH_pipeline.json figures. Never rewrites the
+# committed file.
+timed pipeline-speed cargo run --release -q -p rnr-bench --bin pipeline_speed --offline -- --check

@@ -44,6 +44,83 @@ proptest! {
         }
     }
 
+    /// Differential check of the three execution engines — single-step,
+    /// block dispatch, superblock traces — on randomized hot loops: the
+    /// exit sequence, retired count, and virtual cycles at every exit, the
+    /// final digest, and the loop's accumulator register must be identical.
+    /// The iteration count is drawn past the trace-formation threshold so
+    /// the superblock run genuinely forms and dispatches traces; the budget
+    /// schedule is chopped at random offsets so traces are sliced by the
+    /// event horizon mid-body; an optional self-modifying store rewrites an
+    /// op byte inside the traced loop to exercise precise invalidation.
+    #[test]
+    fn execution_engines_agree_on_random_hot_loops(
+        iters in 80i32..150,
+        chunks in prop::collection::vec(3u64..97, 4..12),
+        ops in prop::collection::vec(0u8..6, 2..8),
+        smc in any::<bool>(),
+    ) {
+        let image = {
+            let mut asm = Assembler::new(0x1000);
+            asm.movi(Reg::R1, 0);
+            asm.movi(Reg::R6, iters);
+            if smc {
+                let patch = Instruction::new(Opcode::Addi, Reg::R2, Reg::R2, Reg::R0, 5);
+                asm.lea(Reg::R5, "patch");
+                asm.movi64(Reg::R4, u64::from_le_bytes(patch.encode()));
+            }
+            asm.label("loop");
+            asm.addi(Reg::R1, Reg::R1, 1);
+            for &op in &ops {
+                match op {
+                    0 => asm.addi(Reg::R2, Reg::R2, 3),
+                    1 => asm.xor(Reg::R3, Reg::R1, Reg::R2),
+                    2 => asm.add(Reg::R2, Reg::R2, Reg::R3),
+                    3 => asm.mul(Reg::R3, Reg::R2, Reg::R1),
+                    4 => asm.shli(Reg::R3, Reg::R2, 3),
+                    _ => asm.sub(Reg::R3, Reg::R1, Reg::R2),
+                };
+            }
+            if smc {
+                asm.st(Reg::R5, 0, Reg::R4);
+                asm.label("patch");
+                asm.nop(); // becomes `addi r2, r2, 5` after the first pass
+            }
+            asm.bne(Reg::R1, Reg::R6, "loop");
+            asm.hlt();
+            asm.assemble().unwrap()
+        };
+        let run = |block_engine: bool, superblocks: bool| {
+            let cfg = MachineConfig { block_engine, superblocks, ..MachineConfig::default() };
+            let mut vm = GuestVm::new(cfg, &[&image]);
+            vm.set_entry(image.base());
+            vm.cpu_mut().set_sp(0x8000);
+            let mut events = Vec::new();
+            let mut target = 0u64;
+            for i in 0.. {
+                target += chunks[i % chunks.len()];
+                let exit = vm.run(RunBudget::until(target));
+                events.push((exit.clone(), vm.retired(), vm.cycles()));
+                if !matches!(exit, Exit::BudgetExhausted) || i > 20_000 {
+                    break;
+                }
+            }
+            let trace_hits = vm.block_stats().trace_hits;
+            ((events, vm.digest(), vm.cpu().reg(Reg::R2)), trace_hits)
+        };
+        let (stepped, _) = run(false, false);
+        let (blocks, block_traces) = run(true, false);
+        let (traced, trace_hits) = run(true, true);
+        prop_assert!(matches!(stepped.0.last(), Some((Exit::Halt, ..))));
+        prop_assert_eq!(&blocks, &stepped, "block engine diverged from single-step");
+        prop_assert_eq!(&traced, &stepped, "superblock traces diverged from single-step");
+        prop_assert_eq!(block_traces, 0, "trace stats leaked from a blocks-only run");
+        // With the self-modifying store the block engine's SMC early-commit
+        // fires every pass and edge profiling never sees the back edge, so
+        // no trace forms — only the clean loop must actually trace.
+        prop_assert!(smc || trace_hits > 0, "hot loop never dispatched a trace");
+    }
+
     /// Every decodable instruction executes without panicking, from any
     /// register state.
     #[test]

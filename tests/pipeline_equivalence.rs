@@ -77,6 +77,9 @@ fn attack_pipeline_equivalent_across_configs() {
     let stepped = run(PipelineConfig { block_engine: false, ..base_cfg.clone() });
     assert_eq!(base.to_json(), stepped.to_json(), "block engine changed the report");
 
+    let no_traces = run(PipelineConfig { superblocks: false, ..base_cfg.clone() });
+    assert_eq!(base.to_json(), no_traces.to_json(), "superblock traces changed the report");
+
     let bare = run(PipelineConfig {
         streaming: false,
         parallel_alarm_replay: false,
@@ -120,6 +123,26 @@ fn benign_pipeline_block_engine_equivalent() {
     assert_eq!(blocked.record.cycles, stepped.record.cycles);
     assert!(blocked.block_stats.hits > 0, "block cache never hit");
     assert_eq!(stepped.block_stats.hits, 0, "block stats leaked from a stepped run");
+}
+
+/// The superblock trace engine changes nothing a benign pipeline can
+/// observe, even on the adversarial self-modifying JIT workload: the report
+/// is bit-identical with traces off, and the optimized run actually formed
+/// and dispatched traces despite the code churn.
+#[test]
+fn benign_pipeline_superblocks_equivalent_on_jit() {
+    let run = |superblocks: bool| {
+        let spec = Workload::Jit.spec(false);
+        let cfg = PipelineConfig { duration_insns: 250_000, superblocks, ..PipelineConfig::default() };
+        Pipeline::new(spec, cfg).run().unwrap()
+    };
+    let traced = run(true);
+    let plain = run(false);
+    assert!(traced.replay.verified);
+    assert_eq!(traced.to_json(), plain.to_json());
+    assert_eq!(traced.record.cycles, plain.record.cycles);
+    assert!(traced.block_stats.trace_hits > 0, "trace cache never dispatched on the JIT workload");
+    assert_eq!(plain.block_stats.trace_hits, 0, "trace stats leaked from a blocks-only run");
 }
 
 /// The block engine is bit-exact against the single-step interpreter on its
@@ -208,7 +231,14 @@ fn block_engine_edge_cases_match_single_step() {
 /// report is byte-identical to the serial one of the same configuration.
 #[test]
 fn parallel_span_replay_matches_serial_across_matrix() {
-    let all = [Workload::Apache, Workload::Fileio, Workload::Make, Workload::Mysql, Workload::Radiosity];
+    let all = [
+        Workload::Apache,
+        Workload::Fileio,
+        Workload::Jit,
+        Workload::Make,
+        Workload::Mysql,
+        Workload::Radiosity,
+    ];
     for workload in all {
         for block_engine in [true, false] {
             let run = |parallel_spans: usize| {
