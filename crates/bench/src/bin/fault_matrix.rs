@@ -27,7 +27,10 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rnr_bench::SEED;
-use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan, TransportFault, TransportFaultKind};
+use rnr_log::{
+    disk_fault_scenarios, fault_scenarios, unrecoverable_scenario, DurableLogConfig, FaultPlan,
+    TransportFault, TransportFaultKind,
+};
 use rnr_replay::ReplayError;
 use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
 use rnr_workloads::{Workload, WorkloadParams};
@@ -141,6 +144,7 @@ fn main() {
         }
     }
 
+    failures += durable_section(parallel_spans, &reference_json);
     failures += jit_section(parallel_spans);
 
     if failures > 0 {
@@ -148,6 +152,101 @@ fn main() {
         std::process::exit(1);
     }
     println!("fault matrix passed");
+}
+
+/// The durable segment store under every disk-fault scenario (DESIGN.md
+/// §13): with `durable_log` on, the recording is persisted to sealed
+/// segments and the CR's refetch recovery reads disk first. A clean durable
+/// run must be byte-identical to the in-memory reference with a quiet
+/// recovery block; every disk-fault scenario (torn tail, bit rot, missing
+/// segment, short read, failed fsync — each paired with a dropped transport
+/// frame that forces a refetch) must heal back to the very same report,
+/// falling back to the in-memory retained store when the disk copy is
+/// damaged. Each scenario uses its own temp dir, removed on success.
+fn durable_section(parallel_spans: usize, reference_json: &str) -> u32 {
+    let mut failures = 0u32;
+    let run_durable = |tag: &str, plan: FaultPlan| {
+        let dir = std::env::temp_dir()
+            .join(format!("rnr-fault-matrix-{tag}-p{parallel_spans}-{}", std::process::id()));
+        let mut durable = DurableLogConfig::new(dir.clone());
+        // One frame per segment: segment indices equal frame sequence
+        // numbers, so the plan's `DiskFault { segment: 2 }` damages exactly
+        // the frame the transport drops.
+        durable.frames_per_segment = 1;
+        let cfg = PipelineConfig {
+            duration_insns: 900_000,
+            checkpoint_interval_secs: Some(0.125),
+            parallel_spans,
+            fault_plan: plan,
+            durable_log: Some(durable),
+            ..PipelineConfig::default()
+        };
+        let (spec, _attack) =
+            rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+        let result = Pipeline::new(spec, cfg).run();
+        (dir, result)
+    };
+
+    let (dir, clean) = run_durable("clean", FaultPlan::default());
+    match clean {
+        Ok(report) if report.to_json() == reference_json && !report.recovery.any() => {
+            println!("ok   durable-clean: persisted run byte-identical, recovery quiet");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        Ok(report) => {
+            println!(
+                "FAIL durable-clean: identical={} quiet={}",
+                report.to_json() == reference_json,
+                !report.recovery.any()
+            );
+            failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL durable-clean: pipeline error: {e}");
+            failures += 1;
+        }
+    }
+
+    for (name, plan) in disk_fault_scenarios(SEED) {
+        let wants_disk_hit = name == "disk-serves-refetch";
+        match catch_unwind(AssertUnwindSafe(|| run_durable(name, plan))) {
+            Err(_) => {
+                println!("FAIL {name}: panicked (disk faults must heal)");
+                failures += 1;
+            }
+            Ok((_dir, Err(e))) => {
+                println!("FAIL {name}: pipeline error: {e}");
+                failures += 1;
+            }
+            Ok((dir, Ok(report))) => {
+                let t = &report.recovery.transport;
+                let mut bad = Vec::new();
+                if report.to_json() != reference_json {
+                    bad.push("report differs from fault-free in-memory run");
+                }
+                if !report.recovery.any() {
+                    bad.push("no recovery activity recorded (fault missed?)");
+                }
+                if wants_disk_hit && t.disk_refetches == 0 {
+                    bad.push("refetch never served from disk");
+                }
+                if !wants_disk_hit && t.disk_fallbacks == 0 {
+                    bad.push("damaged disk copy never fell back to memory");
+                }
+                if bad.is_empty() {
+                    println!(
+                        "ok   {name}: refetched={} disk_refetches={} disk_fallbacks={}",
+                        t.batches_refetched, t.disk_refetches, t.disk_fallbacks
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                } else {
+                    println!("FAIL {name}: {}", bad.join("; "));
+                    failures += 1;
+                }
+            }
+        }
+    }
+    failures
 }
 
 /// The self-modifying JIT workload under the trace engine: superblocks must

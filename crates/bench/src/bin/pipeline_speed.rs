@@ -65,6 +65,61 @@ struct AttackComparison {
     window_cycles: Option<u64>,
 }
 
+/// On-disk density of the attack recording: the log's size per retired
+/// guest instruction in its two durable forms — framed-in-memory (the
+/// transport/retained-store representation: checksummed frames) and compact
+/// (the durable segment store's varint/delta + RLE encoding, DESIGN.md §13).
+#[derive(Debug, serde::Serialize)]
+struct LogDensity {
+    records: usize,
+    retired_insns: u64,
+    framed_bytes: u64,
+    compact_bytes: u64,
+    framed_bytes_per_insn: f64,
+    compact_bytes_per_insn: f64,
+    /// framed / compact — how much smaller the segment store is.
+    compaction_ratio: f64,
+}
+
+/// Measures [`LogDensity`] on an attack recording, asserting the compact
+/// form decodes back to the exact records it encoded.
+fn log_density(insns: u64) -> LogDensity {
+    use rnr_log::{decode_segment, encode_frame, encode_segment, Segment, DEFAULT_BATCH};
+    let (spec, _plan) =
+        rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+    let rec = Recorder::new(&spec, RecordConfig::new(RecordMode::Rec, SEED, insns))
+        .expect("record mode matches kernel")
+        .run();
+    assert!(rec.fault.is_none(), "guest fault {:?}", rec.fault);
+    let records = rec.log.records();
+    let frames: Vec<Vec<rnr_log::Record>> =
+        records.chunks(DEFAULT_BATCH).map(<[rnr_log::Record]>::to_vec).collect();
+    let framed_bytes: u64 =
+        frames.iter().enumerate().map(|(seq, f)| encode_frame(seq as u64, f).len() as u64).sum();
+    let compact_bytes: u64 = frames
+        .chunks(rnr_log::DEFAULT_FRAMES_PER_SEGMENT)
+        .enumerate()
+        .map(|(i, group)| {
+            let segment = Segment {
+                first_seq: (i * rnr_log::DEFAULT_FRAMES_PER_SEGMENT) as u64,
+                frames: group.to_vec(),
+            };
+            let bytes = encode_segment(&segment, true);
+            assert_eq!(decode_segment(&bytes).expect("segment decodes"), segment, "lossless compact form");
+            bytes.len() as u64
+        })
+        .sum();
+    LogDensity {
+        records: records.len(),
+        retired_insns: rec.retired,
+        framed_bytes,
+        compact_bytes,
+        framed_bytes_per_insn: framed_bytes as f64 / rec.retired as f64,
+        compact_bytes_per_insn: compact_bytes as f64 / rec.retired as f64,
+        compaction_ratio: framed_bytes as f64 / compact_bytes as f64,
+    }
+}
+
 /// The host the numbers were measured on: core count and the thread-pool
 /// sizes derived from it. Wall-clock figures are meaningless without this
 /// context — a single-core runner and an 8-core workstation produce wildly
@@ -89,6 +144,9 @@ struct Doc {
     /// attack run. Diagnostics: these live outside the report JSON that the
     /// equivalence assertions compare.
     block_cache: rnr_machine::BlockStats,
+    /// Log bytes per retired instruction, framed vs compact (Figure 6(a)'s
+    /// log-rate axis, measured on the durable segment encoding).
+    log_density: LogDensity,
 }
 
 fn ms(t: Instant) -> f64 {
@@ -485,8 +543,32 @@ fn main() {
         block_cache.trace_fallbacks
     );
 
+    let density = log_density(insns);
+    let mut t = Table::new(&["log form", "bytes", "bytes/insn", "vs framed"]);
+    t.row(vec![
+        "framed in-memory (transport frames)".into(),
+        density.framed_bytes.to_string(),
+        format!("{:.4}", density.framed_bytes_per_insn),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "compact segments (varint/delta + RLE)".into(),
+        density.compact_bytes.to_string(),
+        format!("{:.4}", density.compact_bytes_per_insn),
+        format!("{:.2}x smaller", density.compaction_ratio),
+    ]);
+    emit("Input-log density: framed vs durable segment store", &t);
+
     let host = HostContext { cores: cores(), ar_workers: cores(), cr_span_workers: auto_spans(cores()) };
-    let doc = Doc { insns_per_workload: insns, host, phases, attack, cr_parallel, block_cache };
+    let doc = Doc {
+        insns_per_workload: insns,
+        host,
+        phases,
+        attack,
+        cr_parallel,
+        block_cache,
+        log_density: density,
+    };
     std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).expect("doc serializes"))
         .expect("write BENCH_pipeline.json");
     println!("wrote {BENCH_PATH}");

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
-use rnr_log::{log_channel_with, Category, FaultPlan, DEFAULT_BATCH};
+use rnr_log::{log_channel_with, Category, DurableLogConfig, DurableWriter, FaultPlan, DEFAULT_BATCH};
 use rnr_machine::{BlockStats, CostModel, SharedPageCache};
 use rnr_ras::RasConfig;
 use rnr_replay::{
@@ -71,6 +71,13 @@ pub struct PipelineConfig {
     /// the pipeline's logs, digests, verdicts, and `to_json()` output are
     /// byte-identical to a run without any fault machinery.
     pub fault_plan: FaultPlan,
+    /// Persist the recording to a durable segment store (DESIGN.md §13) and
+    /// back the CR's refetch recovery with it: damaged or dropped spans are
+    /// re-read from sealed segments first, falling back to the recorder's
+    /// in-memory retained store. The plan's disk faults are injected against
+    /// this store. Resilience-only knob — the report is byte-identical with
+    /// persistence on or off.
+    pub durable_log: Option<DurableLogConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -91,6 +98,7 @@ impl Default for PipelineConfig {
             superblocks: true,
             parallel_spans: 0,
             fault_plan: FaultPlan::default(),
+            durable_log: None,
         }
     }
 }
@@ -399,6 +407,7 @@ impl Pipeline {
             resilient: true,
             parallel_spans: cfg.parallel_spans,
             fault_plan: cfg.fault_plan.clone(),
+            durable_log: cfg.durable_log.clone(),
             ..ReplayConfig::default()
         };
         // One read-mostly decoded-block pool for the whole run: the
@@ -423,7 +432,12 @@ impl Pipeline {
         // injections target the CR and must not re-fire during alarm
         // replay, and an AR surfaces divergence as evidence instead of
         // healing it.
-        let ar_cfg = ReplayConfig { resilient: false, fault_plan: FaultPlan::default(), ..replay_cfg };
+        let ar_cfg = ReplayConfig {
+            resilient: false,
+            fault_plan: FaultPlan::default(),
+            durable_log: None,
+            ..replay_cfg
+        };
         let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log))
             .with_config(ar_cfg)
             .with_shared_cache(Arc::clone(&shared));
@@ -591,6 +605,9 @@ impl Pipeline {
     ) -> Result<(RecordOutcome, ReplayOutcome, BlockStats), PipelineError> {
         let mut recorder = Recorder::new(&self.spec, rc)?;
         recorder.attach_shared_cache(Arc::clone(shared));
+        if let Some(writer) = self.durable_writer()? {
+            recorder.persist_to(writer);
+        }
         let rec = match catch_unwind(AssertUnwindSafe(move || recorder.run())) {
             Ok(rec) => rec,
             Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
@@ -617,6 +634,18 @@ impl Pipeline {
         Ok((rec, cr_out, stats))
     }
 
+    /// The fault-plan-aware durable segment writer when the `durable_log`
+    /// knob is set: both record paths persist through this, so the plan's
+    /// disk faults hit the same sealed segments in either mode.
+    fn durable_writer(&self) -> Result<Option<DurableWriter>, PipelineError> {
+        match self.config.durable_log.as_ref() {
+            Some(d) => DurableWriter::create(d.clone(), &self.config.fault_plan)
+                .map(Some)
+                .map_err(|e| PipelineError::Record(RecordError::DurableLog(e.to_string()))),
+            None => Ok(None),
+        }
+    }
+
     /// Phases 1 + 2, concurrent: the recorder publishes each record to a
     /// live stream as it is logged, and the CR consumes the stream on this
     /// thread, trailing the recording (§4: recording and replay proceed in
@@ -632,7 +661,12 @@ impl Pipeline {
     ) -> Result<(RecordOutcome, ReplayOutcome, BlockStats), PipelineError> {
         let mut recorder = Recorder::new(&self.spec, rc)?;
         recorder.attach_shared_cache(Arc::clone(shared));
-        let (sink, stream) = log_channel_with(DEFAULT_BATCH, &self.config.fault_plan);
+        let (mut sink, stream) = log_channel_with(DEFAULT_BATCH, &self.config.fault_plan);
+        if let Some(writer) = self.durable_writer()? {
+            // Sink-side persistence: each pristine frame is written to disk
+            // as it is flushed, *before* transport injection can damage it.
+            sink.persist_to(writer);
+        }
         recorder.stream_to(sink);
         let (rec_result, cr_result) = if replay_cfg.parallel_spans > 0 {
             // Parallel CR: seeds stream from the recorder alongside the

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rnr_guest::layout;
 use rnr_isa::Reg;
-use rnr_log::{AlarmInfo, Category, InputLog, LogSink, Record};
+use rnr_log::{AlarmInfo, Category, DurableLogConfig, DurableWriter, FaultPlan, InputLog, LogSink, Record};
 use rnr_machine::{
     CallRetTrap, CostModel, CpuState, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm,
     MachineConfig, SharedPageCache, IRQ_DISK, IRQ_NIC, IRQ_TIMER, MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING,
@@ -105,6 +105,10 @@ pub struct RecordConfig {
     /// copy-on-write pages, so the log, cycles, and digests are byte-for-byte
     /// identical with seeding on or off. `None` disables capture.
     pub span_seed_every_insns: Option<u64>,
+    /// Persist the log to a durable segment store as it is recorded
+    /// (DESIGN.md §13). Resilience/wall-clock only; the log, cycles, and
+    /// digests are byte-for-byte identical with persistence on or off.
+    pub durable_log: Option<DurableLogConfig>,
 }
 
 impl RecordConfig {
@@ -124,6 +128,7 @@ impl RecordConfig {
             jop_common_functions: None,
             stall_on_alarm: false,
             span_seed_every_insns: None,
+            durable_log: None,
         }
     }
 }
@@ -169,6 +174,8 @@ pub enum RecordError {
         /// Whether the mode wants a PV kernel.
         want_pv: bool,
     },
+    /// The durable log store could not be created (I/O error message).
+    DurableLog(String),
 }
 
 impl fmt::Display for RecordError {
@@ -181,6 +188,7 @@ impl fmt::Display for RecordError {
                     if *want_pv { "paravirtual" } else { "standard" }
                 )
             }
+            RecordError::DurableLog(msg) => write!(f, "durable log store: {msg}"),
         }
     }
 }
@@ -271,6 +279,7 @@ pub struct Recorder {
     console: Vec<u8>,
     log: InputLog,
     sink: Option<LogSink>,
+    durable: Option<DurableWriter>,
     attribution: CycleAttribution,
     intro: Introspector,
     current_tid: ThreadId,
@@ -365,6 +374,13 @@ impl Recorder {
         let mut nondet = NondetSource::new(config.seed);
         let next_timer = spec.timer_period + nondet.timer_jitter(spec.timer_period);
         let next_packet = spec.net.mean_interarrival.map(|m| nondet.packet_gap(m));
+        let durable = match config.durable_log.as_ref() {
+            Some(d) => Some(
+                DurableWriter::create(d.clone(), &FaultPlan::default())
+                    .map_err(|e| RecordError::DurableLog(e.to_string()))?,
+            ),
+            None => None,
+        };
         Ok(Recorder {
             watch_addr,
             watch_last: 0,
@@ -375,6 +391,7 @@ impl Recorder {
             console: Vec::new(),
             log: InputLog::new(),
             sink: None,
+            durable,
             attribution: CycleAttribution::new(),
             intro,
             current_tid: ThreadId(1),
@@ -407,6 +424,14 @@ impl Recorder {
         self.sink = Some(sink);
     }
 
+    /// Attaches a durable segment-store writer: every record is persisted as
+    /// it is appended, and the store is sealed when recording finishes.
+    /// Replaces any writer created from [`RecordConfig::durable_log`] — the
+    /// pipeline uses this to pass a fault-plan-aware writer.
+    pub fn persist_to(&mut self, writer: DurableWriter) {
+        self.durable = Some(writer);
+    }
+
     /// Mirrors every captured [`SpanSeed`] to `tx` as soon as it exists, so
     /// a concurrent parallel replayer can dispatch span workers while
     /// recording is still in progress. Seeds still accumulate in
@@ -427,6 +452,9 @@ impl Recorder {
     fn emit(&mut self, rec: Record) {
         if let Some(sink) = self.sink.as_mut() {
             sink.push(rec.clone());
+        }
+        if let Some(writer) = self.durable.as_mut() {
+            writer.push(&rec);
         }
         self.log.push(rec);
     }
@@ -481,6 +509,9 @@ impl Recorder {
         }
         if let Some(sink) = self.sink.take() {
             sink.finish();
+        }
+        if let Some(writer) = self.durable.take() {
+            writer.finish();
         }
         if let Some(f) = self.fig8.as_mut() {
             f.add_instructions(self.vm.retired());

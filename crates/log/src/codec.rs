@@ -58,15 +58,15 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-const TAG_RDTSC: u8 = 1;
-const TAG_PIO_IN: u8 = 2;
-const TAG_MMIO_READ: u8 = 3;
-const TAG_INTERRUPT: u8 = 4;
-const TAG_DMA: u8 = 5;
-const TAG_EVICT: u8 = 6;
-const TAG_ALARM: u8 = 7;
-const TAG_END: u8 = 8;
-const TAG_JOP_ALARM: u8 = 9;
+pub(crate) const TAG_RDTSC: u8 = 1;
+pub(crate) const TAG_PIO_IN: u8 = 2;
+pub(crate) const TAG_MMIO_READ: u8 = 3;
+pub(crate) const TAG_INTERRUPT: u8 = 4;
+pub(crate) const TAG_DMA: u8 = 5;
+pub(crate) const TAG_EVICT: u8 = 6;
+pub(crate) const TAG_ALARM: u8 = 7;
+pub(crate) const TAG_END: u8 = 8;
+pub(crate) const TAG_JOP_ALARM: u8 = 9;
 
 /// Exact encoded size of `record` in bytes.
 pub fn encoded_len(record: &Record) -> u64 {

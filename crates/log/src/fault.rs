@@ -45,6 +45,35 @@ pub struct TransportFault {
     pub poison_retained: bool,
 }
 
+/// Damage to one sealed segment of the durable log store.
+///
+/// Applied deterministically by the [`crate::DurableWriter`] at seal time
+/// (modeling latent storage corruption discovered later, at refetch or
+/// recovery-scan time) or post-hoc via [`crate::apply_disk_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A crash mid-write left only a prefix of the segment on disk.
+    TornWrite,
+    /// One bit flipped at rest (position derived from the plan seed).
+    BitRot,
+    /// The segment file was lost entirely.
+    MissingSegment,
+    /// The file was cut a few bytes short of its declared length prefix.
+    ShortRead,
+    /// The host lied about durability: fsync "succeeded" but the segment
+    /// never reached stable storage and vanishes with the page cache.
+    FailedFsync,
+}
+
+/// One planned disk fault, keyed by segment index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFault {
+    /// The segment (by seal order, 0-based) this fault applies to.
+    pub segment: u64,
+    /// The damage to inflict.
+    pub kind: DiskFaultKind,
+}
+
 /// A reproducible fault scenario: everything is derived from `seed` and the
 /// explicit injection points, never from wall-clock or host randomness.
 ///
@@ -56,6 +85,8 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Transport-frame faults applied by the sink-side injector.
     pub transport: Vec<TransportFault>,
+    /// Durable-store faults applied by the segment writer at seal time.
+    pub disk: Vec<DiskFault>,
     /// Inject a transient divergence into the checkpointing replayer once
     /// it has retired this many instructions.
     pub cr_divergence_at_insn: Option<u64>,
@@ -76,6 +107,7 @@ impl FaultPlan {
     /// True when the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.transport.is_empty()
+            && self.disk.is_empty()
             && self.cr_divergence_at_insn.is_none()
             && self.block_divergence_at_insn.is_none()
             && self.ar_panic_case.is_none()
@@ -192,6 +224,34 @@ pub fn fault_scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
             FaultPlan { seed, block_divergence_at_insn: Some(180_000), ..FaultPlan::default() },
         ),
         ("ar-worker-killed", FaultPlan { seed, kill_ar_worker_at_case: Some(0), ..FaultPlan::default() }),
+    ]
+}
+
+/// The seeded disk-fault matrix: a dropped transport frame forces the CR to
+/// refetch sequence 2, while the durable store's copy of that span is (in
+/// all but the first scenario) damaged in a different way each time — so the
+/// refetch path must detect the at-rest damage, quarantine the segment, and
+/// fall back to the recorder's in-memory retained copy, still producing a
+/// byte-identical report. Run with `frames_per_segment = 1` so segment
+/// indices equal frame sequence numbers and every frame is sealed (and
+/// damaged) before its successors are transmitted.
+pub fn disk_fault_scenarios(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    let refetch =
+        vec![TransportFault { seq: 2, kind: TransportFaultKind::DropFrame, poison_retained: false }];
+    let damaged = |kind| FaultPlan {
+        seed,
+        transport: refetch.clone(),
+        disk: vec![DiskFault { segment: 2, kind }],
+        ..FaultPlan::default()
+    };
+    vec![
+        // No disk damage: the refetch is served from the durable store.
+        ("disk-serves-refetch", FaultPlan { seed, transport: refetch.clone(), ..FaultPlan::default() }),
+        ("disk-torn-write", damaged(DiskFaultKind::TornWrite)),
+        ("disk-bit-rot", damaged(DiskFaultKind::BitRot)),
+        ("disk-missing-segment", damaged(DiskFaultKind::MissingSegment)),
+        ("disk-short-read", damaged(DiskFaultKind::ShortRead)),
+        ("disk-failed-fsync", damaged(DiskFaultKind::FailedFsync)),
     ]
 }
 

@@ -22,9 +22,15 @@
 //!   sequence-numbered frames ([`encode_frame`] / [`decode_frame`]) so a
 //!   faulty transport is detected and healed, not silently replayed.
 //! * [`FaultPlan`] / [`FaultInjector`] — deterministic, seeded fault
-//!   injection (corrupt/drop/duplicate/delay/truncate a frame, plus replay
-//!   and AR-supervisor injection points) so every failure scenario is
-//!   reproducible from `(seed, plan)`.
+//!   injection (corrupt/drop/duplicate/delay/truncate a frame, disk faults
+//!   against sealed segments, plus replay and AR-supervisor injection
+//!   points) so every failure scenario is reproducible from `(seed, plan)`.
+//! * [`DurableWriter`] / [`DurableStore`] — the durable segmented log
+//!   store: frames sealed into versioned, CRC32-protected, varint/delta-
+//!   compact [`Segment`] files (atomic write-temp + fsync + rename), a
+//!   crash-recovery scan that truncates torn tails and quarantines damaged
+//!   segments, and a disk-first refetch path for the CR's
+//!   rewind-and-refetch recovery.
 //! * a compact binary codec ([`InputLog::to_bytes`] /
 //!   [`InputLog::from_bytes`]) so log sizes are measured, not estimated.
 
@@ -36,19 +42,29 @@ mod cursor;
 mod fault;
 mod frame;
 mod record;
+mod segment;
 mod source;
+mod store;
 mod stream;
 mod writer;
 
 pub use codec::CodecError;
 pub use cursor::LogCursor;
 pub use fault::{
-    fault_scenarios, splitmix64, unrecoverable_scenario, FaultInjector, FaultPlan, InjectedFrame,
-    TransportFault, TransportFaultKind,
+    disk_fault_scenarios, fault_scenarios, splitmix64, unrecoverable_scenario, DiskFault, DiskFaultKind,
+    FaultInjector, FaultPlan, InjectedFrame, TransportFault, TransportFaultKind,
 };
 pub use frame::{crc32, decode_frame, encode_frame, FRAME_HEADER};
 pub use record::{AlarmInfo, Category, DmaSource, Record};
+pub use segment::{
+    decode_segment, encode_segment, get_varint, put_varint, segment_from_json, segment_to_json, unzigzag,
+    zigzag, Segment, SegmentError, FORMAT_VERSION, SEGMENT_HEADER, SEGMENT_MAGIC,
+};
 pub use source::LogSource;
+pub use store::{
+    apply_disk_fault, durable_fetch, segment_file_name, DiskWriteStats, DurableLogConfig, DurableStore,
+    DurableWriter, RecoveryScan, DEFAULT_FRAMES_PER_SEGMENT, SEGMENT_EXT,
+};
 pub use stream::{
     log_channel, log_channel_with, LogSink, LogStream, TransportStats, BACKOFF_BASE_VCYCLES, DEFAULT_BATCH,
     MAX_REFETCH_RETRIES,

@@ -70,6 +70,15 @@ impl LogSource {
         }
     }
 
+    /// Backs a streaming source's refetch recovery with the durable segment
+    /// store at `dir` ([`LogStream::attach_durable`]). A no-op for complete
+    /// and span sources — they never refetch.
+    pub fn attach_durable(&mut self, dir: &std::path::Path) {
+        if let LogSource::Streaming(stream) = self {
+            stream.attach_durable(dir);
+        }
+    }
+
     /// Transport health counters (zero for a complete source).
     pub fn transport_stats(&self) -> TransportStats {
         match self {

@@ -62,6 +62,11 @@ pub struct TransportStats {
     pub refetch_retries: u64,
     /// Virtual-cycle backoff accumulated by recoveries (diagnostic only).
     pub backoff_vcycles: u64,
+    /// Refetches served from the durable on-disk store.
+    pub disk_refetches: u64,
+    /// Refetches where the disk copy was unusable (unsealed, missing, or
+    /// damaged-and-quarantined) and the in-memory retained store served.
+    pub disk_fallbacks: u64,
 }
 
 /// Creates a connected sink/stream pair carrying record batches of at most
@@ -87,6 +92,7 @@ pub fn log_channel_with(batch_size: usize, plan: &FaultPlan) -> (LogSink, LogStr
             retained: Arc::clone(&retained),
             injector,
             delayed: None,
+            durable: None,
         },
         LogStream {
             rx,
@@ -97,6 +103,7 @@ pub fn log_channel_with(batch_size: usize, plan: &FaultPlan) -> (LogSink, LogStr
             fault: None,
             retained,
             stats: TransportStats::default(),
+            durable: None,
         },
     )
 }
@@ -116,6 +123,9 @@ pub struct LogSink {
     injector: Option<FaultInjector>,
     /// A frame held back by a planned delay; it rides behind its successor.
     delayed: Option<Bytes>,
+    /// Mirrors every flushed frame to the durable segment store, pristine
+    /// (persistence happens before any planned wire damage).
+    durable: Option<crate::DurableWriter>,
 }
 
 impl LogSink {
@@ -127,6 +137,13 @@ impl LogSink {
         }
     }
 
+    /// Mirrors every frame this sink flushes to `writer`, giving the
+    /// recorder's retained log an on-disk life. Frames are persisted before
+    /// transport-fault injection, so disk always holds the pristine copy.
+    pub fn persist_to(&mut self, writer: crate::DurableWriter) {
+        self.durable = Some(writer);
+    }
+
     /// Frames and sends any batched records immediately.
     pub fn flush(&mut self) {
         if self.batch.is_empty() {
@@ -135,6 +152,9 @@ impl LogSink {
         let seq = self.next_seq;
         self.next_seq += 1;
         let frame = encode_frame(seq, &self.batch);
+        if let Some(writer) = &mut self.durable {
+            writer.append_frame(seq, &self.batch);
+        }
         self.batch.clear();
         let (retained, outgoing, delay) = match &self.injector {
             Some(inj) => {
@@ -193,6 +213,9 @@ pub struct LogStream {
     fault: Option<CodecError>,
     retained: Retained,
     stats: TransportStats,
+    /// Directory of the durable segment store, when the deployment persists
+    /// frames to disk; [`LogStream::recover`] prefers the on-disk copy.
+    durable: Option<std::path::PathBuf>,
 }
 
 impl LogStream {
@@ -244,6 +267,19 @@ impl LogStream {
             }
             self.stats.backoff_vcycles += backoff;
             backoff = (backoff * 2).min(BACKOFF_CAP);
+            // The durable store is the deployment's authoritative retained
+            // log: prefer the on-disk copy (quarantining at-rest damage on
+            // contact), fall back to the in-memory retained store when the
+            // covering segment is unsealed, missing, or unusable.
+            if let Some(dir) = self.durable.clone() {
+                if let Some(records) = crate::store::durable_fetch(&dir, self.next_seq) {
+                    self.admit(records);
+                    self.stats.batches_refetched += 1;
+                    self.stats.disk_refetches += 1;
+                    return Ok(());
+                }
+                self.stats.disk_fallbacks += 1;
+            }
             let bytes =
                 self.retained.lock().expect("retained store lock").get(self.next_seq as usize).cloned();
             let Some(bytes) = bytes else { continue };
@@ -264,6 +300,14 @@ impl LogStream {
     /// Transport health counters accumulated so far.
     pub fn transport_stats(&self) -> TransportStats {
         self.stats
+    }
+
+    /// Backs refetch recovery with the durable segment store at `dir`:
+    /// [`LogStream::recover`] will read the damaged span from disk first.
+    /// Purely a refetch-source change — records, ordering, and the healed
+    /// log are byte-identical with or without it.
+    pub fn attach_durable(&mut self, dir: &std::path::Path) {
+        self.durable = Some(dir.to_path_buf());
     }
 
     /// Verifies and files one incoming frame.

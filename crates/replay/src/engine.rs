@@ -68,6 +68,12 @@ pub struct ReplayConfig {
     /// fold in [`crate::replay_spans`] reconstructs cycles, checkpoints, and
     /// alarm bookkeeping byte-identically to a serial run.
     pub parallel_spans: usize,
+    /// Back a streaming source's refetch recovery with the durable segment
+    /// store at this config's directory (DESIGN.md §13): damaged or dropped
+    /// spans are re-read from sealed segments first, falling back to the
+    /// recorder's in-memory retained store. Resilience-only knob — never
+    /// changes cycles, digests, or the report.
+    pub durable_log: Option<rnr_log::DurableLogConfig>,
 }
 
 impl Default for ReplayConfig {
@@ -88,6 +94,7 @@ impl Default for ReplayConfig {
             resilient: false,
             fault_plan: rnr_log::FaultPlan::default(),
             parallel_spans: 0,
+            durable_log: None,
         }
     }
 }
@@ -480,9 +487,12 @@ impl Replayer {
         mut vm: GuestVm,
         intro: Introspector,
         disk: DiskDevice,
-        source: LogSource,
+        mut source: LogSource,
         cfg: ReplayConfig,
     ) -> Replayer {
+        if let Some(d) = cfg.durable_log.as_ref() {
+            source.attach_durable(&d.dir);
+        }
         vm.add_breakpoint(intro.switch_sp_trap());
         vm.add_breakpoint(intro.thread_create_trap());
         vm.add_breakpoint(intro.thread_exit_trap());

@@ -347,6 +347,9 @@ fn run_workers(
                 RecordsStore::Log(log)
             }
             SpanFeed::Streaming { mut stream, seed_rx } => {
+                if let Some(d) = cfg.durable_log.as_ref() {
+                    stream.attach_durable(&d.dir);
+                }
                 let mut records: Vec<Record> = Vec::new();
                 let mut seeds: Vec<SpanSeed> = Vec::new();
                 let mut heals = 0u32;
@@ -475,6 +478,7 @@ fn worker_cfg(cfg: &ReplayConfig) -> ReplayConfig {
         profile_sample_every: None,
         parallel_spans: 0,
         fault_plan: FaultPlan::default(),
+        durable_log: None,
         ..cfg.clone()
     }
 }

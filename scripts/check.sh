@@ -46,10 +46,14 @@ timed clippy cargo clippy --workspace --all-targets --offline -- -D warnings
 timed tests cargo test --workspace -q --offline
 
 # Fault-matrix gate: run the attack pipeline under every seeded fault
-# scenario. Fails if any recoverable scenario's report differs from the
-# fault-free run (or shows no recovery activity), or if the unrecoverable
-# scenario does anything but fail with a structured error. Ends with the
-# self-modifying JIT workload under the superblock trace engine.
+# scenario — transport, replay, and AR-supervisor faults, plus the durable
+# segment store's disk scenarios (torn write, bit rot, missing segment,
+# short read, failed fsync, each forcing the CR's disk-first refetch).
+# Fails if any recoverable scenario's report differs from the fault-free
+# run (or shows no recovery activity), or if the unrecoverable scenario
+# does anything but fail with a structured error. Ends with the
+# self-modifying JIT workload under the superblock trace engine. Durable
+# scenarios write to per-scenario temp dirs, removed on success.
 timed fault-matrix cargo run --release -q -p rnr-bench --bin fault_matrix --offline
 
 # Same matrix with checkpoint-partitioned span replay active: every

@@ -2,12 +2,41 @@
 //! every recoverable seeded fault without changing the report, and fail
 //! structurally (never panic) on the unrecoverable one.
 
-use rnr_log::{fault_scenarios, unrecoverable_scenario, FaultPlan, TransportFault, TransportFaultKind};
+use rnr_log::{
+    apply_disk_fault, fault_scenarios, segment_file_name, unrecoverable_scenario, DiskFault, DiskFaultKind,
+    DurableLogConfig, DurableStore, FaultPlan, TransportFault, TransportFaultKind,
+};
 use rnr_replay::ReplayError;
 use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
 use rnr_workloads::{Workload, WorkloadParams};
 
 const SEED: u64 = 42;
+
+/// A unique per-test scratch directory for durable-log stores, removed when
+/// the test ends (pass or fail) so `cargo test` leaves no stray files.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("rnr-fi-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One frame per segment so segment indices equal frame sequence numbers.
+fn durable_cfg(dir: &std::path::Path) -> DurableLogConfig {
+    let mut d = DurableLogConfig::new(dir.to_path_buf());
+    d.frames_per_segment = 1;
+    d
+}
 
 /// The attack pipeline under one fault plan — same workload and knobs as
 /// the pipeline-equivalence suite, so alarms, escalation, and a confirmed
@@ -131,6 +160,144 @@ fn poisoned_retained_store_fails_with_structured_error_not_panic() {
         }
         Err(other) => panic!("{name}: wrong error shape: {other}"),
         Ok(_) => panic!("{name}: must not succeed"),
+    }
+}
+
+#[test]
+fn durable_store_serves_a_refetch_from_disk() {
+    let dir = TempDir::new("disk-serves");
+    let cfg = |plan, durable| PipelineConfig {
+        duration_insns: 250_000,
+        fault_plan: plan,
+        durable_log: durable,
+        ..Default::default()
+    };
+    let reference =
+        Pipeline::new(Workload::Mysql.spec(false), cfg(FaultPlan::default(), None)).run().expect("clean run");
+    let plan = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 1,
+            kind: TransportFaultKind::CorruptBit,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    let report = Pipeline::new(Workload::Mysql.spec(false), cfg(plan, Some(durable_cfg(&dir.0))))
+        .run()
+        .expect("healed run");
+    assert_eq!(report.to_json(), reference.to_json(), "durable heal must be report-invisible");
+    assert!(report.recovery.transport.disk_refetches >= 1, "refetch must be served from sealed segments");
+}
+
+#[test]
+fn damaged_disk_copy_falls_back_to_memory_and_still_heals() {
+    let cfg = |plan, durable| PipelineConfig {
+        duration_insns: 250_000,
+        fault_plan: plan,
+        durable_log: durable,
+        ..Default::default()
+    };
+    let reference =
+        Pipeline::new(Workload::Mysql.spec(false), cfg(FaultPlan::default(), None)).run().expect("clean run");
+    for kind in [
+        DiskFaultKind::TornWrite,
+        DiskFaultKind::BitRot,
+        DiskFaultKind::MissingSegment,
+        DiskFaultKind::ShortRead,
+        DiskFaultKind::FailedFsync,
+    ] {
+        let dir = TempDir::new(&format!("disk-fallback-{kind:?}"));
+        let plan = FaultPlan {
+            seed: SEED,
+            transport: vec![TransportFault {
+                seq: 1,
+                kind: TransportFaultKind::CorruptBit,
+                poison_retained: false,
+            }],
+            disk: vec![DiskFault { segment: 1, kind }],
+            ..FaultPlan::default()
+        };
+        let report = Pipeline::new(Workload::Mysql.spec(false), cfg(plan, Some(durable_cfg(&dir.0))))
+            .run()
+            .unwrap_or_else(|e| panic!("{kind:?}: pipeline failed: {e}"));
+        assert_eq!(report.to_json(), reference.to_json(), "{kind:?}: heal must be report-invisible");
+        assert!(
+            report.recovery.transport.disk_fallbacks >= 1,
+            "{kind:?}: damaged disk copy must fall back to the retained store"
+        );
+        assert!(report.recovery.any(), "{kind:?}: recovery must be accounted");
+    }
+}
+
+#[test]
+fn durable_store_reopens_and_restores_after_every_damage_kind() {
+    use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
+    use rnr_replay::{ReplayConfig, Replayer};
+
+    let spec = Workload::Mysql.spec(false);
+    let master = TempDir::new("reopen-master");
+    let mut rc = RecordConfig::new(RecordMode::Rec, 42, 250_000);
+    rc.durable_log = Some(durable_cfg(&master.0));
+    let rec = Recorder::new(&spec, rc).expect("recorder").run();
+    let total_frames = {
+        let store = DurableStore::open(&master.0).expect("pristine store opens");
+        assert!(store.scan().clean(), "pristine store must scan clean: {:?}", store.scan());
+        let restored = store
+            .restore_with(store.frame_count(), |_| None)
+            .expect("pristine store restores without fallback");
+        assert_eq!(restored.records(), rec.log.records(), "restored log must equal the recording");
+        store.frame_count()
+    };
+    assert!(total_frames >= 2, "need at least two segments to damage");
+
+    // The in-memory fallback: frame `seq` is the recording's records
+    // re-chunked exactly as the writer framed them (one frame per segment,
+    // DEFAULT_BATCH records per frame).
+    let fallback = |seq: u64| {
+        let batch = rnr_log::DEFAULT_BATCH;
+        let records = rec.log.records();
+        let start = seq as usize * batch;
+        (start < records.len()).then(|| records[start..(start + batch).min(records.len())].to_vec())
+    };
+
+    for kind in [
+        DiskFaultKind::BitRot,
+        DiskFaultKind::ShortRead,
+        DiskFaultKind::MissingSegment,
+        DiskFaultKind::TornWrite,
+    ] {
+        // Work on a copy of the pristine store; damage the *last* segment
+        // for TornWrite (a torn final write) and a mid-store one otherwise.
+        let dir = TempDir::new(&format!("reopen-{kind:?}"));
+        for entry in std::fs::read_dir(&master.0).unwrap() {
+            let p = entry.unwrap().path();
+            std::fs::copy(&p, dir.0.join(p.file_name().unwrap())).unwrap();
+        }
+        let target = if matches!(kind, DiskFaultKind::TornWrite) { total_frames - 1 } else { 0 };
+        apply_disk_fault(&dir.0.join(segment_file_name(target)), kind, SEED ^ target).unwrap();
+
+        let store = DurableStore::open(&dir.0).expect("damaged store opens");
+        let scan = store.scan();
+        assert!(!scan.clean(), "{kind:?}: damage must be visible to the scan");
+        if matches!(kind, DiskFaultKind::TornWrite) {
+            assert_eq!(scan.torn_tails_truncated, 1, "{kind:?}: torn tail must be truncated");
+        } else if matches!(kind, DiskFaultKind::MissingSegment) {
+            assert_eq!(scan.missing_spans, vec![(0, 1)], "{kind:?}: the gap must be mapped");
+        } else {
+            assert_eq!(scan.quarantined.len(), 1, "{kind:?}: mid-store damage must be quarantined");
+        }
+
+        let restored = store
+            .restore_with(total_frames, fallback)
+            .expect("every hole is covered by the in-memory fallback");
+        assert_eq!(restored.records(), rec.log.records(), "{kind:?}: restore must be lossless");
+
+        // The restored log replays to the recording's exact final state.
+        let mut cr = Replayer::new(&spec, restored, ReplayConfig::default());
+        cr.verify_against(rec.final_digest);
+        let out = cr.run().unwrap_or_else(|e| panic!("{kind:?}: replay failed: {e}"));
+        assert_eq!(out.verified, Some(true), "{kind:?}: restored log must verify");
     }
 }
 

@@ -1,7 +1,10 @@
-//! Property tests on the input-log codec.
+//! Property tests on the input-log codec and the durable segment format.
 
 use proptest::prelude::*;
-use rnr_log::{decode_frame, encode_frame, AlarmInfo, DmaSource, InputLog, Record};
+use rnr_log::{
+    decode_frame, decode_segment, encode_frame, encode_segment, get_varint, put_varint, segment_from_json,
+    segment_to_json, unzigzag, zigzag, AlarmInfo, DmaSource, InputLog, Record, Segment,
+};
 use rnr_ras::{Mispredict, MispredictKind, ThreadId};
 
 fn record_strategy() -> impl Strategy<Value = Record> {
@@ -136,4 +139,126 @@ proptest! {
         let cut = cut.index(frame.len());
         prop_assert!(decode_frame(&frame.slice(0..cut)).is_err());
     }
+
+    /// LEB128 varints and zigzag mapping round-trip every value, and the
+    /// varint encoding reports its exact consumed length.
+    #[test]
+    fn varint_and_zigzag_round_trip(v in any::<u64>(), s in any::<i64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(unzigzag(zigzag(s)), s);
+    }
+
+    /// The compact segment codec (varint/delta + optional RLE) is the
+    /// identity for arbitrary frame partitions, compressed or not, and the
+    /// debug-JSON form round-trips to the same segment.
+    #[test]
+    fn segment_round_trips(
+        frames in prop::collection::vec(prop::collection::vec(record_strategy(), 0..12), 1..8),
+        first_seq in any::<u64>(),
+        compress in any::<bool>(),
+    ) {
+        let segment = Segment { first_seq, frames };
+        let bytes = encode_segment(&segment, compress);
+        prop_assert_eq!(&decode_segment(&bytes).unwrap(), &segment);
+
+        let (from_json, json_compress) = segment_from_json(&segment_to_json(&segment, compress)).unwrap();
+        prop_assert_eq!(&from_json, &segment);
+        prop_assert_eq!(json_compress, compress);
+        prop_assert_eq!(encode_segment(&from_json, json_compress), bytes);
+    }
+
+    /// Flipping any single bit of an encoded segment is always detected
+    /// (length prefix or CRC32), and any truncation is rejected cleanly.
+    /// Neither ever panics.
+    #[test]
+    fn segment_rejects_every_bit_flip_and_truncation(
+        frames in prop::collection::vec(prop::collection::vec(record_strategy(), 0..8), 1..5),
+        first_seq in any::<u64>(),
+        compress in any::<bool>(),
+        flip in any::<prop::sample::Index>(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let segment = Segment { first_seq, frames };
+        let bytes = encode_segment(&segment, compress);
+
+        let mut flipped = bytes.clone();
+        let pos = flip.index(flipped.len() * 8);
+        flipped[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(decode_segment(&flipped).is_err());
+
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_segment(&bytes[..cut]).is_err());
+    }
+}
+
+/// A fixed, deterministic segment exercising every record variant — the
+/// subject of the committed golden fixtures.
+fn golden_segment() -> Segment {
+    Segment {
+        first_seq: 7,
+        frames: vec![
+            vec![
+                Record::Rdtsc { value: 0x1111_2222_3333 },
+                Record::Rdtsc { value: 0x1111_2222_4444 },
+                Record::PioIn { port: 0x3f8, value: 0x41 },
+                Record::MmioRead { addr: 0xfee0_0000, value: 9 },
+            ],
+            vec![
+                Record::Interrupt { irq: 32, at_insn: 120_000 },
+                Record::Dma { source: DmaSource::Disk, addr: 0x9000, data: vec![0xaa; 64], at_insn: 120_050 },
+                Record::Dma { source: DmaSource::Nic, addr: 0x9400, data: vec![1, 2, 3], at_insn: 120_060 },
+                Record::Evict { tid: ThreadId(3), addr: 0x8000_1234 },
+            ],
+            vec![
+                Record::Alarm(AlarmInfo {
+                    tid: ThreadId(3),
+                    mispredict: Mispredict {
+                        ret_pc: 0x8000_2000,
+                        predicted: Some(0x8000_2004),
+                        actual: 0x9000_0000,
+                        kind: MispredictKind::TargetMismatch,
+                    },
+                    at_insn: 130_000,
+                    at_cycle: 260_000,
+                }),
+                Record::End { at_insn: 140_000, at_cycle: 280_000 },
+            ],
+        ],
+    }
+}
+
+/// Golden-file pin on format v1: the committed compact fixture and its
+/// debug-JSON form must match what the codec produces today, byte for byte.
+/// If this fails, the on-disk format drifted — bump
+/// `rnr_log::FORMAT_VERSION` and regenerate the fixtures with
+/// `RNR_REGEN_GOLDEN=1 cargo test --test log_properties`.
+#[test]
+fn golden_segment_fixtures_pin_format_v1() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let bin_path = dir.join("segment_v1.bin");
+    let json_path = dir.join("segment_v1.json");
+    let segment = golden_segment();
+    let bin = encode_segment(&segment, true);
+    let json = segment_to_json(&segment, true);
+    if std::env::var_os("RNR_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&bin_path, &bin).unwrap();
+        std::fs::write(&json_path, &json).unwrap();
+    }
+    let golden_bin = std::fs::read(&bin_path).expect("committed fixture tests/fixtures/segment_v1.bin");
+    let golden_json =
+        std::fs::read_to_string(&json_path).expect("committed fixture tests/fixtures/segment_v1.json");
+    assert_eq!(bin, golden_bin, "compact segment encoding drifted without a FORMAT_VERSION bump");
+    assert_eq!(json, golden_json, "debug-JSON segment form drifted without a FORMAT_VERSION bump");
+
+    // Both committed forms still convert losslessly into each other.
+    let decoded = decode_segment(&golden_bin).expect("committed fixture decodes");
+    assert_eq!(decoded, segment);
+    let (from_json, compress) = segment_from_json(&golden_json).expect("committed fixture parses");
+    assert_eq!(from_json, segment);
+    assert_eq!(encode_segment(&from_json, compress), golden_bin);
 }

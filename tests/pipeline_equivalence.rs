@@ -289,6 +289,87 @@ fn attack_pipeline_parallel_spans_match_serial() {
     }
 }
 
+/// The `durable_log` knob is report-invisible across its interaction
+/// corners: persistence on vs off, crossed with span-parallel replay and
+/// the superblock trace engine, always yields a byte-identical report.
+#[test]
+fn durable_log_equivalent_across_parallel_and_superblock_corners() {
+    let scratch = std::env::temp_dir().join(format!("rnr-eq-corners-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let run = |durable: Option<&str>, parallel_spans: usize, superblocks: bool| {
+        let cfg = PipelineConfig {
+            duration_insns: 250_000,
+            parallel_spans,
+            superblocks,
+            durable_log: durable.map(|tag| rnr_log::DurableLogConfig::new(scratch.join(tag))),
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(Workload::Jit.spec(false), cfg).run().unwrap()
+    };
+    let reference = run(None, 0, true);
+    assert!(reference.replay.verified);
+    for parallel_spans in [0, 2] {
+        for superblocks in [true, false] {
+            let tag = format!("p{parallel_spans}-s{superblocks}");
+            let durable = run(Some(&tag), parallel_spans, superblocks);
+            let plain = run(None, parallel_spans, superblocks);
+            assert_eq!(
+                plain.to_json(),
+                reference.to_json(),
+                "spans={parallel_spans} superblocks={superblocks}: baseline diverged"
+            );
+            assert_eq!(
+                durable.to_json(),
+                reference.to_json(),
+                "spans={parallel_spans} superblocks={superblocks}: durable_log changed the report"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Streaming and sequential pipelines persist **byte-identical** segment
+/// stores: the sink-side and recorder-side writers frame records the same
+/// way, so the durable form is independent of how the run was driven.
+#[test]
+fn durable_store_is_byte_identical_across_streaming_and_sequential() {
+    let scratch = std::env::temp_dir().join(format!("rnr-eq-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let run = |streaming: bool, dir: std::path::PathBuf| {
+        let cfg = PipelineConfig {
+            duration_insns: 250_000,
+            streaming,
+            durable_log: Some(rnr_log::DurableLogConfig::new(dir)),
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(Workload::Mysql.spec(false), cfg).run().unwrap()
+    };
+    let streamed = run(true, scratch.join("streaming"));
+    let sequential = run(false, scratch.join("sequential"));
+    assert_eq!(streamed.to_json(), sequential.to_json());
+
+    let mut names: Vec<String> = std::fs::read_dir(scratch.join("streaming"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "the streaming run must have sealed segments");
+    let mut other: Vec<String> = std::fs::read_dir(scratch.join("sequential"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    other.sort();
+    assert_eq!(names, other, "same segment files either way");
+    for name in &names {
+        assert_eq!(
+            std::fs::read(scratch.join("streaming").join(name)).unwrap(),
+            std::fs::read(scratch.join("sequential").join(name)).unwrap(),
+            "{name}: segment bytes differ between streaming and sequential persistence"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// `Arc`-shared logs replay without copies: two replayers can hold the same
 /// recording concurrently.
 #[test]
