@@ -23,38 +23,49 @@
 //! trace engine's hardest input — fault-free with traces on and off (the
 //! reports must be byte-identical) and under a corrupted transport batch
 //! (which must heal back to the clean report).
+//!
+//! With `--farm`, the matrix instead runs every scenario as a replay-farm
+//! fleet (DESIGN.md §14): the faulted attack session shares the global
+//! worker pool with a quiet sibling, and the contract extends to
+//! *isolation* — the faulted session must still heal to the serial clean
+//! report, the sibling's report must stay byte-identical to its own clean
+//! reference with a quiet recovery block, and a session failing
+//! structurally (budget exhaustion) must not disturb the sibling either.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use rnr_bench::SEED;
+use rnr_bench::{attack_session_config, attack_spec, SEED};
 use rnr_log::{
     disk_fault_scenarios, fault_scenarios, unrecoverable_scenario, DurableLogConfig, FaultPlan,
     TransportFault, TransportFaultKind,
 };
 use rnr_replay::ReplayError;
-use rnr_safe::{Pipeline, PipelineConfig, PipelineError, PipelineReport};
-use rnr_workloads::{Workload, WorkloadParams};
+use rnr_safe::{
+    BudgetKind, Farm, FarmConfig, FarmError, Pipeline, PipelineConfig, PipelineError, PipelineReport,
+    SessionSpec,
+};
+use rnr_workloads::Workload;
 
 /// The attack pipeline under one fault plan — same workload and knobs as
 /// the pipeline equivalence tests, so the fault-free reference exercises
 /// alarms, escalation, and a confirmed ROP verdict.
 fn run_with(plan: FaultPlan, parallel_spans: usize) -> Result<PipelineReport, PipelineError> {
-    let (spec, _attack) =
-        rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
-    let cfg = PipelineConfig {
-        duration_insns: 900_000,
-        checkpoint_interval_secs: Some(0.125),
-        parallel_spans,
-        fault_plan: plan,
-        ..PipelineConfig::default()
-    };
-    Pipeline::new(spec, cfg).run()
+    Pipeline::new(attack_spec(), attack_session_config(parallel_spans, plan)).run()
 }
 
 fn main() {
     // Injected AR panics are part of the matrix; keep their backtraces out
     // of the gate output. Scenario failures are reported explicitly below.
     std::panic::set_hook(Box::new(|_| {}));
+    if std::env::args().any(|a| a == "--farm") {
+        let failures = farm_matrix();
+        if failures > 0 {
+            eprintln!("fault matrix (farm) FAILED: {failures} scenario(s)");
+            std::process::exit(1);
+        }
+        println!("fault matrix (farm) passed");
+        return;
+    }
     let parallel_spans = if std::env::args().any(|a| a == "--parallel") { 2 } else { 0 };
     let run_with = |plan| run_with(plan, parallel_spans);
     println!(
@@ -173,17 +184,9 @@ fn durable_section(parallel_spans: usize, reference_json: &str) -> u32 {
         // numbers, so the plan's `DiskFault { segment: 2 }` damages exactly
         // the frame the transport drops.
         durable.frames_per_segment = 1;
-        let cfg = PipelineConfig {
-            duration_insns: 900_000,
-            checkpoint_interval_secs: Some(0.125),
-            parallel_spans,
-            fault_plan: plan,
-            durable_log: Some(durable),
-            ..PipelineConfig::default()
-        };
-        let (spec, _attack) =
-            rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
-        let result = Pipeline::new(spec, cfg).run();
+        let cfg =
+            PipelineConfig { durable_log: Some(durable), ..attack_session_config(parallel_spans, plan) };
+        let result = Pipeline::new(attack_spec(), cfg).run();
         (dir, result)
     };
 
@@ -246,6 +249,150 @@ fn durable_section(parallel_spans: usize, reference_json: &str) -> u32 {
             }
         }
     }
+    failures
+}
+
+/// The `--farm` matrix: every seeded scenario run as a two-session fleet on
+/// the shared pool — the faulted attack session beside a quiet sibling.
+///
+/// The farm records sequentially and feeds span replay from the complete
+/// log, so the matrix's *transport* scenarios have no wire to damage: those
+/// plans are expected to be inert (report identical, recovery quiet). The
+/// replay/AR scenarios (CR and block-engine divergences, AR panics and
+/// transient divergences, the killed worker) fire exactly as in serial mode
+/// and must heal to the serial clean report with recovery activity — while
+/// the sibling's report stays byte-identical to its own clean reference
+/// with a quiet recovery block. Two more cases check structural isolation:
+/// a budget-exhausted session failing beside an untouched sibling, and a
+/// farm-owned durable root laying down one segment store per session.
+fn farm_matrix() -> u32 {
+    let mut failures = 0u32;
+    let attack_reference =
+        run_with(FaultPlan::default(), 0).expect("serial clean attack pipeline completes").to_json();
+    let quiet_cfg = PipelineConfig { duration_insns: 300_000, ..PipelineConfig::default() };
+    let quiet_reference = Pipeline::new(Workload::Make.spec(false), quiet_cfg.clone())
+        .run()
+        .expect("serial clean quiet pipeline completes")
+        .to_json();
+    let fleet = |plan: FaultPlan| {
+        vec![
+            SessionSpec::new("attack", attack_spec(), attack_session_config(0, plan)),
+            SessionSpec::new("quiet", Workload::Make.spec(false), quiet_cfg.clone()),
+        ]
+    };
+    let farm = Farm::new(FarmConfig::default());
+
+    // A sibling must come through byte-identical and quiet no matter what
+    // happens to the attack session; fold that check into every scenario.
+    let check_quiet = |name: &str, report: &rnr_safe::FarmReport, failures: &mut u32| match &report
+        .session("quiet")
+        .expect("quiet session present")
+        .result
+    {
+        Ok(r) if r.to_json() == quiet_reference && !r.recovery.any() => {}
+        Ok(r) => {
+            println!(
+                "FAIL {name}: quiet sibling disturbed (identical={} quiet={})",
+                r.to_json() == quiet_reference,
+                !r.recovery.any()
+            );
+            *failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL {name}: quiet sibling failed: {e}");
+            *failures += 1;
+        }
+    };
+
+    for (name, plan) in fault_scenarios(SEED) {
+        // Transport faults need the streaming channel the farm never
+        // opens; those plans are inert here and the run must be clean.
+        let fires_in_farm = !plan.wants_transport_injection();
+        let report = farm.run(&fleet(plan));
+        check_quiet(name, &report, &mut failures);
+        match &report.session("attack").expect("attack session present").result {
+            Err(e) => {
+                println!("FAIL {name}: attack session failed: {e}");
+                failures += 1;
+            }
+            Ok(r) => {
+                let mut bad = Vec::new();
+                if r.to_json() != attack_reference {
+                    bad.push("report differs from serial clean run");
+                }
+                if fires_in_farm && !r.recovery.any() {
+                    bad.push("no recovery activity recorded (fault missed?)");
+                }
+                if !fires_in_farm && r.recovery.any() {
+                    bad.push("transport plan fired despite sequential recording");
+                }
+                if !r.recovery.failed_cases.is_empty() {
+                    bad.push("alarm cases left unresolved");
+                }
+                if bad.is_empty() {
+                    let rec = &r.recovery;
+                    println!(
+                        "ok   {name}: {} rewinds={} ar_retries={} panics={} workers_lost={} block_fallbacks={}",
+                        if fires_in_farm { "healed," } else { "inert (no transport in farm mode)," },
+                        rec.cr_rewinds,
+                        rec.ar_case_retries,
+                        rec.ar_panics_caught,
+                        rec.ar_workers_lost,
+                        rec.block_fallback_spans
+                    );
+                } else {
+                    println!("FAIL {name}: {}", bad.join("; "));
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    // Structural isolation: the attack session exhausts its AR-slot budget
+    // and fails with a typed error; the sibling is untouched.
+    let mut sessions = fleet(FaultPlan::default());
+    sessions[0].budget.ar_slots = Some(0);
+    let report = farm.run(&sessions);
+    check_quiet("farm-budget-exhausted", &report, &mut failures);
+    match &report.session("attack").expect("attack session present").result {
+        Err(FarmError::BudgetExceeded { session, budget: BudgetKind::ArSlots { needed, max: 0 } }) => {
+            println!(
+                "ok   farm-budget-exhausted: session {session} failed structurally ({needed} case(s) over budget), sibling untouched"
+            );
+        }
+        other => {
+            println!("FAIL farm-budget-exhausted: want BudgetExceeded(ArSlots), got {other:?}");
+            failures += 1;
+        }
+    }
+
+    // Farm-owned durable root: each session gets its own segment store
+    // directory, and persistence stays report-invisible.
+    let root = std::env::temp_dir().join(format!("rnr-fault-matrix-farm-{}", std::process::id()));
+    let durable_farm = Farm::new(FarmConfig { durable_root: Some(root.clone()), ..FarmConfig::default() });
+    let report = durable_farm.run(&fleet(FaultPlan::default()));
+    check_quiet("farm-durable-root", &report, &mut failures);
+    let mut bad = Vec::new();
+    match &report.session("attack").expect("attack session present").result {
+        Ok(r) if r.to_json() == attack_reference => {}
+        Ok(_) => bad.push("attack report differs from serial clean run".to_string()),
+        Err(e) => bad.push(format!("attack session failed: {e}")),
+    }
+    for s in 0..2 {
+        let dir = root.join(format!("session-{s}"));
+        let populated = std::fs::read_dir(&dir).map(|mut entries| entries.next().is_some()).unwrap_or(false);
+        if !populated {
+            bad.push(format!("per-session store {} missing or empty", dir.display()));
+        }
+    }
+    if bad.is_empty() {
+        println!("ok   farm-durable-root: per-session segment stores laid down, reports identical");
+        let _ = std::fs::remove_dir_all(&root);
+    } else {
+        println!("FAIL farm-durable-root: {}", bad.join("; "));
+        failures += 1;
+    }
+
     failures
 }
 

@@ -14,27 +14,14 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rnr_bench::{emit, run_insns, Table, SEED};
+use rnr_bench::{
+    assert_reports_identical, auto_spans, cores, emit, ms, run_insns, set_json_key, take_json_key, Estimator,
+    Table, BENCH_PIPELINE_PATH, SEED,
+};
 use rnr_hypervisor::{RecordConfig, RecordMode, Recorder};
 use rnr_replay::{replay_spans, AlarmReplayer, ReplayConfig, Replayer, SpanFeed, VIRTUAL_HZ};
 use rnr_safe::{Pipeline, PipelineConfig};
 use rnr_workloads::WorkloadParams;
-
-/// Host CPU cores available to the harness (thread-pool sizing input).
-fn cores() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-/// CR span workers the optimized attack configuration uses on this host:
-/// one per core up to 8; serial on a single core, where worker threads only
-/// add scheduling overhead.
-fn auto_spans(cores: usize) -> usize {
-    if cores >= 2 {
-        cores.min(8)
-    } else {
-        0
-    }
-}
 
 /// Phase wall-clock for one workload, optimized configuration (sequential
 /// phases, so each is attributable).
@@ -149,10 +136,6 @@ struct Doc {
     log_density: LogDensity,
 }
 
-fn ms(t: Instant) -> f64 {
-    t.elapsed().as_secs_f64() * 1e3
-}
-
 fn phase_times(workload: rnr_workloads::Workload, insns: u64) -> PhaseTimes {
     let spec = workload.spec(false);
     let t = Instant::now();
@@ -199,33 +182,6 @@ struct AttackRun {
     window: Option<u64>,
     wall_ms: f64,
     block_stats: rnr_machine::BlockStats,
-}
-
-/// Wall-clock estimator over repeated runs of a deterministic pipeline.
-#[derive(Clone, Copy)]
-enum Estimator {
-    /// Best-of-N: least contaminated by scheduler noise; used for the
-    /// published figures (both configurations use it, so it stays fair).
-    Best(usize),
-    /// Median-of-N: robust to a single outlier in either direction; used by
-    /// the `--check` regression gate so one lucky (or unlucky) run can't
-    /// flip it.
-    Median(usize),
-}
-
-impl Estimator {
-    fn repeats(self) -> usize {
-        match self {
-            Estimator::Best(n) | Estimator::Median(n) => n,
-        }
-    }
-
-    fn pick(self, sorted: &[f64]) -> f64 {
-        match self {
-            Estimator::Best(_) => sorted[0],
-            Estimator::Median(_) => sorted[sorted.len() / 2],
-        }
-    }
 }
 
 /// Runs the attack pipeline under `cfg` repeatedly; the report itself is
@@ -301,8 +257,8 @@ fn attack_comparison(estimator: Estimator) -> (AttackComparison, rnr_machine::Bl
         let base = attack_run(baseline_cfg.clone(), one);
         let blocks = attack_run(blocks_cfg.clone(), one);
         let opt = attack_run(optimized_cfg.clone(), one);
-        assert_eq!(base.json, opt.json, "baseline and optimized reports must be identical");
-        assert_eq!(blocks.json, opt.json, "superblocks must not change the report");
+        assert_reports_identical("attack comparison (baseline vs optimized)", &base.json, &opt.json);
+        assert_reports_identical("attack comparison (superblocks off vs on)", &blocks.json, &opt.json);
         assert_eq!(base.attacks, opt.attacks);
         assert_eq!(base.window, opt.window);
         if let Some((prev_json, ..)) = &last {
@@ -399,8 +355,6 @@ fn cr_sweep(worker_counts: &[usize], estimator: Estimator) -> Vec<CrParallelRow>
     rows
 }
 
-const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-
 /// `--check`: quick CI gate. Reruns the attack comparison (report
 /// equivalence is asserted inside; median of 5 interleaved triples, so a
 /// couple of outliers can't flip the gate) and fails if the measured
@@ -415,7 +369,7 @@ const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipel
 /// with a note — a 1-core runner cannot demonstrate parallelism.
 fn check() {
     let committed: serde_json::Value = serde_json::from_str(
-        &std::fs::read_to_string(BENCH_PATH).expect("read committed BENCH_pipeline.json"),
+        &std::fs::read_to_string(BENCH_PIPELINE_PATH).expect("read committed BENCH_pipeline.json"),
     )
     .expect("committed BENCH_pipeline.json parses");
     let committed_speedup =
@@ -464,7 +418,9 @@ fn check() {
             std::process::exit(1);
         }
     } else {
-        println!("check: CR parallel-speedup gate skipped ({n} core(s) < 4; wall-clock gate needs real parallelism)");
+        println!(
+            "check: gate skipped: CR parallel speedup ({n} core(s) < 4; the wall-clock gate needs real parallelism)"
+        );
     }
 }
 
@@ -569,7 +525,18 @@ fn main() {
         block_cache,
         log_density: density,
     };
-    std::fs::write(BENCH_PATH, serde_json::to_string_pretty(&doc).expect("doc serializes"))
+    // The `farm` key is owned by the `farm_speed` binary; carry the
+    // committed value across this rewrite so the two measurement binaries
+    // can be rerun in either order without clobbering each other.
+    let mut value = serde_json::to_value(&doc);
+    if let Some(farm) = std::fs::read_to_string(BENCH_PIPELINE_PATH)
+        .ok()
+        .and_then(|old| serde_json::from_str::<serde_json::Value>(&old).ok())
+        .and_then(|mut old| take_json_key(&mut old, "farm"))
+    {
+        set_json_key(&mut value, "farm", farm);
+    }
+    std::fs::write(BENCH_PIPELINE_PATH, serde_json::to_string_pretty(&value).expect("doc serializes"))
         .expect("write BENCH_pipeline.json");
-    println!("wrote {BENCH_PATH}");
+    println!("wrote {BENCH_PIPELINE_PATH}");
 }

@@ -38,10 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod farm;
 mod pipeline;
 mod session;
 pub mod table2;
 
+pub use farm::{
+    BudgetKind, Farm, FarmConfig, FarmError, FarmReport, SessionBudget, SessionId, SessionOutcome,
+    SessionSpec,
+};
 pub use pipeline::{
     AlarmResolution, DetectionWindow, FailedCase, Pipeline, PipelineConfig, PipelineError, PipelineReport,
     RecordSummary, RecoveryReport, ReplaySummary, VerdictSummary,

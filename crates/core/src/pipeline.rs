@@ -6,12 +6,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rnr_hypervisor::{RecordConfig, RecordError, RecordMode, RecordOutcome, Recorder, VmSpec};
-use rnr_log::{log_channel_with, Category, DurableLogConfig, DurableWriter, FaultPlan, DEFAULT_BATCH};
+use rnr_log::{
+    log_channel_with, Category, DurableLogConfig, DurableWriter, FaultPlan, InputLog, DEFAULT_BATCH,
+};
 use rnr_machine::{BlockStats, CostModel, SharedPageCache};
 use rnr_ras::RasConfig;
 use rnr_replay::{
-    replay_spans, AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, SpanFeed, Verdict,
-    VIRTUAL_HZ,
+    replay_spans, AlarmCase, AlarmReplayer, ReplayConfig, ReplayError, ReplayOutcome, Replayer, SpanFeed,
+    Verdict, VIRTUAL_HZ,
 };
 
 /// Attempts the AR supervisor makes per alarm case before giving up and
@@ -382,34 +384,8 @@ impl Pipeline {
     /// failed final-state verification.
     pub fn run(&self) -> Result<PipelineReport, PipelineError> {
         let cfg = &self.config;
-        let mut rc = RecordConfig::new(RecordMode::Rec, cfg.seed, cfg.duration_insns);
-        rc.ras_capacity = cfg.ras_capacity;
-        rc.costs = cfg.costs;
-        rc.stall_on_alarm = cfg.stall_on_alarm;
-        rc.decode_cache = cfg.decode_cache;
-        rc.block_engine = cfg.block_engine;
-        rc.superblocks = cfg.superblocks;
-        if cfg.parallel_spans > 0 {
-            rc.span_seed_every_insns = Some(span_seed_cadence(cfg));
-        }
-        let replay_cfg = ReplayConfig {
-            checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
-            retain: cfg.retain,
-            ras_capacity: cfg.ras_capacity,
-            costs: cfg.costs,
-            decode_cache: cfg.decode_cache,
-            block_engine: cfg.block_engine,
-            superblocks: cfg.superblocks,
-            // The CR is supervised: it retains recovery points and heals
-            // transport faults and transient divergences by rewinding to
-            // the last good checkpoint (recovery activity never changes
-            // the report — see `RecoveryReport`).
-            resilient: true,
-            parallel_spans: cfg.parallel_spans,
-            fault_plan: cfg.fault_plan.clone(),
-            durable_log: cfg.durable_log.clone(),
-            ..ReplayConfig::default()
-        };
+        let rc = record_config(cfg, (cfg.parallel_spans > 0).then(|| span_seed_cadence(cfg)));
+        let replay_cfg = replay_config(cfg);
         // One read-mostly decoded-block pool for the whole run: the
         // recorder, the CR (or its span workers), and every alarm replayer
         // publish and adopt page decodes through it (wall-clock only; every
@@ -428,68 +404,18 @@ impl Pipeline {
         // parallel", §6). Each case is resolved under `catch_unwind` with
         // bounded retries; a killed worker's abandoned cases are
         // re-resolved inline. Resolution order (and therefore the report)
-        // stays deterministic. The ARs get a scrubbed config: the plan's
-        // injections target the CR and must not re-fire during alarm
-        // replay, and an AR surfaces divergence as evidence instead of
-        // healing it.
-        let ar_cfg = ReplayConfig {
-            resilient: false,
-            fault_plan: FaultPlan::default(),
-            durable_log: None,
-            ..replay_cfg
-        };
-        let ar = AlarmReplayer::new(&self.spec, Arc::clone(&rec.log))
-            .with_config(ar_cfg)
-            .with_shared_cache(Arc::clone(&shared));
-        let plan = &cfg.fault_plan;
-        let ar_retries = AtomicU64::new(0);
-        let ar_panics = AtomicU64::new(0);
-        let workers_lost = AtomicU64::new(0);
-        let resolve_once = |i: usize, case: &rnr_replay::AlarmCase, attempt: u32| {
-            // Injections fire on the first attempt only: a retry of the
-            // same case models the transient fault having cleared.
-            if attempt == 0 && plan.ar_panic_case == Some(i) {
-                panic!("injected alarm-replayer panic (fault plan)");
-            }
-            if attempt == 0 && plan.ar_divergence_case == Some(i) {
-                return Err("injected transient alarm-replay divergence (fault plan)".to_string());
-            }
-            let (verdict, ar_out) = ar.resolve(case).map_err(|e| e.to_string())?;
-            Ok(AlarmResolution {
-                at_insn: case.alarm.at_insn,
-                at_cycle: case.alarm.at_cycle,
-                cr_cycle: case.cr_cycle,
-                summary: summarize(&verdict),
-                verdict,
-                ar_cycles: ar_out.cycles,
-                ar_block_stats: ar_out.vm().block_stats(),
-            })
-        };
-        let resolve_supervised = |i: usize, case: &rnr_replay::AlarmCase| {
-            let mut last_error = String::new();
-            for attempt in 0..MAX_CASE_ATTEMPTS {
-                if attempt > 0 {
-                    ar_retries.fetch_add(1, Ordering::Relaxed);
-                }
-                match catch_unwind(AssertUnwindSafe(|| resolve_once(i, case, attempt))) {
-                    Ok(Ok(resolution)) => return Ok(resolution),
-                    Ok(Err(msg)) => last_error = msg,
-                    Err(payload) => {
-                        ar_panics.fetch_add(1, Ordering::Relaxed);
-                        last_error = format!("panic: {}", panic_text(payload.as_ref()));
-                    }
-                }
-            }
-            Err(FailedCase {
-                alarm_index: i,
-                at_insn: case.alarm.at_insn,
-                attempts: MAX_CASE_ATTEMPTS,
-                error: last_error,
-            })
-        };
+        // stays deterministic.
+        let resolver = CaseResolver::new(
+            &self.spec,
+            Arc::clone(&rec.log),
+            ar_replay_config(&replay_cfg),
+            Arc::clone(&shared),
+            &cfg.fault_plan,
+        );
         let cases = &cr_out.alarm_cases;
         let workers = ar_worker_count(cfg, cases.len());
-        let kill_at = plan.kill_ar_worker_at_case;
+        let kill_at = cfg.fault_plan.kill_ar_worker_at_case;
+        let workers_lost = AtomicU64::new(0);
         let mut slots: Vec<Option<Result<AlarmResolution, FailedCase>>> = if workers > 1 {
             let next = AtomicUsize::new(0);
             let killed = AtomicBool::new(false);
@@ -499,7 +425,7 @@ impl Pipeline {
                     let tx = tx.clone();
                     let next = &next;
                     let killed = &killed;
-                    let resolve_supervised = &resolve_supervised;
+                    let resolver = &resolver;
                     let workers_lost = &workers_lost;
                     scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -511,7 +437,7 @@ impl Pipeline {
                             workers_lost.fetch_add(1, Ordering::Relaxed);
                             break;
                         }
-                        if tx.send((i, resolve_supervised(i, case))).is_err() {
+                        if tx.send((i, resolver.resolve(i, case))).is_err() {
                             break;
                         }
                     });
@@ -530,67 +456,23 @@ impl Pipeline {
             if kill_at.is_some_and(|k| k < cases.len()) {
                 workers_lost.fetch_add(1, Ordering::Relaxed);
             }
-            cases.iter().enumerate().map(|(i, case)| Some(resolve_supervised(i, case))).collect()
+            cases.iter().enumerate().map(|(i, case)| Some(resolver.resolve(i, case))).collect()
         };
         // Cases abandoned by a killed worker are re-resolved inline — the
         // report never silently drops a verdict.
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.is_none() {
-                *slot = Some(resolve_supervised(i, &cases[i]));
+                *slot = Some(resolver.resolve(i, &cases[i]));
             }
         }
-        let mut resolutions = Vec::with_capacity(cases.len());
-        let mut failed_cases = Vec::new();
-        for slot in slots.into_iter().flatten() {
-            match slot {
-                Ok(resolution) => resolutions.push(resolution),
-                Err(failed) => failed_cases.push(failed),
-            }
-        }
-        let detection = detection_window(cfg, &rec, &resolutions);
-        let mut block_stats = rec.block_stats;
-        block_stats.merge(&cr_block_stats);
-        for r in &resolutions {
-            block_stats.merge(&r.ar_block_stats);
-        }
-        let recovery = RecoveryReport {
-            cr_rewinds: cr_out.recovery.rewinds,
-            cr_rewound_insns: cr_out.recovery.rewound_insns,
-            block_fallback_spans: cr_out.recovery.block_fallback_spans,
-            transport: cr_out.recovery.transport,
-            rewind_trail: cr_out.recovery.trail.clone(),
-            ar_case_retries: ar_retries.load(Ordering::Relaxed),
-            ar_panics_caught: ar_panics.load(Ordering::Relaxed),
-            ar_workers_lost: workers_lost.load(Ordering::Relaxed),
-            failed_cases,
+        let outcomes: Vec<Result<AlarmResolution, FailedCase>> = slots.into_iter().flatten().collect();
+        let (ar_retries, ar_panics) = resolver.counters();
+        let ar = ArStats {
+            retries: ar_retries,
+            panics: ar_panics,
+            workers_lost: workers_lost.load(Ordering::Relaxed),
         };
-        Ok(PipelineReport {
-            record: RecordSummary {
-                workload: self.spec.name.clone(),
-                cycles: rec.cycles,
-                retired: rec.retired,
-                alarms: rec.alarms,
-                log_bytes: rec.log.total_bytes(),
-                network_log_bytes: rec.log.bytes_for(Category::Network),
-                backras_bytes: rec.ras_counters.backras_bytes(),
-                context_switches: rec.context_switches,
-                stalled: rec.stalled,
-                priv_flag: rec.priv_flag,
-            },
-            replay: ReplaySummary {
-                cycles: cr_out.cycles,
-                verified: cr_out.verified == Some(true),
-                checkpoints_taken: cr_out.checkpoints_taken,
-                checkpoints_live_max: cr_out.checkpoints_live_max,
-                alarms_seen: cr_out.alarms_seen,
-                underflows_cancelled: cr_out.underflows_cancelled,
-                alarms_escalated: cr_out.alarm_cases.len(),
-            },
-            resolutions,
-            detection,
-            block_stats,
-            recovery,
-        })
+        Ok(finish_report(self.spec.name.clone(), cfg, &rec, &cr_out, cr_block_stats, outcomes, ar))
     }
 
     /// Phases 1 + 2, sequential: record to completion, then replay the
@@ -603,18 +485,8 @@ impl Pipeline {
         replay_cfg: ReplayConfig,
         shared: &Arc<SharedPageCache>,
     ) -> Result<(RecordOutcome, ReplayOutcome, BlockStats), PipelineError> {
-        let mut recorder = Recorder::new(&self.spec, rc)?;
-        recorder.attach_shared_cache(Arc::clone(shared));
-        if let Some(writer) = self.durable_writer()? {
-            recorder.persist_to(writer);
-        }
-        let rec = match catch_unwind(AssertUnwindSafe(move || recorder.run())) {
-            Ok(rec) => rec,
-            Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
-        };
-        if let Some(fault) = rec.fault {
-            return Err(PipelineError::GuestFault(fault));
-        }
+        let writer = durable_writer_for(self.config.durable_log.as_ref(), &self.config.fault_plan)?;
+        let rec = run_recorder_sequential(&self.spec, rc, shared, writer)?;
         if replay_cfg.parallel_spans > 0 {
             let feed = SpanFeed::Complete { log: Arc::clone(&rec.log), seeds: rec.span_seeds.clone() };
             let par = replay_spans(&self.spec, feed, &replay_cfg, Some(rec.final_digest), Some(shared))?;
@@ -634,18 +506,6 @@ impl Pipeline {
         Ok((rec, cr_out, stats))
     }
 
-    /// The fault-plan-aware durable segment writer when the `durable_log`
-    /// knob is set: both record paths persist through this, so the plan's
-    /// disk faults hit the same sealed segments in either mode.
-    fn durable_writer(&self) -> Result<Option<DurableWriter>, PipelineError> {
-        match self.config.durable_log.as_ref() {
-            Some(d) => DurableWriter::create(d.clone(), &self.config.fault_plan)
-                .map(Some)
-                .map_err(|e| PipelineError::Record(RecordError::DurableLog(e.to_string()))),
-            None => Ok(None),
-        }
-    }
-
     /// Phases 1 + 2, concurrent: the recorder publishes each record to a
     /// live stream as it is logged, and the CR consumes the stream on this
     /// thread, trailing the recording (§4: recording and replay proceed in
@@ -662,7 +522,7 @@ impl Pipeline {
         let mut recorder = Recorder::new(&self.spec, rc)?;
         recorder.attach_shared_cache(Arc::clone(shared));
         let (mut sink, stream) = log_channel_with(DEFAULT_BATCH, &self.config.fault_plan);
-        if let Some(writer) = self.durable_writer()? {
+        if let Some(writer) = durable_writer_for(self.config.durable_log.as_ref(), &self.config.fault_plan)? {
             // Sink-side persistence: each pristine frame is written to disk
             // as it is flushed, *before* transport injection can damage it.
             sink.persist_to(writer);
@@ -717,6 +577,254 @@ impl Pipeline {
     }
 }
 
+/// The recorder configuration a [`PipelineConfig`] implies. `span_cadence`
+/// arms seed capture for parallel replay; seed capture is pure reads, so
+/// the recording is byte-identical whether or not it is set.
+pub(crate) fn record_config(cfg: &PipelineConfig, span_cadence: Option<u64>) -> RecordConfig {
+    let mut rc = RecordConfig::new(RecordMode::Rec, cfg.seed, cfg.duration_insns);
+    rc.ras_capacity = cfg.ras_capacity;
+    rc.costs = cfg.costs;
+    rc.stall_on_alarm = cfg.stall_on_alarm;
+    rc.decode_cache = cfg.decode_cache;
+    rc.block_engine = cfg.block_engine;
+    rc.superblocks = cfg.superblocks;
+    rc.span_seed_every_insns = span_cadence;
+    rc
+}
+
+/// The CR configuration a [`PipelineConfig`] implies. The CR is supervised:
+/// it retains recovery points and heals transport faults and transient
+/// divergences by rewinding to the last good checkpoint (recovery activity
+/// never changes the report — see [`RecoveryReport`]).
+pub(crate) fn replay_config(cfg: &PipelineConfig) -> ReplayConfig {
+    ReplayConfig {
+        checkpoint_interval: cfg.checkpoint_interval_secs.map(|s| (s * VIRTUAL_HZ as f64) as u64),
+        retain: cfg.retain,
+        ras_capacity: cfg.ras_capacity,
+        costs: cfg.costs,
+        decode_cache: cfg.decode_cache,
+        block_engine: cfg.block_engine,
+        superblocks: cfg.superblocks,
+        resilient: true,
+        parallel_spans: cfg.parallel_spans,
+        fault_plan: cfg.fault_plan.clone(),
+        durable_log: cfg.durable_log.clone(),
+        ..ReplayConfig::default()
+    }
+}
+
+/// The alarm replayers' configuration, scrubbed from the CR's: the plan's
+/// injections target the CR and must not re-fire during alarm replay, and
+/// an AR surfaces divergence as evidence instead of healing it.
+pub(crate) fn ar_replay_config(replay_cfg: &ReplayConfig) -> ReplayConfig {
+    ReplayConfig {
+        resilient: false,
+        fault_plan: FaultPlan::default(),
+        durable_log: None,
+        ..replay_cfg.clone()
+    }
+}
+
+/// The fault-plan-aware durable segment writer when a `durable_log` knob is
+/// set: every record path persists through this, so the plan's disk faults
+/// hit the same sealed segments in any mode.
+pub(crate) fn durable_writer_for(
+    durable: Option<&DurableLogConfig>,
+    plan: &FaultPlan,
+) -> Result<Option<DurableWriter>, PipelineError> {
+    match durable {
+        Some(d) => DurableWriter::create(d.clone(), plan)
+            .map(Some)
+            .map_err(|e| PipelineError::Record(RecordError::DurableLog(e.to_string()))),
+        None => Ok(None),
+    }
+}
+
+/// Records to completion on the calling thread, with recorder panics caught
+/// and guest faults surfaced as structured errors. The shared cache and the
+/// optional durable writer are attached before the run.
+pub(crate) fn run_recorder_sequential(
+    spec: &VmSpec,
+    rc: RecordConfig,
+    shared: &Arc<SharedPageCache>,
+    writer: Option<DurableWriter>,
+) -> Result<RecordOutcome, PipelineError> {
+    let mut recorder = Recorder::new(spec, rc)?;
+    recorder.attach_shared_cache(Arc::clone(shared));
+    if let Some(writer) = writer {
+        recorder.persist_to(writer);
+    }
+    let rec = match catch_unwind(AssertUnwindSafe(move || recorder.run())) {
+        Ok(rec) => rec,
+        Err(payload) => return Err(PipelineError::RecorderPanicked(panic_text(payload.as_ref()))),
+    };
+    if let Some(fault) = rec.fault {
+        return Err(PipelineError::GuestFault(fault));
+    }
+    Ok(rec)
+}
+
+/// The supervised per-case alarm resolver shared by [`Pipeline::run`] and
+/// the replay farm: one [`AlarmReplayer`] over the finished recording, a
+/// bounded retry loop per case under `catch_unwind`, and the fault plan's
+/// AR injections (panic, transient divergence) fired on first attempts
+/// only. Thread-safe: any number of workers may call
+/// [`CaseResolver::resolve`] concurrently; retry/panic accounting is
+/// atomic.
+pub(crate) struct CaseResolver<'a> {
+    ar: AlarmReplayer<'a>,
+    panic_case: Option<usize>,
+    divergence_case: Option<usize>,
+    retries: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl<'a> CaseResolver<'a> {
+    /// A resolver over `log` with the scrubbed AR config (see
+    /// [`ar_replay_config`]); `plan` supplies the AR-targeted injections.
+    pub(crate) fn new(
+        spec: &'a VmSpec,
+        log: Arc<InputLog>,
+        ar_cfg: ReplayConfig,
+        shared: Arc<SharedPageCache>,
+        plan: &FaultPlan,
+    ) -> CaseResolver<'a> {
+        CaseResolver {
+            ar: AlarmReplayer::new(spec, log).with_config(ar_cfg).with_shared_cache(shared),
+            panic_case: plan.ar_panic_case,
+            divergence_case: plan.ar_divergence_case,
+            retries: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    fn resolve_once(&self, i: usize, case: &AlarmCase, attempt: u32) -> Result<AlarmResolution, String> {
+        // Injections fire on the first attempt only: a retry of the
+        // same case models the transient fault having cleared.
+        if attempt == 0 && self.panic_case == Some(i) {
+            panic!("injected alarm-replayer panic (fault plan)");
+        }
+        if attempt == 0 && self.divergence_case == Some(i) {
+            return Err("injected transient alarm-replay divergence (fault plan)".to_string());
+        }
+        let (verdict, ar_out) = self.ar.resolve(case).map_err(|e| e.to_string())?;
+        Ok(AlarmResolution {
+            at_insn: case.alarm.at_insn,
+            at_cycle: case.alarm.at_cycle,
+            cr_cycle: case.cr_cycle,
+            summary: summarize(&verdict),
+            verdict,
+            ar_cycles: ar_out.cycles,
+            ar_block_stats: ar_out.vm().block_stats(),
+        })
+    }
+
+    /// Resolves case `i` with bounded retries; a case that stays
+    /// unresolved ships as a [`FailedCase`] instead of discarding the rest
+    /// of the report.
+    pub(crate) fn resolve(&self, i: usize, case: &AlarmCase) -> Result<AlarmResolution, FailedCase> {
+        let mut last_error = String::new();
+        for attempt in 0..MAX_CASE_ATTEMPTS {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match catch_unwind(AssertUnwindSafe(|| self.resolve_once(i, case, attempt))) {
+                Ok(Ok(resolution)) => return Ok(resolution),
+                Ok(Err(msg)) => last_error = msg,
+                Err(payload) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    last_error = format!("panic: {}", panic_text(payload.as_ref()));
+                }
+            }
+        }
+        Err(FailedCase {
+            alarm_index: i,
+            at_insn: case.alarm.at_insn,
+            attempts: MAX_CASE_ATTEMPTS,
+            error: last_error,
+        })
+    }
+
+    /// (retries, panics) accounting so far.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.retries.load(Ordering::Relaxed), self.panics.load(Ordering::Relaxed))
+    }
+}
+
+/// AR-phase recovery accounting for [`finish_report`].
+pub(crate) struct ArStats {
+    pub(crate) retries: u64,
+    pub(crate) panics: u64,
+    pub(crate) workers_lost: u64,
+}
+
+/// Assembles the final [`PipelineReport`] from the three phases' outputs.
+/// Shared by [`Pipeline::run`] and the replay farm so both produce
+/// byte-identical reports from identical phase results. `outcomes` must be
+/// in alarm-case order.
+pub(crate) fn finish_report(
+    workload: String,
+    cfg: &PipelineConfig,
+    rec: &RecordOutcome,
+    cr_out: &ReplayOutcome,
+    cr_block_stats: BlockStats,
+    outcomes: Vec<Result<AlarmResolution, FailedCase>>,
+    ar: ArStats,
+) -> PipelineReport {
+    let mut resolutions = Vec::with_capacity(outcomes.len());
+    let mut failed_cases = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(resolution) => resolutions.push(resolution),
+            Err(failed) => failed_cases.push(failed),
+        }
+    }
+    let detection = detection_window(cfg, rec, &resolutions);
+    let mut block_stats = rec.block_stats;
+    block_stats.merge(&cr_block_stats);
+    for r in &resolutions {
+        block_stats.merge(&r.ar_block_stats);
+    }
+    let recovery = RecoveryReport {
+        cr_rewinds: cr_out.recovery.rewinds,
+        cr_rewound_insns: cr_out.recovery.rewound_insns,
+        block_fallback_spans: cr_out.recovery.block_fallback_spans,
+        transport: cr_out.recovery.transport,
+        rewind_trail: cr_out.recovery.trail.clone(),
+        ar_case_retries: ar.retries,
+        ar_panics_caught: ar.panics,
+        ar_workers_lost: ar.workers_lost,
+        failed_cases,
+    };
+    PipelineReport {
+        record: RecordSummary {
+            workload,
+            cycles: rec.cycles,
+            retired: rec.retired,
+            alarms: rec.alarms,
+            log_bytes: rec.log.total_bytes(),
+            network_log_bytes: rec.log.bytes_for(Category::Network),
+            backras_bytes: rec.ras_counters.backras_bytes(),
+            context_switches: rec.context_switches,
+            stalled: rec.stalled,
+            priv_flag: rec.priv_flag,
+        },
+        replay: ReplaySummary {
+            cycles: cr_out.cycles,
+            verified: cr_out.verified == Some(true),
+            checkpoints_taken: cr_out.checkpoints_taken,
+            checkpoints_live_max: cr_out.checkpoints_live_max,
+            alarms_seen: cr_out.alarms_seen,
+            underflows_cancelled: cr_out.underflows_cancelled,
+            alarms_escalated: cr_out.alarm_cases.len(),
+        },
+        resolutions,
+        detection,
+        block_stats,
+        recovery,
+    }
+}
+
 /// Seed-capture cadence for parallel replay: aim for ~4 spans per worker so
 /// the span pipeline stays busy, floored so tiny runs don't drown in
 /// restore overhead. The cadence shapes wall-clock only — seed capture is
@@ -742,7 +850,7 @@ fn ar_worker_count(cfg: &PipelineConfig, cases: usize) -> usize {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -33,6 +33,7 @@ mod alarm;
 mod checkpoint;
 mod engine;
 mod parallel;
+pub mod pool;
 
 pub use alarm::{resolve_jop, JopVerdict};
 pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
@@ -40,7 +41,10 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use engine::{
     AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer, RewindStep,
 };
-pub use parallel::{replay_spans, ParallelReplayOutcome, SpanFeed};
+pub use parallel::{
+    assemble_spans, plan_spans, replay_spans, run_planned_span, ParallelReplayOutcome, SpanDone, SpanFeed,
+    SpanJob,
+};
 
 /// Virtual cycles per "second" of guest time. The paper quotes checkpoint
 /// intervals in seconds (RepChk5/RepChk1/RepChk02); this constant maps them

@@ -23,6 +23,7 @@
 //!    serial CR's continuous verification between spans.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 
@@ -34,7 +35,7 @@ use rnr_ras::{MispredictKind, ThreadId};
 
 use crate::engine::SpanRun;
 use crate::{
-    AlarmCase, Checkpoint, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer,
+    pool, AlarmCase, Checkpoint, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer,
     RewindStep,
 };
 
@@ -98,9 +99,14 @@ impl JobSource {
     }
 }
 
-/// One span's work order.
+/// One span's work order: everything a worker needs to replay one
+/// contiguous slice of the log independently. Opaque outside this crate —
+/// built by [`plan_spans`], executed by [`run_planned_span`], and folded
+/// back into a serial-identical outcome by [`assemble_spans`], which lets
+/// external schedulers (the replay farm) interleave spans from many
+/// recordings on one shared pool without touching engine internals.
 #[derive(Debug, Clone)]
-struct SpanJob {
+pub struct SpanJob {
     index: usize,
     /// `None` for span 0 (fresh boot state), the preceding seed otherwise.
     seed: Option<SpanSeed>,
@@ -118,9 +124,17 @@ struct SpanJob {
     inject_block: Option<u64>,
 }
 
+impl SpanJob {
+    /// The span's position in record order (the key results are ordered by).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
 /// A finished span: its trace plus what recovery had to do to finish it.
+/// Opaque outside this crate; consumed by [`assemble_spans`].
 #[derive(Debug)]
-struct SpanDone {
+pub struct SpanDone {
     run: SpanRun,
     rewinds: u64,
     rewound_insns: u64,
@@ -128,24 +142,9 @@ struct SpanDone {
     trail: Vec<RewindStep>,
 }
 
-/// Records gathered by the drain phase, without copying a complete log.
-enum RecordsStore {
-    Log(Arc<InputLog>),
-    Owned(Vec<Record>),
-}
-
-impl RecordsStore {
-    fn records(&self) -> &[Record] {
-        match self {
-            RecordsStore::Log(log) => log.records(),
-            RecordsStore::Owned(v) => v,
-        }
-    }
-}
-
 /// Everything the drain/dispatch phase produced.
 struct Harvest {
-    records: RecordsStore,
+    records: Vec<Record>,
     jobs: Vec<SpanJob>,
     results: BTreeMap<usize, Result<SpanDone, ReplayError>>,
     transport: TransportStats,
@@ -209,21 +208,132 @@ pub fn replay_spans(
     shared: Option<&Arc<SharedPageCache>>,
 ) -> Result<ParallelReplayOutcome, ReplayError> {
     let worker_count = cfg.parallel_spans.max(1);
-    let harvest = run_workers(spec, feed, cfg, shared, worker_count);
-    if let Some(e) = harvest.drain_err {
-        return Err(e);
-    }
-
-    // Order results; surface the earliest span's failure (deterministic
-    // regardless of which worker finished first).
-    let mut results = harvest.results;
-    let mut spans = Vec::with_capacity(harvest.jobs.len());
-    for k in 0..harvest.jobs.len() {
-        match results.remove(&k) {
-            Some(Ok(done)) => spans.push(done),
-            Some(Err(e)) => return Err(e),
-            None => return Err(ReplayError::UnexpectedEndOfLog),
+    match feed {
+        SpanFeed::Complete { log, seeds } => {
+            let jobs = plan_spans(&log, &seeds, &cfg.fault_plan);
+            let results = run_jobs_pooled(spec, cfg, shared, &jobs, worker_count);
+            assemble_spans(
+                spec,
+                cfg,
+                shared,
+                log.records(),
+                &jobs,
+                results,
+                expected,
+                TransportStats::default(),
+            )
         }
+        SpanFeed::Streaming { stream, seed_rx } => {
+            let harvest = run_workers_streaming(spec, stream, seed_rx, cfg, shared, worker_count);
+            if let Some(e) = harvest.drain_err {
+                return Err(e);
+            }
+            let mut map = harvest.results;
+            let results = (0..harvest.jobs.len())
+                .map(|k| map.remove(&k).unwrap_or(Err(ReplayError::UnexpectedEndOfLog)))
+                .collect();
+            assemble_spans(
+                spec,
+                cfg,
+                shared,
+                &harvest.records,
+                &harvest.jobs,
+                results,
+                expected,
+                harvest.transport,
+            )
+        }
+    }
+}
+
+/// Cuts a finished recording into one [`SpanJob`] per seed interval.
+///
+/// Each job carries the shared log, its seam bounds, its landing-RNG
+/// pre-positioning, and whichever fault-plan injections fall inside it, so
+/// the jobs can be executed in any order, by any worker, on any pool.
+pub fn plan_spans(log: &Arc<InputLog>, seeds: &[SpanSeed], plan: &FaultPlan) -> Vec<SpanJob> {
+    (0..=seeds.len())
+        .map(|k| make_job(k, seeds, log.records(), plan, JobSource::Complete(Arc::clone(log))))
+        .collect()
+}
+
+/// Replays one planned span to completion, retrying transient divergences
+/// in place exactly like the in-crate span workers (the span is its own
+/// rewind unit; recovery accounting lands in the returned [`SpanDone`]).
+///
+/// # Errors
+///
+/// The span's terminal replay failure after the bounded retries:
+/// [`ReplayError::Unrecoverable`] with the rewind trail when `cfg.resilient`
+/// is set, or the first raw fault when it is not.
+pub fn run_planned_span(
+    spec: &VmSpec,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    job: &SpanJob,
+) -> Result<SpanDone, ReplayError> {
+    run_one_span(spec, cfg, shared, job)
+}
+
+/// Executes a fixed job list on a bounded scoped pool, returning results in
+/// span order regardless of completion order.
+fn run_jobs_pooled(
+    spec: &VmSpec,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    jobs: &[SpanJob],
+    workers: usize,
+) -> Vec<Result<SpanDone, ReplayError>> {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SpanDone, ReplayError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots_ref = &slots;
+    pool::drain(workers.clamp(1, jobs.len().max(1)), &|| {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        (k < jobs.len()).then(|| {
+            Box::new(move || {
+                let done = run_one_span(spec, cfg, shared, &jobs[k]);
+                *slots_ref[k].lock().expect("span result slot") = Some(done);
+            }) as pool::Task<'_>
+        })
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("span result slot").unwrap_or(Err(ReplayError::UnexpectedEndOfLog)))
+        .collect()
+}
+
+/// Reassembles per-span results into a [`ReplayOutcome`] byte-identical to
+/// a serial CR's: surfaces the earliest span failure, seam-checks adjacent
+/// digests, folds the traces onto the serial clock/checkpoint/alarm
+/// bookkeeping, and materializes only the checkpoints alarm cases reference.
+///
+/// `results` must be in span order (index `k` = `jobs[k]`); `records` is
+/// the full record sequence the jobs were planned over, and `transport`
+/// carries whatever the feed's drain already healed (zero for a complete
+/// log).
+///
+/// # Errors
+///
+/// The first failed span's error in span order (deterministic regardless of
+/// completion order), a seam-digest [`ReplayError::Divergence`], or a
+/// checkpoint-materialization failure.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_spans(
+    spec: &VmSpec,
+    cfg: &ReplayConfig,
+    shared: Option<&Arc<SharedPageCache>>,
+    records: &[Record],
+    jobs: &[SpanJob],
+    results: Vec<Result<SpanDone, ReplayError>>,
+    expected: Option<Digest>,
+    transport: TransportStats,
+) -> Result<ParallelReplayOutcome, ReplayError> {
+    // Surface the earliest span's failure (deterministic regardless of
+    // which worker finished first).
+    let mut spans = Vec::with_capacity(results.len());
+    for result in results {
+        spans.push(result?);
     }
 
     // Seam check: each span must end in exactly the architectural state the
@@ -231,22 +341,21 @@ pub fn replay_spans(
     for k in 0..spans.len().saturating_sub(1) {
         if spans[k].run.outcome.final_digest != spans[k + 1].run.start_digest {
             return Err(ReplayError::Divergence {
-                at_insn: harvest.jobs[k + 1].start_insn,
+                at_insn: jobs[k + 1].start_insn,
                 detail: format!("parallel span seam digest mismatch between spans {k} and {}", k + 1),
             });
         }
     }
 
-    let records = harvest.records.records();
     let runs: Vec<&SpanRun> = spans.iter().map(|s| &s.run).collect();
     let fold = fold_spans(cfg, records, &runs);
-    let (built, mat_stats) = materialize_checkpoints(spec, cfg, shared, &harvest.jobs, &fold)?;
+    let (built, mat_stats) = materialize_checkpoints(spec, cfg, shared, jobs, &fold)?;
 
     let mut block_stats = mat_stats;
     let mut attribution = CycleAttribution::new();
     let mut console = Vec::new();
     let mut callret_traps = 0;
-    let mut recovery = ReplayRecovery { transport: harvest.transport, ..ReplayRecovery::default() };
+    let mut recovery = ReplayRecovery { transport, ..ReplayRecovery::default() };
     for s in &spans {
         block_stats.merge(&s.run.outcome.vm.block_stats());
         for c in Category::ALL {
@@ -299,12 +408,14 @@ pub fn replay_spans(
     Ok(ParallelReplayOutcome { outcome, block_stats })
 }
 
-/// Spawns the worker pool, feeds it spans as the feed makes them ready, and
-/// gathers every result. Never fails itself — drain problems land in
-/// [`Harvest::drain_err`] so the pool always joins cleanly.
-fn run_workers(
+/// Spawns the worker pool for a live recording, feeds it spans as both
+/// sides of each seam arrive, and gathers every result. Never fails itself
+/// — drain problems land in [`Harvest::drain_err`] so the pool always joins
+/// cleanly.
+fn run_workers_streaming(
     spec: &VmSpec,
-    feed: SpanFeed,
+    mut stream: Box<LogStream>,
+    seed_rx: Receiver<SpanSeed>,
     cfg: &ReplayConfig,
     shared: Option<&Arc<SharedPageCache>>,
     worker_count: usize,
@@ -330,89 +441,67 @@ fn run_workers(
 
         let mut jobs = Vec::new();
         let mut drain_err = None;
-        let mut transport = TransportStats::default();
-        let records = match feed {
-            SpanFeed::Complete { log, seeds } => {
-                for k in 0..=seeds.len() {
-                    let job = make_job(
-                        k,
-                        &seeds,
-                        log.records(),
-                        &cfg.fault_plan,
-                        JobSource::Complete(Arc::clone(&log)),
-                    );
-                    let _ = job_tx.send(job.clone());
-                    jobs.push(job);
+        if let Some(d) = cfg.durable_log.as_ref() {
+            stream.attach_durable(&d.dir);
+        }
+        let mut records: Vec<Record> = Vec::new();
+        let mut seeds: Vec<SpanSeed> = Vec::new();
+        let mut heals = 0u32;
+        loop {
+            // The orchestrator owns transport healing: workers only
+            // ever see already-verified record slices.
+            match stream.try_get(records.len()) {
+                Ok(Some(r)) => records.push(r.clone()),
+                Ok(None) => break,
+                Err(e) => {
+                    if !cfg.resilient {
+                        drain_err = Some(ReplayError::Transport(e));
+                        break;
+                    }
+                    heals += 1;
+                    if heals > MAX_TRANSPORT_HEALS {
+                        drain_err = Some(ReplayError::Unrecoverable {
+                            fault: Box::new(ReplayError::Transport(e)),
+                            trail: Vec::new(),
+                        });
+                        break;
+                    }
+                    if let Err(c) = stream.recover() {
+                        drain_err = Some(ReplayError::Unrecoverable {
+                            fault: Box::new(ReplayError::Transport(c)),
+                            trail: Vec::new(),
+                        });
+                        break;
+                    }
+                    continue;
                 }
-                RecordsStore::Log(log)
             }
-            SpanFeed::Streaming { mut stream, seed_rx } => {
-                if let Some(d) = cfg.durable_log.as_ref() {
-                    stream.attach_durable(&d.dir);
-                }
-                let mut records: Vec<Record> = Vec::new();
-                let mut seeds: Vec<SpanSeed> = Vec::new();
-                let mut heals = 0u32;
-                loop {
-                    // The orchestrator owns transport healing: workers only
-                    // ever see already-verified record slices.
-                    match stream.try_get(records.len()) {
-                        Ok(Some(r)) => records.push(r.clone()),
-                        Ok(None) => break,
-                        Err(e) => {
-                            if !cfg.resilient {
-                                drain_err = Some(ReplayError::Transport(e));
-                                break;
-                            }
-                            heals += 1;
-                            if heals > MAX_TRANSPORT_HEALS {
-                                drain_err = Some(ReplayError::Unrecoverable {
-                                    fault: Box::new(ReplayError::Transport(e)),
-                                    trail: Vec::new(),
-                                });
-                                break;
-                            }
-                            if let Err(c) = stream.recover() {
-                                drain_err = Some(ReplayError::Unrecoverable {
-                                    fault: Box::new(ReplayError::Transport(c)),
-                                    trail: Vec::new(),
-                                });
-                                break;
-                            }
-                            continue;
-                        }
-                    }
-                    while let Ok(s) = seed_rx.try_recv() {
-                        seeds.push(s);
-                    }
-                    // Dispatch every span whose records are fully drained:
-                    // replay overlaps the still-running recording.
-                    while jobs.len() < seeds.len() && records.len() >= seeds[jobs.len()].at_record {
-                        let k = jobs.len();
-                        let job =
-                            make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
-                        let _ = job_tx.send(job.clone());
-                        jobs.push(job);
-                    }
-                }
-                if drain_err.is_none() {
-                    // The recorder is done: its seed sends all happened
-                    // before the sink hung up, so the channel is complete.
-                    while let Ok(s) = seed_rx.try_recv() {
-                        seeds.push(s);
-                    }
-                    while jobs.len() <= seeds.len() {
-                        let k = jobs.len();
-                        let job =
-                            make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
-                        let _ = job_tx.send(job.clone());
-                        jobs.push(job);
-                    }
-                }
-                transport = stream.transport_stats();
-                RecordsStore::Owned(records)
+            while let Ok(s) = seed_rx.try_recv() {
+                seeds.push(s);
             }
-        };
+            // Dispatch every span whose records are fully drained:
+            // replay overlaps the still-running recording.
+            while jobs.len() < seeds.len() && records.len() >= seeds[jobs.len()].at_record {
+                let k = jobs.len();
+                let job = make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
+                let _ = job_tx.send(job.clone());
+                jobs.push(job);
+            }
+        }
+        if drain_err.is_none() {
+            // The recorder is done: its seed sends all happened
+            // before the sink hung up, so the channel is complete.
+            while let Ok(s) = seed_rx.try_recv() {
+                seeds.push(s);
+            }
+            while jobs.len() <= seeds.len() {
+                let k = jobs.len();
+                let job = make_job(k, &seeds, &records, &cfg.fault_plan, slice_source(&records, k, &seeds));
+                let _ = job_tx.send(job.clone());
+                jobs.push(job);
+            }
+        }
+        let transport = stream.transport_stats();
         drop(job_tx);
 
         let mut results = BTreeMap::new();

@@ -60,9 +60,23 @@ timed fault-matrix cargo run --release -q -p rnr-bench --bin fault_matrix --offl
 # scenario must heal to a report byte-identical to a clean parallel run.
 timed fault-matrix-par cargo run --release -q -p rnr-bench --bin fault_matrix --offline -- --parallel
 
+# Farm fault matrix: every seeded scenario as a two-session fleet on the
+# shared worker pool. Replay/AR faults must heal byte-identically beside an
+# undisturbed quiet sibling; transport scenarios must be inert (the farm
+# records sequentially — there is no wire); budget exhaustion must fail
+# its session with a typed error and leave the sibling untouched; a
+# farm-owned durable root must lay down one segment store per session.
+timed fault-matrix-farm cargo run --release -q -p rnr-bench --bin fault_matrix --offline -- --farm
+
 # Perf gate: rerun the attack-pipeline comparison and fail if the reports
 # diverge across configurations, or if either the overall speedup or the
 # superblock trace engine's speedup over the block engine regresses >20%
 # below the committed BENCH_pipeline.json figures. Never rewrites the
-# committed file.
+# committed file. Host-conditional gates print "gate skipped: <reason>"
+# when this box cannot exercise them.
 timed pipeline-speed cargo run --release -q -p rnr-bench --bin pipeline_speed --offline -- --check
+
+# Fleet throughput gate: farm-vs-serial report identity always; the ≥1.3x
+# fleet speedup floor applies on 4+ core hosts (skipped with a printed
+# reason below that).
+timed farm-speed cargo run --release -q -p rnr-bench --bin farm_speed --offline -- --check

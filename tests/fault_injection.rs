@@ -301,6 +301,63 @@ fn durable_store_reopens_and_restores_after_every_damage_kind() {
     }
 }
 
+/// Fleet fault isolation: one session's fault plan — a CR divergence that
+/// forces a rewind, an AR panic, and disk damage under its farm-owned
+/// durable store — stays confined to that session. It heals to the serial
+/// clean report with recovery accounted, while the quiet sibling's report
+/// is byte-identical to its own clean reference with no recovery activity.
+#[test]
+fn farm_session_faults_and_rewinds_leave_siblings_untouched() {
+    use rnr_safe::{Farm, FarmConfig, SessionSpec};
+    let attack_reference = attack_run(FaultPlan::default()).expect("clean attack run");
+    let quiet_cfg = PipelineConfig { duration_insns: 250_000, ..PipelineConfig::default() };
+    let quiet_reference =
+        Pipeline::new(Workload::Mysql.spec(false), quiet_cfg.clone()).run().expect("clean quiet run");
+
+    let dir = TempDir::new("farm-isolation");
+    let plan = FaultPlan {
+        seed: SEED,
+        cr_divergence_at_insn: Some(240_000),
+        ar_panic_case: Some(0),
+        disk: vec![DiskFault { segment: 1, kind: DiskFaultKind::BitRot }],
+        ..FaultPlan::default()
+    };
+    let (spec, _attack) =
+        rnr_attacks::mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).expect("attack mounts");
+    let faulted_cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        fault_plan: plan,
+        durable_log: Some(durable_cfg(&dir.0)),
+        ..PipelineConfig::default()
+    };
+    let sessions = vec![
+        SessionSpec::new("faulted", spec, faulted_cfg),
+        SessionSpec::new("quiet", Workload::Mysql.spec(false), quiet_cfg),
+    ];
+    let farm = Farm::new(FarmConfig { workers: 2, ..FarmConfig::default() });
+    let report = farm.run(&sessions);
+
+    let faulted =
+        report.session("faulted").unwrap().result.as_ref().expect("faulted session heals, not fails");
+    assert_eq!(
+        faulted.to_json(),
+        attack_reference.to_json(),
+        "the healed fleet session must match the serial clean report"
+    );
+    assert!(faulted.recovery.cr_rewinds >= 1, "the CR divergence must be recorded as a rewind");
+    assert!(faulted.recovery.ar_panics_caught >= 1, "the AR panic must be caught and accounted");
+    assert!(faulted.recovery.failed_cases.is_empty(), "no alarm case may stay unresolved");
+
+    let quiet = report.session("quiet").unwrap().result.as_ref().expect("sibling unaffected");
+    assert_eq!(
+        quiet.to_json(),
+        quiet_reference.to_json(),
+        "the sibling's report must be byte-identical to its clean reference"
+    );
+    assert!(!quiet.recovery.any(), "the sibling must report no recovery activity");
+}
+
 #[test]
 fn backoff_is_charged_to_virtual_time_but_never_the_replay_clock() {
     let reference = attack_run(FaultPlan::default()).expect("clean run");

@@ -370,6 +370,97 @@ fn durable_store_is_byte_identical_across_streaming_and_sequential() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// A farm of N sessions is N serial pipelines: for every corner of
+/// (superblocks × farm-owned durable store × pool size), each session's
+/// report out of the shared-pool fleet is byte-identical to its own serial
+/// [`Pipeline`] run.
+#[test]
+fn replay_farm_matches_serial_across_corner_matrix() {
+    use rnr_safe::{Farm, FarmConfig, SessionSpec};
+    let scratch = std::env::temp_dir().join(format!("rnr-farm-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    for superblocks in [true, false] {
+        let cfg = PipelineConfig { duration_insns: 200_000, superblocks, ..PipelineConfig::default() };
+        let sessions = || {
+            vec![
+                SessionSpec::new("jit", Workload::Jit.spec(false), cfg.clone()),
+                SessionSpec::new("mysql", Workload::Mysql.spec(false), cfg.clone()),
+            ]
+        };
+        let serial: Vec<String> = sessions()
+            .iter()
+            .map(|s| Pipeline::new(s.vm.clone(), s.config.clone()).run().unwrap().to_json())
+            .collect();
+        for durable in [false, true] {
+            for workers in [1, 3] {
+                // A fresh store root per corner: the farm lays down
+                // `session-<id>` segment stores only where one is given.
+                let durable_root = durable.then(|| scratch.join(format!("s{superblocks}-w{workers}")));
+                let farm = Farm::new(FarmConfig { workers, durable_root });
+                let report = farm.run(&sessions());
+                for (outcome, expected) in report.sessions.iter().zip(&serial) {
+                    let got = outcome
+                        .result
+                        .as_ref()
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "superblocks={superblocks} durable={durable} workers={workers} \
+                                 session {}: farm failed: {e}",
+                                outcome.name
+                            )
+                        })
+                        .to_json();
+                    assert_eq!(
+                        got, *expected,
+                        "superblocks={superblocks} durable={durable} workers={workers} \
+                         session {}: farm report diverged from serial",
+                        outcome.name
+                    );
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Adversarial interleaving: an alarm-storming attack session floods the
+/// shared pool with AR cases while a self-modifying JIT and a quiet build
+/// run beside it. The weighted round-robin scheduler keeps the siblings'
+/// work flowing, and every report — the attack's verdicts and detection
+/// window included — is byte-identical to its serial reference.
+#[test]
+fn replay_farm_alarm_storm_does_not_disturb_siblings() {
+    use rnr_safe::{Farm, FarmConfig, SessionSpec};
+    let (attack_spec, _plan) = mount_kernel_rop(&WorkloadParams::attack_demo(), 1_200_000).unwrap();
+    let attack_cfg = PipelineConfig {
+        duration_insns: 900_000,
+        checkpoint_interval_secs: Some(0.125),
+        ..PipelineConfig::default()
+    };
+    let quiet_cfg = PipelineConfig { duration_insns: 250_000, ..PipelineConfig::default() };
+    let sessions = vec![
+        SessionSpec::new("attack", attack_spec, attack_cfg),
+        SessionSpec::new("jit", Workload::Jit.spec(false), quiet_cfg.clone()),
+        SessionSpec::new("make", Workload::Make.spec(false), quiet_cfg),
+    ];
+    let serial: Vec<_> =
+        sessions.iter().map(|s| Pipeline::new(s.vm.clone(), s.config.clone()).run().unwrap()).collect();
+    assert!(serial[0].attacks_confirmed() >= 1, "the reference attack must be confirmed");
+
+    let farm = Farm::new(FarmConfig { workers: 2, ..FarmConfig::default() });
+    let report = farm.run(&sessions);
+    assert!(report.all_ok(), "every fleet session must complete");
+    for (outcome, expected) in report.sessions.iter().zip(&serial) {
+        let got = outcome.result.as_ref().unwrap();
+        assert_eq!(
+            got.to_json(),
+            expected.to_json(),
+            "session {}: farm report diverged under the alarm storm",
+            outcome.name
+        );
+    }
+}
+
 /// `Arc`-shared logs replay without copies: two replayers can hold the same
 /// recording concurrently.
 #[test]
