@@ -20,6 +20,10 @@
 //! * [`DosDetector`] — Table 1's denial-of-service detector: a watchdog
 //!   over the kernel context-switch counter; [`dos_scenario`] builds a
 //!   guest whose malicious kernel thread disables interrupts and spins.
+//! * [`mount_heap_overflow`] / [`mount_stack_uar`] — the memory-safety
+//!   attacks the VRT detector family (DESIGN.md §15) resolves: a linear
+//!   kernel-heap overflow caught with zero false negatives, and a stack
+//!   use-after-return through a leaked frame pointer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,10 +32,12 @@ mod dos;
 mod gadgets;
 mod jop;
 mod jop_attack;
+mod mem;
 mod rop;
 
 pub use dos::{dos_control, dos_scenario, DosDetector, DosVerdict};
 pub use gadgets::{Gadget, GadgetScanner};
 pub use jop::{JopCheck, JopDetector};
 pub use jop_attack::{mount_jop, JopPlan};
+pub use mem::{mount_heap_overflow, mount_stack_uar, HeapOverflowPlan, UarPlan};
 pub use rop::{mount_kernel_rop, AttackPlan, RopChainBuilder, RopChainError};

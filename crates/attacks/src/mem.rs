@@ -1,0 +1,183 @@
+//! Memory-safety attacks resolved by the VRT detector (DESIGN.md §15):
+//! a linear kernel-heap overflow and a stack use-after-return.
+//!
+//! Both attacks are built to demonstrate the VRT's **zero-false-negative**
+//! guarantee for linear heap overflows: the guest allocator leaves at
+//! least two never-covered granules past every allocation, so the first
+//! overflowing store always raises a hardware alarm, and the Alarm
+//! Replayer convicts it from the kernel's precise allocation table.
+
+use rnr_guest::{layout, runtime, KernelBuilder};
+use rnr_hypervisor::VmSpec;
+use rnr_isa::{Assembler, Reg};
+use rnr_workloads::{Workload, WorkloadParams};
+
+use Reg::{R1, R5, R6, R7};
+
+const SP: Reg = Reg::SP;
+
+/// Everything known about a mounted heap-overflow attack, for verification
+/// against the alarm replayer's [`MemReport`](rnr_replay::MemReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapOverflowPlan {
+    /// Length of the victim allocation.
+    pub region_len: u64,
+    /// Total bytes the unbounded copy writes from the region base — the
+    /// overflow spills `copy_len - region_len` bytes past the region, but
+    /// stays well inside the allocator's 4 KiB slot.
+    pub copy_len: u64,
+    /// Warm-up compute rounds before the overflow (so the alarm lands
+    /// mid-trace, after checkpoints exist).
+    pub warmup_rounds: u32,
+}
+
+/// Everything known about a mounted use-after-return attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UarPlan {
+    /// Span of the victim's stack frame (past the VRT `min_frame`, so its
+    /// dead window is filed when the victim returns).
+    pub frame_len: u64,
+    /// Times the victim-then-dereference sequence repeats. Each attempt
+    /// stores through the leaked frame pointer immediately after the
+    /// return; an interrupt in that tiny window could consume the filed
+    /// window first (a StaleFrame false positive), so the attack retries.
+    pub attempts: u32,
+    /// The user-memory slot holding the leaked frame pointer.
+    pub ptr_slot: u64,
+}
+
+/// Mounts the kernel-heap overflow on top of the benign
+/// [`Workload::HeapServer`] churn: a second user thread allocates a
+/// 256-byte region and then runs an unbounded copy 512 bytes long through
+/// it — the classic missing-length-check memcpy. The churn thread keeps
+/// raising VRT false positives throughout, so the run exercises both
+/// conviction and dismissal.
+pub fn mount_heap_overflow(params: &WorkloadParams, warmup_rounds: u32) -> (VmSpec, HeapOverflowPlan) {
+    let plan = HeapOverflowPlan { region_len: 256, copy_len: 512, warmup_rounds };
+    let mut spec = Workload::HeapServer.spec_with(false, params);
+
+    // The attacker rides in a separate image with its own runtime copy
+    // (labels cannot be shared across images).
+    let mut a = Assembler::new(layout::USER_BASE + 0x4_0000);
+    a.label("hov_main");
+    a.movi(Reg::R10, warmup_rounds as i32);
+    a.label("hov_warm");
+    a.movi(R1, 300);
+    a.call("u_compute");
+    a.call("u_op_done");
+    a.addi(Reg::R10, Reg::R10, -1);
+    a.movi(R5, 0);
+    a.bne(Reg::R10, R5, "hov_warm");
+    // Allocate the victim region.
+    a.movi(R1, plan.region_len as i32);
+    a.call("u_alloc");
+    a.mov(Reg::R10, R1);
+    // The unbounded copy: writes straight through the region's end into
+    // the slot gap. The first store past the coverage end is guaranteed
+    // to hit a never-covered granule (zero false negatives).
+    a.movi(Reg::R11, 0);
+    a.label("hov_copy");
+    a.movi(R5, plan.copy_len as i32);
+    a.bgeu(Reg::R11, R5, "hov_done");
+    a.add(R6, Reg::R10, Reg::R11);
+    a.movi(R7, 0x4545);
+    a.st(R6, 0, R7);
+    a.addi(Reg::R11, Reg::R11, 8);
+    a.jmp("hov_copy");
+    a.label("hov_done");
+    // Getaway: look like an ordinary compute thread afterwards.
+    a.label("hov_idle");
+    a.movi(R1, 500);
+    a.call("u_compute");
+    a.call("u_op_done");
+    a.jmp("hov_idle");
+    runtime::emit_runtime(&mut a);
+    let image = a.assemble().expect("heap-overflow image assembles");
+    let entry = image.require_symbol("hov_main");
+    spec.extra_images.push(image);
+    spec.boot.user_thread(entry);
+    spec.name = "heapserver+overflow".to_string();
+    (spec, plan)
+}
+
+/// Mounts the stack use-after-return: a victim function with a 512-byte
+/// frame leaks a pointer to its locals, returns (filing its dead window
+/// into the VRT ring), and the caller immediately stores through the
+/// leaked pointer — an address **below** the live stack pointer, which the
+/// Alarm Replayer convicts as [`Verdict::UseAfterReturn`].
+///
+/// [`Verdict::UseAfterReturn`]: rnr_replay::Verdict::UseAfterReturn
+pub fn mount_stack_uar(params: &WorkloadParams, attempts: u32) -> (VmSpec, UarPlan) {
+    let plan = UarPlan { frame_len: 512, attempts, ptr_slot: layout::USER_HEAP };
+    let kernel = KernelBuilder::new().build();
+    let mut spec = VmSpec::new(kernel, "uar-attack");
+    spec.timer_period = params.timer_period;
+
+    let mut a = Assembler::new(layout::USER_BASE);
+    a.label("uar_main");
+    a.movi(Reg::R13, attempts as i32);
+    a.label("uar_loop");
+    a.movi(R1, 250);
+    a.call("u_compute");
+    a.call("uar_victim");
+    // Dereference the leaked frame pointer straight after the return —
+    // before anything else can touch the dead window.
+    a.movi(R5, plan.ptr_slot as i32);
+    a.ld(R6, R5, 0);
+    a.movi(R7, 0x6b6b);
+    a.st(R6, 0, R7);
+    a.call("u_op_done");
+    a.addi(Reg::R13, Reg::R13, -1);
+    a.movi(R5, 0);
+    a.bne(Reg::R13, R5, "uar_loop");
+    a.label("uar_idle");
+    a.movi(R1, 400);
+    a.call("u_compute");
+    a.call("u_op_done");
+    a.jmp("uar_idle");
+
+    // uar_victim: 512-byte frame, written across its span (so the VRT
+    // tracks the full extent), leaking &local before returning.
+    a.label("uar_victim");
+    a.addi(SP, SP, -(plan.frame_len as i32));
+    a.movi(R5, 0x11);
+    a.st(SP, 0, R5);
+    a.st(SP, 256, R5);
+    a.st(SP, 504, R5);
+    a.addi(R5, SP, 256);
+    a.movi(R6, plan.ptr_slot as i32);
+    a.st(R6, 0, R5);
+    a.addi(SP, SP, plan.frame_len as i32);
+    a.ret();
+    runtime::emit_runtime(&mut a);
+    let image = a.assemble().expect("uar image assembles");
+    let entry = image.require_symbol("uar_main");
+    spec.extra_images.push(image);
+    spec.boot.user_thread(entry);
+    (spec, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_overflow_rides_on_the_churn_workload() {
+        let (spec, plan) = mount_heap_overflow(&WorkloadParams::default(), 40);
+        assert_eq!(spec.name, "heapserver+overflow");
+        assert_eq!(spec.boot.entries().len(), 2, "churn thread + attacker");
+        assert!(plan.copy_len > plan.region_len, "must actually overflow");
+        // The copy never escapes the 4 KiB slot: all spilled bytes land in
+        // the never-covered gap, not in a neighbouring allocation.
+        assert!(plan.copy_len <= 4096);
+    }
+
+    #[test]
+    fn uar_spec_is_self_contained() {
+        let (spec, plan) = mount_stack_uar(&WorkloadParams::default(), 4);
+        assert_eq!(spec.name, "uar-attack");
+        assert_eq!(spec.boot.entries().len(), 1);
+        assert!(plan.frame_len >= 256, "frame must clear the VRT min_frame");
+        assert!(!spec.net.has_traffic());
+    }
+}

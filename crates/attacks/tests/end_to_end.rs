@@ -53,7 +53,7 @@ fn checkpointing_replayer_escalates_the_attack_alarm() {
     assert!(!out.alarm_cases.is_empty(), "the ROP alarm must escalate to an alarm replayer");
     // The checkpoint handed over precedes the alarm.
     let case = &out.alarm_cases[0];
-    assert!(case.checkpoint.at_insn <= case.alarm.at_insn);
+    assert!(case.checkpoint.at_insn <= case.at_insn());
 }
 
 #[test]
@@ -111,11 +111,7 @@ fn benign_alarms_resolve_as_false_positives() {
         .with_config(ReplayConfig { ras_capacity: 12, ..ReplayConfig::default() });
     for case in &out.alarm_cases {
         let (verdict, _) = ar.resolve(case).unwrap();
-        assert!(
-            !verdict.is_attack(),
-            "benign alarm misclassified as attack: {:?} -> {verdict:?}",
-            case.alarm
-        );
+        assert!(!verdict.is_attack(), "benign alarm misclassified as attack: {:?} -> {verdict:?}", case.kind);
     }
 }
 

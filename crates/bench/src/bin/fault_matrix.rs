@@ -19,10 +19,14 @@
 //! report byte-identical to a *clean run of the same configuration* — which
 //! is itself byte-identical to the serial report.
 //!
-//! A final section reruns the self-modifying JIT workload — the superblock
-//! trace engine's hardest input — fault-free with traces on and off (the
-//! reports must be byte-identical) and under a corrupted transport batch
-//! (which must heal back to the clean report).
+//! A final pair of sections reruns the two adversarial guests: the
+//! self-modifying JIT workload — the superblock trace engine's hardest
+//! input — fault-free with traces on and off (the reports must be
+//! byte-identical) and under a corrupted transport batch (which must heal
+//! back to the clean report); and the VRT-armed heap-overflow attack
+//! (DESIGN.md §15), whose memory-safety conviction and dismissed false
+//! positives must survive the superblock knob and a corrupted batch
+//! unchanged.
 //!
 //! With `--farm`, the matrix instead runs every scenario as a replay-farm
 //! fleet (DESIGN.md §14): the faulted attack session shares the global
@@ -157,6 +161,7 @@ fn main() {
 
     failures += durable_section(parallel_spans, &reference_json);
     failures += jit_section(parallel_spans);
+    failures += vrt_section(parallel_spans);
 
     if failures > 0 {
         eprintln!("fault matrix FAILED: {failures} scenario(s)");
@@ -469,6 +474,102 @@ fn jit_section(parallel_spans: usize) -> u32 {
         }
         Err(e) => {
             println!("FAIL jit-corrupt-batch: pipeline error: {e}");
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// The second detector family through the healing contract: the VRT-armed
+/// heap-overflow attack (DESIGN.md §15) must convict with zero false
+/// negatives and dismiss the churn workload's false positives, stay
+/// byte-identical with superblocks off, and heal a corrupted transport
+/// batch back to the clean report — conviction included.
+fn vrt_section(parallel_spans: usize) -> u32 {
+    use rnr_safe::VerdictSummary;
+    let run = |superblocks: bool, plan: FaultPlan| {
+        let (spec, _attack) = rnr_attacks::mount_heap_overflow(&rnr_workloads::WorkloadParams::default(), 40);
+        let cfg = PipelineConfig {
+            duration_insns: 600_000,
+            checkpoint_interval_secs: Some(0.125),
+            parallel_spans,
+            superblocks,
+            vrt: Some(rnr_safe::vrt::VrtParams::default()),
+            fault_plan: plan,
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(spec, cfg).run()
+    };
+    let clean = match run(true, FaultPlan::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("FAIL vrt-fault-free: pipeline error: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0;
+    let convicted = clean
+        .resolutions
+        .iter()
+        .filter(|r| {
+            matches!(&r.summary, VerdictSummary::MemoryViolation { class, .. } if class == "heap-overflow")
+        })
+        .count();
+    let dismissed = clean
+        .resolutions
+        .iter()
+        .filter(|r| matches!(&r.summary, VerdictSummary::FalsePositive { .. }))
+        .count();
+    if convicted == 0 {
+        println!("FAIL vrt-fault-free: heap overflow not convicted (zero-FN contract broken)");
+        failures += 1;
+    }
+    if dismissed == 0 {
+        println!("FAIL vrt-fault-free: churn workload raised no dismissed false positives");
+        failures += 1;
+    }
+    if clean.recovery.any() {
+        println!("FAIL vrt-fault-free: recovery block not quiet: {:?}", clean.recovery);
+        failures += 1;
+    }
+    match run(false, FaultPlan::default()) {
+        Ok(plain) if plain.to_json() == clean.to_json() => {}
+        Ok(_) => {
+            println!("FAIL vrt-superblocks-off: report differs from superblocks-on run");
+            failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL vrt-superblocks-off: pipeline error: {e}");
+            failures += 1;
+        }
+    }
+    let corrupt = FaultPlan {
+        seed: SEED,
+        transport: vec![TransportFault {
+            seq: 0,
+            kind: TransportFaultKind::CorruptBit,
+            poison_retained: false,
+        }],
+        ..FaultPlan::default()
+    };
+    match run(true, corrupt) {
+        Ok(healed) if healed.to_json() == clean.to_json() && healed.recovery.any() => {
+            println!(
+                "ok   vrt: {convicted} heap-overflow conviction(s), {dismissed} FP(s) dismissed, \
+                 superblocks report-invisible, corrupt batch healed (refetched={})",
+                healed.recovery.transport.batches_refetched
+            );
+        }
+        Ok(healed) => {
+            println!(
+                "FAIL vrt-corrupt-batch: healed={} identical={}",
+                healed.recovery.any(),
+                healed.to_json() == clean.to_json()
+            );
+            failures += 1;
+        }
+        Err(e) => {
+            println!("FAIL vrt-corrupt-batch: pipeline error: {e}");
             failures += 1;
         }
     }

@@ -20,7 +20,7 @@ fn main() {
             }
             Workload::Radiosity => "pure compute: recursion depth 22 + xorshift loops".to_string(),
             // Not part of Table 3 (Workload::ALL is the paper's five).
-            Workload::Jit => unreachable!("jit is not a paper benchmark"),
+            _ => unreachable!("{} is not a paper benchmark", w.label()),
         };
         t.row(vec![w.label().to_string(), w.paper_parameters().to_string(), repro]);
     }

@@ -169,7 +169,7 @@ fn cmd_replay(args: &[String], resolve: bool) -> CliResult {
     let mut verdicts = Vec::new();
     for case in &out.alarm_cases {
         let (verdict, _) = ar.resolve(case)?;
-        verdicts.push((case.alarm.at_insn, verdict));
+        verdicts.push((case.at_insn(), verdict));
     }
     let json = has_flag(args, "--json");
     for (at_insn, verdict) in &verdicts {
@@ -197,6 +197,41 @@ fn cmd_replay(args: &[String], resolve: bool) -> CliResult {
                         println!("    gadget {:#x}: {listing}", g.value);
                     }
                 }
+            }
+            Verdict::HeapOverflow(report) if json => {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "at_insn": at_insn,
+                        "verdict": "heap-overflow",
+                        "addr": format!("{:#x}", report.addr),
+                        "region": report.region.map(|(b, l)| format!("{b:#x}+{l}")),
+                        "thread": report.tid,
+                    })
+                );
+            }
+            Verdict::UseAfterReturn(report) if json => {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "at_insn": at_insn,
+                        "verdict": "use-after-return",
+                        "addr": format!("{:#x}", report.addr),
+                        "thread": report.tid,
+                    })
+                );
+            }
+            Verdict::HeapOverflow(report) => {
+                println!(
+                    "insn {at_insn}: HEAP OVERFLOW at {:#x} (thread {}), escaped region {:?}",
+                    report.addr, report.tid, report.region
+                );
+            }
+            Verdict::UseAfterReturn(report) => {
+                println!(
+                    "insn {at_insn}: USE-AFTER-RETURN at {:#x} (thread {}), sp at alarm {:#x}",
+                    report.addr, report.tid, report.sp_at_alarm
+                );
             }
             Verdict::FalsePositive(kind) => {
                 println!("insn {at_insn}: false positive ({kind:?})");

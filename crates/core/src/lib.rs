@@ -10,14 +10,19 @@
 //!
 //! * The **recorded VM** runs a workload under the monitoring hypervisor
 //!   (`rnr-hypervisor`): all non-deterministic inputs go to the log, and
-//!   the extended RAS inserts ROP *alarm* markers.
+//!   the cheap-and-noisy hardware detectors insert *alarm* markers — the
+//!   extended RAS for control-flow hijacks (DESIGN.md §5) and, when armed,
+//!   the VRT memory-safety tables (`rnr-vrt`, DESIGN.md §15).
 //! * The **checkpointing replayer** (`rnr-replay`) re-executes the log
 //!   deterministically (verified bit-exact), takes incremental
 //!   copy-on-write checkpoints, and discards underflow alarms that match
-//!   evict records.
+//!   evict records — serially, or partitioned across checkpoint spans
+//!   (`parallel_spans`), with the same byte-identical report either way.
 //! * Each surviving alarm is handed to an **alarm replayer**, which traps
-//!   every call/return, models an unbounded software RAS, and returns a
-//!   [`Verdict`]: classified false positive or a characterized ROP attack.
+//!   every call/return, models an unbounded software RAS (or replays the
+//!   guest's precise allocation table for VRT cases), and returns a
+//!   [`Verdict`]: classified false positive, a characterized ROP attack,
+//!   or a convicted memory-safety violation.
 //!
 //! ## Quickstart
 //!
@@ -63,4 +68,5 @@ pub use rnr_machine as machine;
 pub use rnr_ras as ras;
 pub use rnr_replay as replay;
 pub use rnr_replay::{Verdict, VIRTUAL_HZ};
+pub use rnr_vrt as vrt;
 pub use rnr_workloads as workloads;

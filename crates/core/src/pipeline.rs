@@ -80,6 +80,11 @@ pub struct PipelineConfig {
     /// this store. Resilience-only knob — the report is byte-identical with
     /// persistence on or off.
     pub durable_log: Option<DurableLogConfig>,
+    /// Arm the Variable Record Table memory-safety detector on the recorded
+    /// VM (DESIGN.md §15) and give the alarm replayers its parameters for
+    /// precise classification. `None` records without the second detector
+    /// family.
+    pub vrt: Option<rnr_vrt::VrtParams>,
 }
 
 impl Default for PipelineConfig {
@@ -101,6 +106,7 @@ impl Default for PipelineConfig {
             parallel_spans: 0,
             fault_plan: FaultPlan::default(),
             durable_log: None,
+            vrt: None,
         }
     }
 }
@@ -193,9 +199,12 @@ pub struct ReplaySummary {
 /// A serializable verdict summary.
 #[derive(Debug, Clone, serde::Serialize)]
 pub enum VerdictSummary {
-    /// Benign, with the false-positive class.
+    /// Benign, with the false-positive class: `matched-evict`,
+    /// `imperfect-nesting`, or `hardware-capacity` from the RAS family;
+    /// `coarse-bounds`, `evicted-region`, or `stale-frame` from the VRT
+    /// family (DESIGN.md §15).
     FalsePositive {
-        /// `matched-evict`, `imperfect-nesting`, or `hardware-capacity`.
+        /// The false-positive class label.
         class: String,
     },
     /// A confirmed ROP attack.
@@ -207,6 +216,18 @@ pub enum VerdictSummary {
         /// Number of payload words decoded from the stack.
         chain_len: usize,
         /// Thread that executed the hijacked return.
+        tid: u64,
+    },
+    /// A confirmed memory-safety violation (VRT family, DESIGN.md §15):
+    /// `heap-overflow` or `use-after-return`.
+    MemoryViolation {
+        /// The violation class label.
+        class: String,
+        /// First byte of the offending store.
+        addr: u64,
+        /// The escaped allocation (`[base, len]`), when one exists.
+        region: Option<(u64, u64)>,
+        /// Thread that executed the store.
         tid: u64,
     },
 }
@@ -589,6 +610,7 @@ pub(crate) fn record_config(cfg: &PipelineConfig, span_cadence: Option<u64>) -> 
     rc.block_engine = cfg.block_engine;
     rc.superblocks = cfg.superblocks;
     rc.span_seed_every_insns = span_cadence;
+    rc.vrt = cfg.vrt.clone();
     rc
 }
 
@@ -609,6 +631,7 @@ pub(crate) fn replay_config(cfg: &PipelineConfig) -> ReplayConfig {
         parallel_spans: cfg.parallel_spans,
         fault_plan: cfg.fault_plan.clone(),
         durable_log: cfg.durable_log.clone(),
+        vrt: cfg.vrt.clone(),
         ..ReplayConfig::default()
     }
 }
@@ -709,8 +732,8 @@ impl<'a> CaseResolver<'a> {
         }
         let (verdict, ar_out) = self.ar.resolve(case).map_err(|e| e.to_string())?;
         Ok(AlarmResolution {
-            at_insn: case.alarm.at_insn,
-            at_cycle: case.alarm.at_cycle,
+            at_insn: case.at_insn(),
+            at_cycle: case.at_cycle(),
             cr_cycle: case.cr_cycle,
             summary: summarize(&verdict),
             verdict,
@@ -739,7 +762,7 @@ impl<'a> CaseResolver<'a> {
         }
         Err(FailedCase {
             alarm_index: i,
-            at_insn: case.alarm.at_insn,
+            at_insn: case.at_insn(),
             attempts: MAX_CASE_ATTEMPTS,
             error: last_error,
         })
@@ -867,12 +890,27 @@ fn summarize(verdict: &Verdict) -> VerdictSummary {
                 rnr_replay::FalsePositiveKind::MatchedEvict => "matched-evict".to_string(),
                 rnr_replay::FalsePositiveKind::ImperfectNesting { .. } => "imperfect-nesting".to_string(),
                 rnr_replay::FalsePositiveKind::HardwareCapacity => "hardware-capacity".to_string(),
+                rnr_replay::FalsePositiveKind::CoarseBounds => "coarse-bounds".to_string(),
+                rnr_replay::FalsePositiveKind::EvictedRegion => "evicted-region".to_string(),
+                rnr_replay::FalsePositiveKind::StaleFrame => "stale-frame".to_string(),
             },
         },
         Verdict::RopAttack(report) => VerdictSummary::RopAttack {
             vulnerable: report.vulnerable_symbol.clone(),
             first_gadget: report.actual_target,
             chain_len: report.gadget_chain.len(),
+            tid: report.tid.0,
+        },
+        Verdict::HeapOverflow(report) => VerdictSummary::MemoryViolation {
+            class: "heap-overflow".to_string(),
+            addr: report.addr,
+            region: report.region,
+            tid: report.tid.0,
+        },
+        Verdict::UseAfterReturn(report) => VerdictSummary::MemoryViolation {
+            class: "use-after-return".to_string(),
+            addr: report.addr,
+            region: report.region,
             tid: report.tid.0,
         },
     }

@@ -10,7 +10,7 @@ use rnr_isa::{Addr, Assembler, Image, Reg};
 use rnr_machine::{
     MachineConfig, DISK_CMD_READ, DISK_CMD_WRITE, MMIO_NIC_RX_LEN, MMIO_NIC_RX_POP, PORT_CONSOLE,
     PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD,
-    PORT_NIC_TX_LEN, PORT_RNG,
+    PORT_NIC_TX_LEN, PORT_RNG, PORT_VRT_BASE, PORT_VRT_CMD, PORT_VRT_LEN, VRT_CMD_DECLARE, VRT_CMD_RETIRE,
 };
 use rnr_ras::Whitelists;
 
@@ -64,6 +64,7 @@ impl KernelBuilder {
         emit_irq_handlers(&mut a);
         emit_net_queue(&mut a);
         emit_string_and_msg(&mut a);
+        emit_heap(&mut a);
         emit_misc(&mut a);
         emit_data(&mut a, self.pv);
         let image = a.assemble().expect("kernel assembly must succeed");
@@ -902,6 +903,94 @@ fn emit_string_and_msg(a: &mut Assembler) {
     a.ret();
 }
 
+fn emit_heap(a: &mut Assembler) {
+    // The kernel heap (DESIGN.md §15): a fixed-stride slot allocator over
+    // [KHEAP_BASE, KHEAP_END). Each live allocation is recorded twice — in
+    // the *precise* allocation table the alarm replayer introspects, and in
+    // the bounded/rounded hardware VRT via the doorbell ports. Bases carry a
+    // deterministic sub-granule jitter so allocations start mid-granule,
+    // exercising the VRT's coarse-bounds rounding on benign edge writes.
+
+    // sys_alloc(r1 = len) -> r1 = base, or -1 on bad length / heap full.
+    a.label("sys_alloc");
+    a.movi(R5, 1);
+    a.bltu(R1, R5, "al_bad"); // len == 0
+    a.movi(R5, (layout::VRT_MAX_ALLOC - layout::VRT_GRANULE) as i32 + 1);
+    a.bgeu(R1, R5, "al_bad"); // too big for a slot (jitter included)
+    a.cli();
+    // jitter = (alloc_seq++ * 8) & (GRANULE - 8): 0,8,...,56.
+    a.lea(R8, "alloc_seq");
+    a.ld(R6, R8, 0);
+    a.addi(R7, R6, 1);
+    a.st(R8, 0, R7);
+    a.muli(R6, R6, 8);
+    a.andi(R6, R6, (layout::VRT_GRANULE - 8) as i32);
+    // First-fit scan of the precise table (len word == 0 means free).
+    a.movi(R5, layout::VRT_ALLOC_TABLE as i32); // entry pointer
+    zero(a, R7); // slot index
+    a.label("al_scan");
+    a.movi(R8, layout::VRT_HEAP_SLOTS as i32);
+    a.bgeu(R7, R8, "al_full");
+    a.ld(R8, R5, 8);
+    zero(a, R9);
+    a.beq(R8, R9, "al_found");
+    a.addi(R5, R5, 16);
+    a.addi(R7, R7, 1);
+    a.jmp("al_scan");
+    a.label("al_found");
+    // base = KHEAP_BASE + slot * STRIDE + jitter.
+    a.muli(R8, R7, layout::VRT_HEAP_SLOT_STRIDE as i32);
+    a.movi(R9, layout::KHEAP_BASE as i32);
+    a.add(R8, R8, R9);
+    a.add(R8, R8, R6);
+    // Precise table entry, then the hardware doorbell.
+    a.st(R5, 0, R8);
+    a.st(R5, 8, R1);
+    a.pio_out(PORT_VRT_BASE, R8);
+    a.pio_out(PORT_VRT_LEN, R1);
+    a.movi(R9, VRT_CMD_DECLARE as i32);
+    a.pio_out(PORT_VRT_CMD, R9);
+    a.sti();
+    a.mov(R1, R8);
+    a.ret();
+    a.label("al_full");
+    a.sti();
+    a.label("al_bad");
+    a.movi(R1, -1);
+    a.ret();
+
+    // sys_free(r1 = base): clear the precise-table entry and retire the
+    // hardware VRT entry. Unknown bases (double free, never allocated) are
+    // ignored — the retire doorbell is a no-op for evicted entries anyway.
+    a.label("sys_free");
+    a.cli();
+    a.movi(R5, layout::VRT_ALLOC_TABLE as i32);
+    zero(a, R7);
+    a.label("fr_scan");
+    a.movi(R8, layout::VRT_HEAP_SLOTS as i32);
+    a.bgeu(R7, R8, "fr_done");
+    a.ld(R8, R5, 0);
+    a.bne(R8, R1, "fr_next");
+    a.ld(R8, R5, 8);
+    zero(a, R9);
+    a.beq(R8, R9, "fr_next"); // stale base in a freed slot
+    zero(a, R8);
+    a.st(R5, 0, R8);
+    a.st(R5, 8, R8);
+    a.pio_out(PORT_VRT_BASE, R1);
+    a.movi(R9, VRT_CMD_RETIRE as i32);
+    a.pio_out(PORT_VRT_CMD, R9);
+    a.jmp("fr_done");
+    a.label("fr_next");
+    a.addi(R5, R5, 16);
+    a.addi(R7, R7, 1);
+    a.jmp("fr_scan");
+    a.label("fr_done");
+    a.sti();
+    a.movi(R1, 0);
+    a.ret();
+}
+
 fn emit_misc(a: &mut Assembler) {
     // grant_root: privilege escalation target of the §6 attack. Reachable
     // only through the kernel function table.
@@ -944,6 +1033,8 @@ fn emit_data(a: &mut Assembler, pv: bool) {
     a.word(0);
     a.label("oops_count");
     a.word(0);
+    a.label("alloc_seq");
+    a.word(0);
     a.label("priv_flag");
     a.word(0);
     // Packet queue: head, tail, then 8 slots of (len, data[MTU]).
@@ -970,6 +1061,8 @@ fn emit_data(a: &mut Assembler, pv: bool) {
     a.word_label("sys_getpid");
     a.word_label("sys_procmsg");
     a.word_label("sys_oops");
+    a.word_label("sys_alloc");
+    a.word_label("sys_free");
     // Kernel service registry (the attacker's pointer source).
     a.label("kfunc_table");
     a.word_label("grant_root");

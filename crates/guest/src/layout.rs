@@ -28,6 +28,43 @@ pub const STACK_SIZE: u64 = 16 * 1024;
 /// Maximum number of threads (stack slots / task structs).
 pub const MAX_THREADS: usize = 16;
 
+/// Base of the kernel heap served by `sys::ALLOC`/`sys::FREE` — a
+/// fixed-stride slot allocator (DESIGN.md §15). Matches the default VRT
+/// heap watch range (`rnr-vrt`'s `VrtParams::default`).
+pub const KHEAP_BASE: Addr = 0x16_0000;
+
+/// End of the kernel heap (exclusive).
+pub const KHEAP_END: Addr = 0x1A_0000;
+
+/// Stride of one kernel-heap slot. Allocations are capped at
+/// [`VRT_MAX_ALLOC`] so at least [`VRT_SLOT_GAP`] bytes separate a live
+/// region's end from the next slot — the geometric margin behind the VRT's
+/// zero-false-negative guarantee (DESIGN.md §15).
+pub const VRT_HEAP_SLOT_STRIDE: u64 = 4096;
+
+/// Number of kernel-heap slots.
+pub const VRT_HEAP_SLOTS: usize = ((KHEAP_END - KHEAP_BASE) / VRT_HEAP_SLOT_STRIDE) as usize;
+
+/// VRT watch granule in bytes; must equal `VrtParams::default().granule`
+/// (asserted by a guest test — the kernel and the hardware table have to
+/// agree on the rounding).
+pub const VRT_GRANULE: u64 = 64;
+
+/// Guaranteed minimum gap between a live allocation's end and the next
+/// slot's base: two granules, so the first store past an allocation always
+/// lands in a granule the table never covered.
+pub const VRT_SLOT_GAP: u64 = 2 * VRT_GRANULE;
+
+/// Largest user length `sys::ALLOC` serves (stride minus the gap).
+pub const VRT_MAX_ALLOC: u64 = VRT_HEAP_SLOT_STRIDE - VRT_SLOT_GAP;
+
+/// The kernel's *precise* allocation table: [`VRT_HEAP_SLOTS`] entries of
+/// `[base: u64, len: u64]` (`len == 0` = slot free), maintained by
+/// `sys::ALLOC`/`sys::FREE`. The alarm replayer introspects it from
+/// replayed guest memory to classify VRT heap alarms exactly
+/// (DESIGN.md §15).
+pub const VRT_ALLOC_TABLE: Addr = 0x1A_0000;
+
 /// Load address of user workload images.
 pub const USER_BASE: Addr = 0x20_0000;
 
@@ -108,8 +145,15 @@ pub mod sys {
     /// Trigger the kernel bug-recovery path (kills the current thread,
     /// orphaning its RAS entries) — used by tests and ablations.
     pub const OOPS: u32 = 12;
+    /// Allocate `r1` bytes from the kernel heap; returns the base address
+    /// or `-1`. Declares the region to the VRT via the doorbell ports and
+    /// records it in the precise allocation table (DESIGN.md §15).
+    pub const ALLOC: u32 = 13;
+    /// Free the allocation at base `r1` (retires the VRT entry and clears
+    /// the precise-table slot).
+    pub const FREE: u32 = 14;
     /// Number of syscalls.
-    pub const COUNT: u32 = 13;
+    pub const COUNT: u32 = 15;
 }
 
 /// Paravirtual hypercall operation codes (`vmcall`, `r1` = op).
@@ -147,5 +191,38 @@ mod tests {
     fn stack_slots_disjoint() {
         assert_eq!(stack_top(0), STACKS_BASE + STACK_SIZE);
         assert_eq!(stack_top(1) - stack_top(0), STACK_SIZE);
+    }
+
+    #[test]
+    fn kernel_heap_fits_between_stacks_and_user_images() {
+        assert!(stack_top(MAX_THREADS - 1) <= KHEAP_BASE);
+        assert_eq!((KHEAP_END - KHEAP_BASE) % VRT_HEAP_SLOT_STRIDE, 0);
+        assert_eq!(VRT_HEAP_SLOTS as u64 * VRT_HEAP_SLOT_STRIDE, KHEAP_END - KHEAP_BASE);
+        // The precise table sits right above the heap and below user images.
+        assert_eq!(VRT_ALLOC_TABLE, KHEAP_END);
+        assert!(VRT_ALLOC_TABLE + 16 * VRT_HEAP_SLOTS as u64 <= USER_BASE);
+    }
+
+    #[test]
+    fn slot_gap_guarantees_uncovered_granules_past_any_allocation() {
+        // The zero-false-negative argument (DESIGN.md §15): the largest
+        // served allocation, at the largest jitter, still ends at least two
+        // granules before the next slot's earliest coverage.
+        let max_jitter = VRT_GRANULE - 8;
+        assert!(max_jitter + VRT_MAX_ALLOC - VRT_GRANULE + VRT_SLOT_GAP <= VRT_HEAP_SLOT_STRIDE);
+        assert_eq!(VRT_SLOT_GAP, 2 * VRT_GRANULE);
+    }
+
+    #[test]
+    fn vrt_default_params_match_the_guest_layout() {
+        // The hardware table's default watch ranges and granule are
+        // hardcoded in rnr-vrt (it cannot depend on this crate); the kernel
+        // and the hardware must agree on them.
+        let p = rnr_vrt::VrtParams::default();
+        assert_eq!(p.heap_lo, KHEAP_BASE);
+        assert_eq!(p.heap_hi, KHEAP_END);
+        assert_eq!(p.stack_lo, STACKS_BASE);
+        assert_eq!(p.stack_hi, stack_top(MAX_THREADS - 1));
+        assert_eq!(p.granule, VRT_GRANULE);
     }
 }

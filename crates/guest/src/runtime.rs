@@ -39,6 +39,8 @@ fn emit_syscall_wrappers(a: &mut Assembler) {
     wrapper(a, "u_getpid", sys::GETPID);
     wrapper(a, "u_procmsg", sys::PROCMSG);
     wrapper(a, "u_oops", sys::OOPS);
+    wrapper(a, "u_alloc", sys::ALLOC);
+    wrapper(a, "u_free", sys::FREE);
 
     // u_op_done: bump this thread's completed-operation counter (the
     // fixed-work measure the evaluation harness normalizes by).

@@ -6,16 +6,20 @@ use std::sync::Arc;
 
 use rnr_guest::layout;
 use rnr_isa::Reg;
-use rnr_log::{AlarmInfo, Category, DurableLogConfig, DurableWriter, FaultPlan, InputLog, LogSink, Record};
+use rnr_log::{
+    AlarmInfo, Category, DurableLogConfig, DurableWriter, FaultPlan, InputLog, LogSink, Record, VrtAlarmInfo,
+};
 use rnr_machine::{
     CallRetTrap, CostModel, CpuState, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm,
     MachineConfig, SharedPageCache, IRQ_DISK, IRQ_NIC, IRQ_TIMER, MMIO_NIC_RX_LEN, MMIO_NIC_RX_PENDING,
     MMIO_NIC_RX_POP, PAGE_SIZE, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT,
-    PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG,
+    PORT_DISK_SECTOR, PORT_NIC_TX_ADDR, PORT_NIC_TX_CMD, PORT_NIC_TX_LEN, PORT_RNG, PORT_VRT_BASE,
+    PORT_VRT_CMD, PORT_VRT_LEN, VRT_CMD_DECLARE, VRT_CMD_RETIRE,
 };
 use rnr_ras::{
     AttributionReport, BackRasEntry, BackRasTable, RasAttribution, RasConfig, RasCounters, ThreadId,
 };
+use rnr_vrt::VrtParams;
 
 use crate::{CycleAttribution, DiskDevice, Introspector, NicDevice, NondetSource, PacketInjection, VmSpec};
 
@@ -109,6 +113,11 @@ pub struct RecordConfig {
     /// (DESIGN.md §13). Resilience/wall-clock only; the log, cycles, and
     /// digests are byte-for-byte identical with persistence on or off.
     pub durable_log: Option<DurableLogConfig>,
+    /// Arm the Variable Record Table memory-safety detector (DESIGN.md §15)
+    /// with these parameters. `None` leaves the recorded VM unarmed; replay
+    /// VMs are *always* unarmed, so VRT alarms reach the replayer only
+    /// through the log.
+    pub vrt: Option<VrtParams>,
 }
 
 impl RecordConfig {
@@ -129,6 +138,7 @@ impl RecordConfig {
             stall_on_alarm: false,
             span_seed_every_insns: None,
             durable_log: None,
+            vrt: None,
         }
     }
 }
@@ -294,6 +304,8 @@ pub struct Recorder {
     watch_addr: Option<u64>,
     watch_last: u64,
     fig8: Option<RasAttribution>,
+    vrt_base: u64,
+    vrt_len: u64,
     alarms: usize,
     fault: Option<FaultKind>,
     stalled: bool,
@@ -336,6 +348,7 @@ impl Recorder {
             ras,
             exits,
             jop_table,
+            vrt: config.vrt.clone(),
             costs: config.costs,
             decode_cache: config.decode_cache,
             block_engine: config.block_engine,
@@ -404,6 +417,8 @@ impl Recorder {
             net: spec.net.clone(),
             injections: spec.net.injections.iter().cloned().collect(),
             fig8,
+            vrt_base: 0,
+            vrt_len: 0,
             alarms: 0,
             fault: None,
             stalled: false,
@@ -739,6 +754,17 @@ impl Recorder {
                         self.nic.handle_out(port, value, &self.vm);
                     }
                     PORT_CONSOLE => self.console.push(value as u8),
+                    // VRT doorbells: deterministic guest-visible no-ops (no
+                    // readable state, no interrupt), so no log records — the
+                    // replayer's generic PioOut arm charges the same vmexit
+                    // and keeps cycle parity.
+                    PORT_VRT_BASE => self.vrt_base = value,
+                    PORT_VRT_LEN => self.vrt_len = value,
+                    PORT_VRT_CMD => match value {
+                        VRT_CMD_DECLARE => self.vm.vrt_declare(self.vrt_base, self.vrt_len),
+                        VRT_CMD_RETIRE => self.vm.vrt_retire(self.vrt_base),
+                        _ => {}
+                    },
                     _ => {}
                 }
                 self.vm.finish_io(FinishIo::Write);
@@ -792,6 +818,23 @@ impl Recorder {
                         at_insn: self.vm.retired(),
                         at_cycle: self.vm.cycles(),
                     };
+                    self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
+                    self.emit(rec);
+                }
+            }
+            Exit::VrtAlarm { kind, addr } => {
+                self.alarms += 1;
+                if self.config.stall_on_alarm {
+                    self.stalled = true;
+                }
+                if recording {
+                    let rec = Record::VrtAlarm(VrtAlarmInfo {
+                        tid: self.current_tid,
+                        kind,
+                        addr,
+                        at_insn: self.vm.retired(),
+                        at_cycle: self.vm.cycles(),
+                    });
                     self.charge(Category::Ras, costs.vmexit + costs.log_append(rec.encoded_len()));
                     self.emit(rec);
                 }

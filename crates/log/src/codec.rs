@@ -8,8 +8,9 @@ use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rnr_ras::{Mispredict, MispredictKind, ThreadId};
+use rnr_vrt::VrtKind;
 
-use crate::{AlarmInfo, DmaSource, Record};
+use crate::{AlarmInfo, DmaSource, Record, VrtAlarmInfo};
 
 /// Errors from decoding log bytes ([`crate::InputLog::from_bytes`]) or
 /// transport frames ([`crate::decode_frame`]).
@@ -67,6 +68,7 @@ pub(crate) const TAG_EVICT: u8 = 6;
 pub(crate) const TAG_ALARM: u8 = 7;
 pub(crate) const TAG_END: u8 = 8;
 pub(crate) const TAG_JOP_ALARM: u8 = 9;
+pub(crate) const TAG_VRT_ALARM: u8 = 10;
 
 /// Exact encoded size of `record` in bytes.
 pub fn encoded_len(record: &Record) -> u64 {
@@ -81,6 +83,8 @@ pub fn encoded_len(record: &Record) -> u64 {
         Record::Alarm(_) => 1 + 8 + 8 + 9 + 8 + 1 + 8 + 8,
         Record::End { .. } => 1 + 8 + 8,
         Record::JopAlarm { .. } => 1 + 8 + 8 + 8 + 8 + 8,
+        // tid + kind + addr + at_insn + at_cycle
+        Record::VrtAlarm(_) => 1 + 8 + 1 + 8 + 8 + 8,
     }
 }
 
@@ -157,6 +161,14 @@ pub fn encode(record: &Record, buf: &mut BytesMut) {
             buf.put_u64_le(*target);
             buf.put_u64_le(*at_insn);
             buf.put_u64_le(*at_cycle);
+        }
+        Record::VrtAlarm(a) => {
+            buf.put_u8(TAG_VRT_ALARM);
+            buf.put_u64_le(a.tid.0);
+            buf.put_u8(a.kind.as_u8());
+            buf.put_u64_le(a.addr);
+            buf.put_u64_le(a.at_insn);
+            buf.put_u64_le(a.at_cycle);
         }
     }
 }
@@ -250,6 +262,19 @@ pub fn decode(buf: &mut Bytes) -> Result<Record, CodecError> {
                 at_cycle: buf.get_u64_le(),
             }
         }
+        TAG_VRT_ALARM => {
+            need(buf, 33)?;
+            let tid = ThreadId(buf.get_u64_le());
+            let raw_kind = buf.get_u8();
+            let kind = VrtKind::from_u8(raw_kind).ok_or(CodecError::BadField("vrt kind", raw_kind))?;
+            Record::VrtAlarm(VrtAlarmInfo {
+                tid,
+                kind,
+                addr: buf.get_u64_le(),
+                at_insn: buf.get_u64_le(),
+                at_cycle: buf.get_u64_le(),
+            })
+        }
         other => return Err(CodecError::BadTag(other)),
     })
 }
@@ -307,6 +332,20 @@ mod tests {
             at_insn: 77,
             at_cycle: 99,
         });
+        round_trip(Record::VrtAlarm(VrtAlarmInfo {
+            tid: ThreadId(3),
+            kind: VrtKind::Heap,
+            addr: 0x16_0200,
+            at_insn: 55,
+            at_cycle: 88,
+        }));
+        round_trip(Record::VrtAlarm(VrtAlarmInfo {
+            tid: ThreadId(3),
+            kind: VrtKind::Stack,
+            addr: 0x13_f000,
+            at_insn: 56,
+            at_cycle: 89,
+        }));
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use fault::{
     FaultInjector, FaultPlan, InjectedFrame, TransportFault, TransportFaultKind,
 };
 pub use frame::{crc32, decode_frame, encode_frame, FRAME_HEADER};
-pub use record::{AlarmInfo, Category, DmaSource, Record};
+pub use record::{AlarmInfo, Category, DmaSource, Record, VrtAlarmInfo};
 pub use segment::{
     decode_segment, encode_segment, get_varint, put_varint, segment_from_json, segment_to_json, unzigzag,
     zigzag, Segment, SegmentError, FORMAT_VERSION, SEGMENT_HEADER, SEGMENT_MAGIC,

@@ -2,6 +2,7 @@
 
 use rnr_isa::Addr;
 use rnr_ras::{Mispredict, ThreadId};
+use rnr_vrt::VrtKind;
 
 /// Which virtual device wrote a DMA payload into guest memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -22,6 +23,22 @@ pub struct AlarmInfo {
     /// Retired-instruction count at the alarm.
     pub at_insn: u64,
     /// Virtual cycle count at the alarm (for the §8.4 detection window).
+    pub at_cycle: u64,
+}
+
+/// A VRT memory-safety alarm (DESIGN.md §15) as inserted into the log by
+/// the recording hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VrtAlarmInfo {
+    /// The guest thread running when the alarm fired.
+    pub tid: ThreadId,
+    /// Which watch window the store tripped.
+    pub kind: VrtKind,
+    /// First byte of the offending store.
+    pub addr: Addr,
+    /// Retired-instruction count at the alarm.
+    pub at_insn: u64,
+    /// Virtual cycle count at the alarm.
     pub at_cycle: u64,
 }
 
@@ -96,6 +113,10 @@ pub enum Record {
         /// Virtual cycle count at the alarm.
         at_cycle: u64,
     },
+    /// A VRT memory-safety alarm (DESIGN.md §15): a store tripped the
+    /// Variable Record Table's noisy heap/stack rules; the alarm replayer
+    /// resolves it against the guest's precise allocation state.
+    VrtAlarm(VrtAlarmInfo),
     /// End of the recorded execution.
     End {
         /// Total retired instructions of the recording.
@@ -156,7 +177,9 @@ impl Record {
             Record::Interrupt { .. } => Category::Interrupt,
             Record::Dma { source: DmaSource::Nic, .. } => Category::Network,
             Record::Dma { source: DmaSource::Disk, .. } => Category::Other,
-            Record::Evict { .. } | Record::Alarm(_) | Record::JopAlarm { .. } => Category::Ras,
+            Record::Evict { .. } | Record::Alarm(_) | Record::JopAlarm { .. } | Record::VrtAlarm(_) => {
+                Category::Ras
+            }
             Record::End { .. } => Category::Other,
         }
     }
@@ -172,6 +195,7 @@ impl Record {
         match self {
             Record::Interrupt { at_insn, .. } | Record::Dma { at_insn, .. } => Some(*at_insn),
             Record::End { at_insn, .. } | Record::JopAlarm { at_insn, .. } => Some(*at_insn),
+            Record::VrtAlarm(info) => Some(info.at_insn),
             _ => None,
         }
     }

@@ -38,12 +38,13 @@
 use std::fmt;
 
 use rnr_ras::{Mispredict, MispredictKind, ThreadId};
+use rnr_vrt::VrtKind;
 
 use crate::codec::{
     TAG_ALARM, TAG_DMA, TAG_END, TAG_EVICT, TAG_INTERRUPT, TAG_JOP_ALARM, TAG_MMIO_READ, TAG_PIO_IN,
-    TAG_RDTSC,
+    TAG_RDTSC, TAG_VRT_ALARM,
 };
-use crate::{crc32, AlarmInfo, DmaSource, Record};
+use crate::{crc32, AlarmInfo, DmaSource, Record, VrtAlarmInfo};
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 4] = *b"RNRS";
@@ -270,6 +271,14 @@ fn encode_record(buf: &mut Vec<u8>, ctx: &mut DeltaCtx, record: &Record) {
             put_delta(buf, &mut ctx.insn, *at_insn);
             put_delta(buf, &mut ctx.cycle, *at_cycle);
         }
+        Record::VrtAlarm(a) => {
+            buf.push(TAG_VRT_ALARM);
+            put_varint(buf, a.tid.0);
+            buf.push(a.kind.as_u8());
+            put_delta(buf, &mut ctx.addr, a.addr);
+            put_delta(buf, &mut ctx.insn, a.at_insn);
+            put_delta(buf, &mut ctx.cycle, a.at_cycle);
+        }
     }
 }
 
@@ -345,6 +354,19 @@ fn decode_record(buf: &[u8], pos: &mut usize, ctx: &mut DeltaCtx) -> Result<Reco
                 at_insn: get_delta(buf, pos, &mut ctx.insn)?,
                 at_cycle: get_delta(buf, pos, &mut ctx.cycle)?,
             }
+        }
+        TAG_VRT_ALARM => {
+            let tid = ThreadId(get_varint(buf, pos)?);
+            let raw_kind = get_u8(buf, pos)?;
+            let kind = VrtKind::from_u8(raw_kind)
+                .ok_or_else(|| SegmentError::Malformed(format!("vrt kind discriminant {raw_kind}")))?;
+            Record::VrtAlarm(VrtAlarmInfo {
+                tid,
+                kind,
+                addr: get_delta(buf, pos, &mut ctx.addr)?,
+                at_insn: get_delta(buf, pos, &mut ctx.insn)?,
+                at_cycle: get_delta(buf, pos, &mut ctx.cycle)?,
+            })
         }
         other => return Err(SegmentError::Malformed(format!("unknown record tag {other:#04x}"))),
     })

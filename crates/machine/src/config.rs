@@ -2,6 +2,7 @@
 
 use rnr_isa::Addr;
 use rnr_ras::RasConfig;
+use rnr_vrt::VrtParams;
 
 use crate::{CostModel, ExitControls};
 
@@ -24,6 +25,10 @@ pub struct MachineConfig {
     /// Hardware indirect-branch table for JOP detection (Table 1, row 2);
     /// `None` disables JOP alarms.
     pub jop_table: Option<crate::JopTable>,
+    /// Variable Record Table memory-safety detector (DESIGN.md §15);
+    /// `None` leaves the VM unarmed — replay VMs always are, so VRT alarms
+    /// come from the log, never from re-detection.
+    pub vrt: Option<VrtParams>,
     /// Cycle cost model.
     pub costs: CostModel,
     /// Use the predecoded instruction cache ([`crate::BlockCache`]). A pure
@@ -67,6 +72,7 @@ impl Default for MachineConfig {
             ras: RasConfig::default(),
             exits: ExitControls::default(),
             jop_table: None,
+            vrt: None,
             costs: CostModel::default(),
             decode_cache: true,
             block_engine: true,

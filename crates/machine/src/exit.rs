@@ -143,6 +143,15 @@ pub enum Exit {
         /// The illegal resolved target.
         target: Addr,
     },
+    /// A store tripped the Variable Record Table's noisy memory-safety
+    /// rules (DESIGN.md §15). The instruction has retired (the write
+    /// landed); resume directly.
+    VrtAlarm {
+        /// Which watch window fired.
+        kind: rnr_vrt::VrtKind,
+        /// First byte of the offending store.
+        addr: Addr,
+    },
     /// A breakpointed instruction is about to execute (context-switch
     /// interposition, §5.2.1). Resume with
     /// [`GuestVm::skip_breakpoint_once`](crate::GuestVm::skip_breakpoint_once).

@@ -692,7 +692,7 @@ impl BlockCache {
 /// A run-wide, read-mostly pool of decoded page caches shared between the
 /// recorder, the CR (or its span workers), and the alarm replayers.
 ///
-/// Each entry pairs a decoded [`PageCache`] with an `Arc` of the exact page
+/// Each entry pairs a decoded `PageCache` with an `Arc` of the exact page
 /// bytes it was decoded from. That pairing is what makes the pool sound
 /// across threads with no version protocol: guest pages are immutable behind
 /// their `Arc` (every writer goes through `Arc::make_mut`, and the pool's

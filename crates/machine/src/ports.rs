@@ -27,6 +27,21 @@ pub const PORT_CONSOLE: u16 = 0x30;
 /// Hardware random number source (non-deterministic input, logged).
 pub const PORT_RNG: u16 = 0x40;
 
+/// VRT doorbell: region base address (write-only latch).
+pub const PORT_VRT_BASE: u16 = 0x50;
+/// VRT doorbell: region length in bytes (write-only latch).
+pub const PORT_VRT_LEN: u16 = 0x51;
+/// VRT doorbell: command register; [`VRT_CMD_DECLARE`] inserts the latched
+/// region into the Variable Record Table, [`VRT_CMD_RETIRE`] removes the
+/// entry declared at the latched base. Deterministic guest-visible no-ops
+/// (no readable state, no interrupt), so they need no log records.
+pub const PORT_VRT_CMD: u16 = 0x52;
+
+/// VRT command: declare the latched `[base, base + len)` region live.
+pub const VRT_CMD_DECLARE: u64 = 1;
+/// VRT command: retire the region declared at the latched base.
+pub const VRT_CMD_RETIRE: u64 = 2;
+
 /// Disk command: read sectors into guest memory via DMA.
 pub const DISK_CMD_READ: u64 = 1;
 /// Disk command: write sectors from guest memory.

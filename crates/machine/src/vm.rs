@@ -105,6 +105,9 @@ pub struct GuestVm {
     // to adopt a pool entry decoded from the identical page `Arc` before
     // rebuilding. Wall-clock only — never touches guest state.
     shared_cache: Option<std::sync::Arc<crate::icache::SharedPageCache>>,
+    // The Variable Record Table memory-safety detector (DESIGN.md §15).
+    // Armed on recording VMs only; replay VMs take VRT alarms from the log.
+    vrt: Option<rnr_vrt::VrtUnit>,
 }
 
 impl GuestVm {
@@ -120,10 +123,12 @@ impl GuestVm {
             mem.write_bytes(image.base(), image.bytes()).expect("image must fit in guest memory");
         }
         let cpu = Cpu::new(0, config.ras);
+        let vrt = config.vrt.clone().map(rnr_vrt::VrtUnit::new);
         GuestVm {
             cpu,
             mem,
             config,
+            vrt,
             icache: BlockCache::new(),
             cycles: 0,
             retired: 0,
@@ -144,6 +149,27 @@ impl GuestVm {
     /// per-page `Arc` identity check makes every adopted entry exact.
     pub fn attach_shared_cache(&mut self, shared: std::sync::Arc<crate::icache::SharedPageCache>) {
         self.shared_cache = Some(shared);
+    }
+
+    /// VRT doorbell (hypervisor device emulation): a guest region went
+    /// live. No-op on unarmed VMs.
+    pub fn vrt_declare(&mut self, base: Addr, len: u64) {
+        if let Some(vrt) = &mut self.vrt {
+            vrt.declare(base, len);
+        }
+    }
+
+    /// VRT doorbell (hypervisor device emulation): the region declared at
+    /// `base` was freed. No-op on unarmed VMs.
+    pub fn vrt_retire(&mut self, base: Addr) {
+        if let Some(vrt) = &mut self.vrt {
+            vrt.retire(base);
+        }
+    }
+
+    /// The VRT's diagnostic counters, if the VM is armed.
+    pub fn vrt_counters(&self) -> Option<&rnr_vrt::VrtCounters> {
+        self.vrt.as_ref().map(|v| v.counters())
     }
 
     /// Debugging: record every store whose 8-byte window covers `addr`.
@@ -564,9 +590,16 @@ impl GuestVm {
                 let insn = self.icache.slot_insn(page, base_slot + done as usize);
                 let is_store = matches!(insn.op, Opcode::St | Opcode::St8 | Opcode::Push);
                 if let Err(exit) = self.exec_straight(insn) {
-                    // Commit partial progress: exits from straight-line
-                    // instructions (faults, MMIO) do not retire the
-                    // instruction, exactly like `execute`.
+                    if matches!(exit, Exit::VrtAlarm { .. }) {
+                        // The alarming store *retired* (the write landed):
+                        // commit it before exiting, like `execute`. The SMC
+                        // version check is safely skipped — the next
+                        // dispatch revalidates the page.
+                        done += 1;
+                    }
+                    // Commit partial progress: all other exits from
+                    // straight-line instructions (faults, MMIO) do not
+                    // retire the instruction, exactly like `execute`.
                     self.cpu.pc = pc + 8 * done;
                     self.retired += done;
                     self.cycles += icost * done;
@@ -670,8 +703,16 @@ impl GuestVm {
             match op.step {
                 TraceStep::Straight | TraceStep::StraightStore => {
                     if let Err(exit) = self.exec_straight(op.insn) {
-                        // Exits from straight-line instructions (faults,
-                        // MMIO) do not retire the instruction.
+                        if matches!(exit, Exit::VrtAlarm { .. }) {
+                            // The alarming store retired: commit it at the
+                            // next op's PC. The constituent-page write check
+                            // is safely skipped — the next lookup
+                            // revalidates every page.
+                            self.trace_commit(op.expect, done + 1, icost);
+                            return Err(exit);
+                        }
+                        // Other exits from straight-line instructions
+                        // (faults, MMIO) do not retire the instruction.
                         self.trace_commit(op.pc, done, icost);
                         return Err(exit);
                     }
@@ -737,6 +778,10 @@ impl GuestVm {
                         }));
                     }
                     let outcome = self.cpu.ras.on_call(ret_addr);
+                    let sp = self.cpu.sp();
+                    if let Some(vrt) = &mut self.vrt {
+                        vrt.on_call(sp);
+                    }
                     let mut exit = None;
                     if op.step == TraceStep::CallR {
                         if let Some(table) = &self.config.jop_table {
@@ -783,6 +828,9 @@ impl GuestVm {
                         }
                     };
                     let outcome = self.cpu.ras.on_ret(op.pc, target);
+                    if let Some(vrt) = &mut self.vrt {
+                        vrt.on_ret();
+                    }
                     let mut exit = None;
                     if let RasOutcome::Mispredict(m) = outcome {
                         if self.cpu.ras.alarms_enabled() {
@@ -1099,10 +1147,22 @@ impl GuestVm {
                 if res.is_err() {
                     return Err(Exit::Fault(FaultKind::BadMemory { addr }));
                 }
+                let sp = self.cpu.sp();
+                if let Some(vrt) = &mut self.vrt {
+                    if let Some(kind) = vrt.on_store(addr, sp) {
+                        // Unlike faults, this store retired (the write
+                        // landed); the block/trace callers commit it.
+                        return Err(Exit::VrtAlarm { kind, addr });
+                    }
+                }
             }
             Push => {
                 if self.push(rs1).is_err() {
                     return Err(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
+                }
+                let sp = self.cpu.sp();
+                if let Some(vrt) = &mut self.vrt {
+                    vrt.note_sp(sp);
                 }
             }
             Pop => match self.pop() {
@@ -1264,10 +1324,21 @@ impl GuestVm {
                 if res.is_err() {
                     return Some(Exit::Fault(FaultKind::BadMemory { addr }));
                 }
+                let sp = self.cpu.sp();
+                if let Some(vrt) = &mut self.vrt {
+                    if let Some(kind) = vrt.on_store(addr, sp) {
+                        // Retire-then-exit: the write landed.
+                        exit = Some(Exit::VrtAlarm { kind, addr });
+                    }
+                }
             }
             Push => {
                 if self.push(rs1).is_err() {
                     return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
+                }
+                let sp = self.cpu.sp();
+                if let Some(vrt) = &mut self.vrt {
+                    vrt.note_sp(sp);
                 }
             }
             Pop => match self.pop() {
@@ -1281,6 +1352,10 @@ impl GuestVm {
                     return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp().wrapping_sub(8) }));
                 }
                 let outcome = self.cpu.ras.on_call(ret_addr);
+                let sp = self.cpu.sp();
+                if let Some(vrt) = &mut self.vrt {
+                    vrt.on_call(sp);
+                }
                 next_pc = target;
                 if insn.op == CallR {
                     if let Some(table) = &self.config.jop_table {
@@ -1306,6 +1381,9 @@ impl GuestVm {
                     Err(_) => return Some(Exit::Fault(FaultKind::BadMemory { addr: self.cpu.sp() })),
                 };
                 let outcome = self.cpu.ras.on_ret(pc, target);
+                if let Some(vrt) = &mut self.vrt {
+                    vrt.on_ret();
+                }
                 next_pc = target;
                 if let RasOutcome::Mispredict(m) = outcome {
                     if self.cpu.ras.alarms_enabled() {

@@ -1,16 +1,19 @@
-//! The alarm replayer: resolve an alarm into a false positive or a
-//! characterized ROP attack (§4.6.2, §6).
+//! The alarm replayer: resolve an alarm into a false positive, a
+//! characterized ROP attack (§4.6.2, §6), or — for the VRT detector family
+//! (DESIGN.md §15) — a characterized memory-safety violation.
 
 use std::sync::Arc;
 
+use rnr_guest::layout;
 use rnr_hypervisor::{Introspector, VmSpec};
 use rnr_isa::{disasm, Addr, Opcode};
-use rnr_log::InputLog;
+use rnr_log::{AlarmInfo, InputLog, VrtAlarmInfo};
 use rnr_machine::CallRetTrap;
 use rnr_ras::ThreadId;
+use rnr_vrt::{coverage, VrtKind};
 
 use crate::engine::ShadowEventKind;
-use crate::{AlarmCase, ReplayConfig, ReplayError, ReplayOutcome, Replayer};
+use crate::{AlarmCase, CaseKind, ReplayConfig, ReplayError, ReplayOutcome, Replayer};
 
 /// Why an alarm was *not* an attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +29,17 @@ pub enum FalsePositiveKind {
     /// The unbounded software RAS predicted the return correctly: the alarm
     /// was an artifact of the bounded hardware RAS.
     HardwareCapacity,
+    /// VRT: the store hit a live allocation's partial head/tail granule —
+    /// coverage rounding (the table watches whole granules only) made the
+    /// hardware blind to the region's exact bounds (DESIGN.md §15).
+    CoarseBounds,
+    /// VRT: the store hit a live allocation whose table entry had been
+    /// capacity-evicted, so the hardware no longer knew the region existed.
+    EvictedRegion,
+    /// VRT: the store hit a returned-frame watch window that no longer
+    /// described dead stack — the frame bytes were live again (reuse by a
+    /// deeper call, or a longjmp unwound past the bookkeeping).
+    StaleFrame,
 }
 
 /// One decoded element of the attacker's stack payload.
@@ -96,6 +110,51 @@ impl std::fmt::Display for RopReport {
     }
 }
 
+/// The memory-safety violation characterization (DESIGN.md §15): where the
+/// offending store landed, which allocation it escaped, and the machine
+/// context at the alarm point.
+#[derive(Debug, Clone)]
+pub struct MemReport {
+    /// Thread executing the offending store.
+    pub tid: ThreadId,
+    /// Which VRT watch family fired.
+    pub kind: VrtKind,
+    /// First byte of the offending store.
+    pub addr: Addr,
+    /// The nearest live allocation at or below `addr` (`(base, len)`), when
+    /// one exists — for a heap overflow, the allocation that was overrun.
+    pub region: Option<(Addr, u64)>,
+    /// The stack pointer at the alarm point.
+    pub sp_at_alarm: Addr,
+    /// Retired-instruction count of the violation.
+    pub at_insn: u64,
+    /// Virtual cycle of the violation.
+    pub at_cycle: u64,
+    /// Live guest threads at the violation (`(tid, state)`).
+    pub threads: Vec<(ThreadId, u64)>,
+    /// The guest privilege flag at the alarm point.
+    pub priv_flag_at_alarm: u64,
+}
+
+impl std::fmt::Display for MemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let family = match self.kind {
+            VrtKind::Heap => "heap overflow",
+            VrtKind::Stack => "use-after-return",
+        };
+        writeln!(f, "memory-safety violation ({family}): store to {:#x}", self.addr)?;
+        match self.region {
+            Some((base, len)) => {
+                writeln!(f, "  escaped allocation: [{:#x}, {:#x}) ({len} bytes)", base, base + len)?
+            }
+            None => writeln!(f, "  no live allocation near the store")?,
+        }
+        writeln!(f, "  thread: {}; sp at alarm: {:#x}", self.tid, self.sp_at_alarm)?;
+        writeln!(f, "  at instruction {}, cycle {}", self.at_insn, self.at_cycle)?;
+        Ok(())
+    }
+}
+
 /// Outcome of alarm resolution.
 #[derive(Debug, Clone)]
 pub enum Verdict {
@@ -103,12 +162,19 @@ pub enum Verdict {
     FalsePositive(FalsePositiveKind),
     /// A real ROP attack, fully characterized.
     RopAttack(Box<RopReport>),
+    /// A real heap overflow: the store landed outside every precisely-live
+    /// allocation (DESIGN.md §15).
+    HeapOverflow(Box<MemReport>),
+    /// A real use-after-return: the store landed in dead stack, below the
+    /// stack pointer at the alarm point (DESIGN.md §15).
+    UseAfterReturn(Box<MemReport>),
 }
 
 impl Verdict {
-    /// True for [`Verdict::RopAttack`].
+    /// True for every attack verdict ([`Verdict::RopAttack`],
+    /// [`Verdict::HeapOverflow`], [`Verdict::UseAfterReturn`]).
     pub fn is_attack(&self) -> bool {
-        matches!(self, Verdict::RopAttack(_))
+        matches!(self, Verdict::RopAttack(_) | Verdict::HeapOverflow(_) | Verdict::UseAfterReturn(_))
     }
 }
 
@@ -160,7 +226,9 @@ impl<'a> AlarmReplayer<'a> {
     }
 
     /// Resolves one alarm case: replays from its checkpoint to the alarm
-    /// marker and classifies the misprediction.
+    /// marker and classifies the violation — a RAS misprediction through the
+    /// software shadow RAS, a VRT memory-safety alarm against the guest's
+    /// precise allocation state.
     ///
     /// # Errors
     ///
@@ -178,12 +246,92 @@ impl<'a> AlarmReplayer<'a> {
         }
         replayer.stop_after_record(case.alarm_index);
         let outcome = replayer.run()?;
-        let verdict = self.classify(case, &outcome);
+        let verdict = match &case.kind {
+            CaseKind::Ras(info) => self.classify(info, &outcome),
+            CaseKind::Vrt(info) => self.classify_vrt(info, &outcome),
+        };
         Ok((verdict, outcome))
     }
 
-    fn classify(&self, case: &AlarmCase, outcome: &ReplayOutcome) -> Verdict {
-        let alarm = &case.alarm;
+    /// Classifies a VRT memory-safety alarm by pure geometry against the
+    /// replayed guest state at the alarm point (DESIGN.md §15): the kernel's
+    /// precise allocation table says exactly which heap regions were live,
+    /// and the replayed stack pointer says exactly where the live stack
+    /// ended. The hardware's noisy rules (capacity eviction, coarse granule
+    /// rounding, stale frame windows) are each refuted — or confirmed — from
+    /// that precise state.
+    fn classify_vrt(&self, alarm: &VrtAlarmInfo, outcome: &ReplayOutcome) -> Verdict {
+        let params = self.config.vrt.clone().unwrap_or_default();
+        let vm = &outcome.vm;
+        let addr = alarm.addr;
+        match alarm.kind {
+            VrtKind::Heap => {
+                // Walk the kernel's precise allocation table in replayed
+                // guest memory; unlike the bounded hardware table it is
+                // never evicted and never rounded.
+                let mut nearest: Option<(Addr, u64)> = None;
+                for slot in 0..layout::VRT_HEAP_SLOTS as u64 {
+                    let entry = layout::VRT_ALLOC_TABLE + slot * 16;
+                    let (Ok(base), Ok(len)) = (vm.mem().read_u64(entry), vm.mem().read_u64(entry + 8)) else {
+                        continue;
+                    };
+                    if len == 0 {
+                        continue;
+                    }
+                    if base <= addr && nearest.is_none_or(|(b, _)| b < base) {
+                        nearest = Some((base, len));
+                    }
+                    if !(base..base + len).contains(&addr) {
+                        continue;
+                    }
+                    // The store hit a precisely-live allocation: a false
+                    // positive either way — the only question is which noisy
+                    // hardware rule caused it.
+                    let (lo, hi) = coverage(base, len, params.granule);
+                    let fp = if (lo..hi).contains(&addr) {
+                        FalsePositiveKind::EvictedRegion
+                    } else {
+                        FalsePositiveKind::CoarseBounds
+                    };
+                    return Verdict::FalsePositive(fp);
+                }
+                Verdict::HeapOverflow(Box::new(self.build_mem_report(alarm, outcome, nearest)))
+            }
+            VrtKind::Stack => {
+                let sp = vm.cpu().sp();
+                if addr < sp {
+                    // Below the live stack at the alarm point: the store
+                    // went through a pointer into a dead frame.
+                    Verdict::UseAfterReturn(Box::new(self.build_mem_report(alarm, outcome, None)))
+                } else {
+                    Verdict::FalsePositive(FalsePositiveKind::StaleFrame)
+                }
+            }
+        }
+    }
+
+    fn build_mem_report(
+        &self,
+        alarm: &VrtAlarmInfo,
+        outcome: &ReplayOutcome,
+        region: Option<(Addr, u64)>,
+    ) -> MemReport {
+        let vm = &outcome.vm;
+        let intro = Introspector::new(&self.spec.kernel);
+        MemReport {
+            tid: alarm.tid,
+            kind: alarm.kind,
+            addr: alarm.addr,
+            region,
+            sp_at_alarm: vm.cpu().sp(),
+            at_insn: alarm.at_insn,
+            at_cycle: alarm.at_cycle,
+            threads: intro.thread_table(vm),
+            priv_flag_at_alarm: intro.priv_flag(vm),
+        }
+    }
+
+    fn classify(&self, alarm: &AlarmInfo, outcome: &ReplayOutcome) -> Verdict {
         let event = outcome
             .shadow_events
             .iter()
@@ -200,16 +348,15 @@ impl<'a> AlarmReplayer<'a> {
                 Verdict::FalsePositive(FalsePositiveKind::ImperfectNesting { unwound_frames: frames })
             }
             Some(ShadowEventKind::UnderflowUnexplained) | Some(ShadowEventKind::WhitelistViolation) => {
-                Verdict::RopAttack(Box::new(self.build_report(case, outcome, None)))
+                Verdict::RopAttack(Box::new(self.build_report(alarm, outcome, None)))
             }
             Some(ShadowEventKind::MismatchUnexplained { predicted }) => {
-                Verdict::RopAttack(Box::new(self.build_report(case, outcome, Some(predicted))))
+                Verdict::RopAttack(Box::new(self.build_report(alarm, outcome, Some(predicted))))
             }
         }
     }
 
-    fn build_report(&self, case: &AlarmCase, outcome: &ReplayOutcome, predicted: Option<Addr>) -> RopReport {
-        let alarm = &case.alarm;
+    fn build_report(&self, alarm: &AlarmInfo, outcome: &ReplayOutcome, predicted: Option<Addr>) -> RopReport {
         let vm = &outcome.vm;
         let intro = Introspector::new(&self.spec.kernel);
         let image = self.spec.kernel.image();

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rnr_hypervisor::{CycleAttribution, DiskDevice, Introspector, VmSpec};
 use rnr_isa::Addr;
-use rnr_log::{AlarmInfo, Category, LogCursor, LogSource, Record};
+use rnr_log::{AlarmInfo, Category, LogCursor, LogSource, Record, VrtAlarmInfo};
 use rnr_machine::{
     CallRetTrap, CostModel, Digest, Exit, ExitControls, FaultKind, FinishIo, Fnv1a, GuestVm, MachineConfig,
     RunBudget, IRQ_DISK, PORT_CONSOLE, PORT_DISK_ADDR, PORT_DISK_CMD, PORT_DISK_COUNT, PORT_DISK_SECTOR,
@@ -74,6 +74,12 @@ pub struct ReplayConfig {
     /// recorder's in-memory retained store. Resilience-only knob — never
     /// changes cycles, digests, or the report.
     pub durable_log: Option<rnr_log::DurableLogConfig>,
+    /// VRT hardware parameters of the recording (granule, watched ranges),
+    /// for the alarm replayer's precise memory-safety classification
+    /// (DESIGN.md §15). Never arms a replay VM — replay VMs are always
+    /// unarmed, so VRT alarms come from the log only. `None` falls back to
+    /// [`rnr_vrt::VrtParams::default`].
+    pub vrt: Option<rnr_vrt::VrtParams>,
 }
 
 impl Default for ReplayConfig {
@@ -95,6 +101,7 @@ impl Default for ReplayConfig {
             fault_plan: rnr_log::FaultPlan::default(),
             parallel_spans: 0,
             durable_log: None,
+            vrt: None,
         }
     }
 }
@@ -147,19 +154,70 @@ pub struct JopCase {
     pub at_cycle: u64,
 }
 
+/// Which detector family raised an escalated alarm, with its payload.
+///
+/// Both families share the escalation machinery end to end — checkpoints,
+/// the AR worker pool, span-parallel case collection, the farm's AR lane —
+/// so a case carries its detector-specific payload behind one type.
+#[derive(Debug, Clone, Copy)]
+pub enum CaseKind {
+    /// A RAS return misprediction — the ROP detector (§4.5).
+    Ras(AlarmInfo),
+    /// A Variable Record Table memory-safety alarm (DESIGN.md §15).
+    Vrt(VrtAlarmInfo),
+}
+
+impl CaseKind {
+    /// Retired-instruction count at the alarm.
+    pub fn at_insn(&self) -> u64 {
+        match self {
+            CaseKind::Ras(info) => info.at_insn,
+            CaseKind::Vrt(info) => info.at_insn,
+        }
+    }
+
+    /// Virtual cycle at the alarm.
+    pub fn at_cycle(&self) -> u64 {
+        match self {
+            CaseKind::Ras(info) => info.at_cycle,
+            CaseKind::Vrt(info) => info.at_cycle,
+        }
+    }
+
+    /// Thread running when the alarm fired.
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            CaseKind::Ras(info) => info.tid,
+            CaseKind::Vrt(info) => info.tid,
+        }
+    }
+}
+
 /// An alarm the CR could not discard, packaged for an alarm replayer.
 #[derive(Debug, Clone)]
 pub struct AlarmCase {
     /// The checkpoint immediately preceding the alarm.
     pub checkpoint: Checkpoint,
-    /// The alarm itself.
-    pub alarm: AlarmInfo,
+    /// The alarm itself, tagged by detector family.
+    pub kind: CaseKind,
     /// Index of the alarm record in the input log.
     pub alarm_index: usize,
     /// The CR's own virtual clock when it processed the alarm record — the
     /// measured CR position behind the recorded execution, used for the §8.4
     /// detection window.
     pub cr_cycle: u64,
+}
+
+impl AlarmCase {
+    /// Retired-instruction count at the alarm.
+    pub fn at_insn(&self) -> u64 {
+        self.kind.at_insn()
+    }
+
+    /// Virtual cycle at the alarm.
+    pub fn at_cycle(&self) -> u64 {
+        self.kind.at_cycle()
+    }
 }
 
 /// Replay failures.
@@ -406,7 +464,7 @@ const MAX_ATTEMPTS_PER_POINT: u32 = 3;
 impl Replayer {
     /// A replayer starting from the initial VM state (the CR, §4.6.1).
     ///
-    /// The log may be a complete [`Arc<InputLog>`] or a live
+    /// The log may be a complete [`Arc<InputLog>`](std::sync::Arc) or a live
     /// [`rnr_log::LogStream`] fed by a still-running recorder — replay is
     /// identical either way; a streaming source simply blocks when it
     /// catches up to the recorder.
@@ -647,6 +705,27 @@ impl Replayer {
                     self.cursor.advance();
                     self.alarms_seen += 1;
                     self.jop_cases.push(JopCase { tid, branch_pc, target, at_insn, at_cycle });
+                }
+                Record::VrtAlarm(info) => {
+                    // The CR has no precise allocation view, so (unlike RAS
+                    // underflows) no VRT alarm can be discarded here: every
+                    // one escalates to an alarm replayer.
+                    self.run_to(info.at_insn)?;
+                    self.cursor.advance();
+                    self.alarms_seen += 1;
+                    if self.cfg.collect_cases {
+                        let checkpoint = self
+                            .store
+                            .before(info.at_insn)
+                            .cloned()
+                            .expect("initial checkpoint always exists");
+                        self.cases.push(AlarmCase {
+                            checkpoint,
+                            kind: CaseKind::Vrt(info),
+                            alarm_index: index,
+                            cr_cycle: self.vm.cycles(),
+                        });
+                    }
                 }
                 Record::Interrupt { irq, at_insn } => {
                     self.run_to(at_insn)?;
@@ -1038,7 +1117,7 @@ impl Replayer {
                 self.store.before(info.at_insn).cloned().expect("initial checkpoint always exists");
             self.cases.push(AlarmCase {
                 checkpoint,
-                alarm: info,
+                kind: CaseKind::Ras(info),
                 alarm_index: index,
                 cr_cycle: self.vm.cycles(),
             });

@@ -17,14 +17,22 @@
 //! * The **checkpointing replayer** (CR) is a [`Replayer`] with a
 //!   checkpoint interval; it also performs the §4.6.2 special case:
 //!   matching RAS-underflow alarms against *evict* records and discarding
-//!   the false ones without launching an alarm replayer.
+//!   the false ones without launching an alarm replayer. The CR can run
+//!   serially or span-partitioned across workers ([`replay_spans`],
+//!   DESIGN.md §11): the fold reconstructs the serial CR's clock,
+//!   checkpoint schedule, and alarm bookkeeping byte-identically, so
+//!   `parallel_spans` is a wall-clock-only knob.
 //! * [`AlarmReplayer`] — launched from the checkpoint preceding an
-//!   unresolved alarm; traps every call/return, models the unbounded
-//!   multithreaded software RAS (`rnr_ras::ShadowRas`), and resolves the
-//!   alarm into a [`Verdict`]: a classified false positive or a
-//!   [`RopReport`] with the hijacked return, call site, thread, and decoded
-//!   gadget chain (§6's "how was the attack possible / who / what did they
-//!   do" analysis).
+//!   unresolved alarm of *either detector family* ([`CaseKind`]). For RAS
+//!   cases it traps every call/return, models the unbounded multithreaded
+//!   software RAS (`rnr_ras::ShadowRas`), and resolves the alarm into a
+//!   [`Verdict`]: a classified false positive or a [`RopReport`] with the
+//!   hijacked return, call site, thread, and decoded gadget chain (§6's
+//!   "how was the attack possible / who / what did they do" analysis). For
+//!   VRT memory-safety cases (DESIGN.md §15) it replays to the alarm point
+//!   and classifies the store against the guest's *precise* allocation
+//!   state, producing [`Verdict::HeapOverflow`], [`Verdict::UseAfterReturn`],
+//!   or a named false positive for each noisy hardware rule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,10 +44,11 @@ mod parallel;
 pub mod pool;
 
 pub use alarm::{resolve_jop, JopVerdict};
-pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, RopReport, Verdict};
+pub use alarm::{AlarmReplayer, FalsePositiveKind, GadgetUse, MemReport, RopReport, Verdict};
 pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use engine::{
-    AlarmCase, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer, RewindStep,
+    AlarmCase, CaseKind, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer,
+    RewindStep,
 };
 pub use parallel::{
     assemble_spans, plan_spans, replay_spans, run_planned_span, ParallelReplayOutcome, SpanDone, SpanFeed,

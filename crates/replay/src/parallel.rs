@@ -35,8 +35,8 @@ use rnr_ras::{MispredictKind, ThreadId};
 
 use crate::engine::SpanRun;
 use crate::{
-    pool, AlarmCase, Checkpoint, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery, Replayer,
-    RewindStep,
+    pool, AlarmCase, CaseKind, Checkpoint, JopCase, ReplayConfig, ReplayError, ReplayOutcome, ReplayRecovery,
+    Replayer, RewindStep,
 };
 
 /// Re-execution attempts per span before giving up (mirrors the serial
@@ -168,7 +168,7 @@ struct Placement {
 /// An alarm case before checkpoint materialization.
 struct CaseRef {
     placement: u64,
-    alarm: rnr_log::AlarmInfo,
+    kind: CaseKind,
     alarm_index: usize,
     cr_cycle: u64,
 }
@@ -378,7 +378,7 @@ pub fn assemble_spans(
         .iter()
         .map(|c| AlarmCase {
             checkpoint: built.get(&c.placement).cloned().expect("referenced checkpoint materialized"),
-            alarm: c.alarm,
+            kind: c.kind,
             alarm_index: c.alarm_index,
             cr_cycle: c.cr_cycle,
         })
@@ -807,7 +807,32 @@ fn fold_spans(cfg: &ReplayConfig, records: &[Record], spans: &[&SpanRun]) -> Fol
                             .or_else(|| live.front())
                             .expect("initial checkpoint always exists")
                             .0;
-                        case_refs.push(CaseRef { placement, alarm: *info, alarm_index: j, cr_cycle: a });
+                        case_refs.push(CaseRef {
+                            placement,
+                            kind: CaseKind::Ras(*info),
+                            alarm_index: j,
+                            cr_cycle: a,
+                        });
+                    }
+                }
+                Record::VrtAlarm(info) => {
+                    // Like the serial drive loop: VRT alarms have no
+                    // CR-side cancellation rule, so every one escalates.
+                    alarms_seen += 1;
+                    if cfg.collect_cases {
+                        let placement = live
+                            .iter()
+                            .rev()
+                            .find(|(_, ai)| *ai <= info.at_insn)
+                            .or_else(|| live.front())
+                            .expect("initial checkpoint always exists")
+                            .0;
+                        case_refs.push(CaseRef {
+                            placement,
+                            kind: CaseKind::Vrt(*info),
+                            alarm_index: j,
+                            cr_cycle: a,
+                        });
                     }
                 }
                 Record::JopAlarm { tid, branch_pc, target, at_insn, at_cycle } => {

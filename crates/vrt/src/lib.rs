@@ -1,0 +1,404 @@
+//! # rnr-vrt: a Variable Record Table–style memory-safety detector
+//!
+//! The second hardware detector family of the reproduction (DESIGN.md §15),
+//! modeled on "Variable Record Table: A Unified Hardware-Assisted Framework
+//! for Runtime Security". Where [`rnr-ras`](../rnr_ras/index.html) watches
+//! control flow, the VRT watches **data writes**: a small bounded table of
+//! live heap-region extents plus a ring of recently returned stack-frame
+//! windows, checked on every store. Like the RAS it is deliberately
+//! **cheap and noisy** — sound for the attacks it targets (no false
+//! negatives by construction, see below) but happy to raise false alarms,
+//! because RnR-Safe's replay machinery resolves every alarm precisely in
+//! the Alarm Replayer.
+//!
+//! ## What the hardware tracks
+//!
+//! * **Heap coverage** — the guest kernel declares each live allocation
+//!   through a PIO doorbell ([`rnr-machine`](../rnr_machine/index.html)'s
+//!   `PORT_VRT_*`). The table stores only the *granule-rounded interior*
+//!   of the region: [`coverage`] rounds the base **up** and the end
+//!   **down** to [`VrtParams::granule`], so partial head/tail granules are
+//!   never covered. A store into the heap window whose first byte lands in
+//!   uncovered ground raises a [`VrtKind::Heap`] alarm.
+//! * **Returned stack windows** — calls and returns maintain a bounded
+//!   frame stack of `(entry_sp, min_sp)` extents; a return whose frame
+//!   spanned at least [`VrtParams::min_frame`] bytes files the dead window
+//!   `[min_sp, entry_sp)` into a small ring. A later store landing inside
+//!   a filed window raises a [`VrtKind::Stack`] alarm and retires the
+//!   window (one alarm per window).
+//!
+//! ## The noisy-rule inventory (why false positives happen)
+//!
+//! * **Coarse bounds** — coverage excludes partial granules, so a benign
+//!   write into a live region's unaligned head or tail granule alarms.
+//! * **Capacity eviction** — the table is FIFO-bounded; a benign write
+//!   into a live-but-evicted region alarms.
+//! * **Stale frames** — the ring keeps windows with no liveness tracking;
+//!   ordinary frame reuse (and `longjmp`, which abandons frames without
+//!   returning through them) leaves windows that overlap perfectly live
+//!   stack, so benign stores alarm.
+//!
+//! ## The zero-false-negative argument (heap overflow)
+//!
+//! The guest allocator places regions in fixed slots whose stride leaves an
+//! inter-slot gap of at least two granules. Gap bytes are never part of any
+//! declared region, so no table entry — including the shadow entries an
+//! alarm inserts — ever covers them *before the first overflowing store
+//! arrives*: shadow coverage is only created *by* an alarm on that granule.
+//! A linear overflow past a slot therefore puts the first byte of some
+//! store into an uncovered gap granule, which alarms unconditionally.
+//! Alarm **shadow entries** then bound the storm: the alarmed granule is
+//! covered afterwards, so repeats of the same overflow alarm at most once
+//! per distinct granule, and the Alarm Replayer proves the verdict from
+//! the guest's precise allocation table.
+//!
+//! ## Example
+//!
+//! ```
+//! use rnr_vrt::{VrtKind, VrtParams, VrtUnit};
+//!
+//! let p = VrtParams::default();
+//! let mut vrt = VrtUnit::new(p.clone());
+//! vrt.declare(p.heap_lo + 8, 256);             // unaligned live region
+//! let sp = p.stack_hi - 64;
+//! assert_eq!(vrt.on_store(p.heap_lo + 8, sp), Some(VrtKind::Heap)); // head granule: coarse-bounds FP
+//! assert_eq!(vrt.on_store(p.heap_lo + 64, sp), None);              // interior granule: covered
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use rnr_isa::Addr;
+
+/// Geometry and sizing of the [`VrtUnit`].
+///
+/// The watch windows default to the reference guest's layout (16 KiB
+/// kernel stacks below `0x14_0000`, kernel heap at `0x16_0000`); pipelines
+/// targeting a different guest override them.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VrtParams {
+    /// First heap address the unit watches (inclusive).
+    pub heap_lo: Addr,
+    /// First address past the watched heap window.
+    pub heap_hi: Addr,
+    /// First stack address the unit watches (inclusive).
+    pub stack_lo: Addr,
+    /// First address past the watched stack window.
+    pub stack_hi: Addr,
+    /// Heap-table capacity in entries (live regions + alarm shadows).
+    pub capacity: usize,
+    /// Coverage granule in bytes; bases round up and ends round down to it.
+    pub granule: u64,
+    /// Returned-window ring capacity.
+    pub ring: usize,
+    /// Frame-stack depth bound; the oldest frame is dropped past it.
+    pub frames: usize,
+    /// Minimum frame span (bytes) for a returned window to enter the ring.
+    pub min_frame: u64,
+}
+
+impl Default for VrtParams {
+    fn default() -> Self {
+        VrtParams {
+            heap_lo: 0x16_0000,
+            heap_hi: 0x1A_0000,
+            stack_lo: 0x10_0000,
+            stack_hi: 0x14_0000,
+            capacity: 8,
+            granule: 64,
+            ring: 4,
+            frames: 32,
+            min_frame: 256,
+        }
+    }
+}
+
+/// Which watch window a store tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum VrtKind {
+    /// Store into the heap window with an uncovered first byte.
+    Heap,
+    /// Store into a returned stack-frame window.
+    Stack,
+}
+
+impl VrtKind {
+    /// Wire encoding for the input log.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            VrtKind::Heap => 0,
+            VrtKind::Stack => 1,
+        }
+    }
+
+    /// Inverse of [`VrtKind::as_u8`]; unknown bytes decode as `None`.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(VrtKind::Heap),
+            1 => Some(VrtKind::Stack),
+            _ => None,
+        }
+    }
+}
+
+/// The granule-rounded interior of a region: `[round_up(base), round_down(base + len))`.
+///
+/// Shared by the hardware table and the Alarm Replayer's precise
+/// classifier, so both sides agree on what the noisy rule *would* have
+/// covered. A region too small to contain a full aligned granule yields an
+/// empty interval (`lo == hi`).
+pub fn coverage(base: Addr, len: u64, granule: u64) -> (Addr, Addr) {
+    let g = granule.max(1);
+    let lo = base.div_ceil(g).saturating_mul(g);
+    let hi = (base.saturating_add(len) / g).saturating_mul(g);
+    (lo, lo.max(hi))
+}
+
+/// One heap-table slot: a declared region's coverage, or an alarm shadow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry {
+    /// The declared base (retire key); for shadows, the alarmed granule.
+    key: Addr,
+    lo: Addr,
+    hi: Addr,
+    shadow: bool,
+}
+
+/// One tracked call frame: entry stack pointer and the lowest sp observed
+/// while the frame was on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    entry_sp: Addr,
+    min_sp: Addr,
+}
+
+/// A returned frame's dead window `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Window {
+    lo: Addr,
+    hi: Addr,
+}
+
+/// Diagnostic counters (never part of a report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VrtCounters {
+    /// Regions declared through the doorbell.
+    pub declares: u64,
+    /// Regions retired through the doorbell (misses of evicted entries count too).
+    pub retires: u64,
+    /// Heap-table entries lost to capacity eviction.
+    pub evictions: u64,
+    /// Shadow entries inserted by heap alarms.
+    pub shadows: u64,
+    /// Heap alarms raised.
+    pub heap_alarms: u64,
+    /// Stack alarms raised.
+    pub stack_alarms: u64,
+    /// Returned windows filed into the ring.
+    pub windows: u64,
+    /// Frames dropped off the bottom of the bounded frame stack.
+    pub frames_dropped: u64,
+}
+
+/// The Variable Record Table hardware model: heap coverage table, frame
+/// stack, and returned-window ring. Lives inside the *recording* VM only;
+/// replay VMs stay unarmed so alarms come from the log, not re-detection.
+#[derive(Debug, Clone)]
+pub struct VrtUnit {
+    params: VrtParams,
+    heap: VecDeque<HeapEntry>,
+    frames: VecDeque<Frame>,
+    ring: VecDeque<Window>,
+    counters: VrtCounters,
+}
+
+impl VrtUnit {
+    /// A fresh, empty unit.
+    pub fn new(params: VrtParams) -> Self {
+        VrtUnit {
+            params,
+            heap: VecDeque::new(),
+            frames: VecDeque::new(),
+            ring: VecDeque::new(),
+            counters: VrtCounters::default(),
+        }
+    }
+
+    /// The unit's geometry.
+    pub fn params(&self) -> &VrtParams {
+        &self.params
+    }
+
+    /// Diagnostic counters.
+    pub fn counters(&self) -> &VrtCounters {
+        &self.counters
+    }
+
+    /// Doorbell: a region `[base, base + len)` went live. Inserts its
+    /// coverage, evicting the oldest entry at capacity.
+    pub fn declare(&mut self, base: Addr, len: u64) {
+        self.counters.declares += 1;
+        let (lo, hi) = coverage(base, len, self.params.granule);
+        self.insert(HeapEntry { key: base, lo, hi, shadow: false });
+    }
+
+    /// Doorbell: the region declared at `base` was freed. Removes its
+    /// entry if it survived eviction; otherwise a no-op.
+    pub fn retire(&mut self, base: Addr) {
+        self.counters.retires += 1;
+        if let Some(i) = self.heap.iter().position(|e| !e.shadow && e.key == base) {
+            self.heap.remove(i);
+        }
+    }
+
+    /// Observe the stack pointer (pushes, calls, stores): the top frame's
+    /// extent grows downward to the lowest sp seen.
+    pub fn note_sp(&mut self, sp: Addr) {
+        if let Some(f) = self.frames.back_mut() {
+            f.min_sp = f.min_sp.min(sp);
+        }
+    }
+
+    /// A call retired with `sp` after pushing its return address: a new
+    /// frame goes on the bounded stack.
+    pub fn on_call(&mut self, sp: Addr) {
+        if self.frames.len() >= self.params.frames.max(1) {
+            self.frames.pop_front();
+            self.counters.frames_dropped += 1;
+        }
+        self.frames.push_back(Frame { entry_sp: sp, min_sp: sp });
+    }
+
+    /// A return retired: the top frame dies, and its window enters the
+    /// ring if it spanned at least [`VrtParams::min_frame`] bytes.
+    pub fn on_ret(&mut self) {
+        let Some(f) = self.frames.pop_back() else { return };
+        if f.entry_sp.saturating_sub(f.min_sp) < self.params.min_frame {
+            return;
+        }
+        if self.ring.len() >= self.params.ring.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Window { lo: f.min_sp, hi: f.entry_sp });
+        self.counters.windows += 1;
+    }
+
+    /// A store's first byte lands at `addr` with the stack pointer at
+    /// `sp`. Returns the alarm kind if the noisy rules fire.
+    pub fn on_store(&mut self, addr: Addr, sp: Addr) -> Option<VrtKind> {
+        self.note_sp(sp);
+        if addr >= self.params.stack_lo && addr < self.params.stack_hi {
+            if let Some(i) = self.ring.iter().position(|w| addr >= w.lo && addr < w.hi) {
+                self.ring.remove(i);
+                self.counters.stack_alarms += 1;
+                return Some(VrtKind::Stack);
+            }
+            return None;
+        }
+        if addr >= self.params.heap_lo && addr < self.params.heap_hi {
+            if self.heap.iter().any(|e| addr >= e.lo && addr < e.hi) {
+                return None;
+            }
+            self.counters.heap_alarms += 1;
+            self.counters.shadows += 1;
+            let g = self.params.granule.max(1);
+            let lo = (addr / g) * g;
+            self.insert(HeapEntry { key: lo, lo, hi: lo + g, shadow: true });
+            return Some(VrtKind::Heap);
+        }
+        None
+    }
+
+    fn insert(&mut self, e: HeapEntry) {
+        if self.heap.len() >= self.params.capacity.max(1) {
+            self.heap.pop_front();
+            self.counters.evictions += 1;
+        }
+        self.heap.push_back(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> (VrtParams, VrtUnit) {
+        let p = VrtParams::default();
+        (p.clone(), VrtUnit::new(p))
+    }
+
+    #[test]
+    fn coverage_excludes_partial_granules() {
+        assert_eq!(coverage(0x1000, 256, 64), (0x1000, 0x1100));
+        assert_eq!(coverage(0x1008, 256, 64), (0x1040, 0x1100));
+        assert_eq!(coverage(0x1008, 48, 64), (0x1040, 0x1040)); // too small: empty
+    }
+
+    #[test]
+    fn covered_interior_is_quiet_partial_granules_alarm() {
+        let (p, mut vrt) = unit();
+        let base = p.heap_lo + 8;
+        vrt.declare(base, 256);
+        let sp = p.stack_hi - 64;
+        assert_eq!(vrt.on_store(base, sp), Some(VrtKind::Heap)); // head granule
+        assert_eq!(vrt.on_store(p.heap_lo + 0x40, sp), None); // interior
+        assert_eq!(vrt.on_store(p.heap_lo + 0xFF, sp), None); // last covered granule
+    }
+
+    #[test]
+    fn capacity_eviction_makes_live_regions_alarm() {
+        let (p, mut vrt) = unit();
+        let sp = p.stack_hi - 64;
+        for k in 0..=p.capacity as u64 {
+            vrt.declare(p.heap_lo + k * 0x400, 0x100);
+        }
+        assert_eq!(vrt.counters().evictions, 1);
+        // The first declaration was FIFO-evicted: its interior now alarms.
+        assert_eq!(vrt.on_store(p.heap_lo + 0x40, sp), Some(VrtKind::Heap));
+    }
+
+    #[test]
+    fn shadow_entry_suppresses_repeat_alarms_per_granule() {
+        let (p, mut vrt) = unit();
+        let sp = p.stack_hi - 64;
+        let gap = p.heap_lo + 0x200;
+        assert_eq!(vrt.on_store(gap, sp), Some(VrtKind::Heap));
+        assert_eq!(vrt.on_store(gap + 8, sp), None); // same granule: shadowed
+        assert_eq!(vrt.on_store(gap + p.granule, sp), Some(VrtKind::Heap)); // next granule
+    }
+
+    #[test]
+    fn small_frames_never_enter_the_ring() {
+        let (p, mut vrt) = unit();
+        let sp = p.stack_hi - 64;
+        vrt.on_call(sp);
+        vrt.note_sp(sp - p.min_frame / 2);
+        vrt.on_ret();
+        assert_eq!(vrt.counters().windows, 0);
+        assert_eq!(vrt.on_store(sp - 16, sp - 128), None);
+    }
+
+    #[test]
+    fn returned_window_alarms_once() {
+        let (p, mut vrt) = unit();
+        let sp = p.stack_hi - 64;
+        vrt.on_call(sp);
+        vrt.note_sp(sp - 2 * p.min_frame);
+        vrt.on_ret();
+        assert_eq!(vrt.counters().windows, 1);
+        assert_eq!(vrt.on_store(sp - 32, sp), Some(VrtKind::Stack));
+        assert_eq!(vrt.on_store(sp - 32, sp), None); // window retired with the alarm
+    }
+
+    #[test]
+    fn retire_is_a_noop_for_evicted_entries() {
+        let (p, mut vrt) = unit();
+        for k in 0..=p.capacity as u64 {
+            vrt.declare(p.heap_lo + k * 0x400, 0x100);
+        }
+        vrt.retire(p.heap_lo); // evicted: silently absent
+        assert_eq!(vrt.counters().retires, 1);
+    }
+}

@@ -11,6 +11,15 @@
 //! | `mysql` (SysBench OLTP) | [`Workload::Mysql`] | rdtsc-dominated (transaction timing), pointer-chasing lookups, rare disk reads |
 //! | `radiosity` (SPLASH-2) | [`Workload::Radiosity`] | pure user-mode compute + recursion, minimal kernel activity |
 //!
+//! [`Workload::ADVERSARIAL`] adds three stress extensions beyond the
+//! paper's set: [`Workload::Jit`] (self-modifying hot loops — worst case
+//! for host-side predecode/trace caches), [`Workload::HeapServer`]
+//! (kernel-heap allocator churn tripping every VRT false-positive class,
+//! DESIGN.md §15), and [`Workload::Longjmp`] (`setjmp`/`longjmp` storms
+//! over large frames — worst case for returned-window tracking).
+//! [`WorkloadParams::interrupt_flood`] turns any of them into an
+//! asynchronous-interrupt flood.
+//!
 //! Each workload yields a [`VmSpec`](rnr_hypervisor::VmSpec) consumable by the recorder and the
 //! replayers. [`Workload::vulnerable_server`] is the apache variant whose
 //! worker passes raw network input to the kernel's vulnerable `SYS_PROCMSG`

@@ -24,6 +24,8 @@ mod bufs {
     pub const MAKE_DISK: u64 = 0x3A_0000;
     /// jit's generated-code buffer (written, then executed, then patched).
     pub const JIT_CODE: u64 = 0x3B_0000;
+    /// heap-server's table of live kernel-heap allocation bases.
+    pub const HEAP_PTRS: u64 = 0x3C_0000;
 }
 
 /// Tunable workload parameters (Table 3 analogue).
@@ -49,6 +51,15 @@ impl WorkloadParams {
     /// nor buried in unrelated burst-recursion alarms.
     pub fn attack_demo() -> WorkloadParams {
         WorkloadParams { net_mean: 30_000, large_every: 1_000, ..WorkloadParams::default() }
+    }
+
+    /// Parameters for the interrupt-flood variant: a timer period an order
+    /// of magnitude below the default floods the guest with asynchronous
+    /// interrupts — maximal context-switch pressure on the detectors'
+    /// frame tracking and on replay timing (every delivery is a logged
+    /// asynchronous event that must land on the exact instruction).
+    pub fn interrupt_flood() -> WorkloadParams {
+        WorkloadParams { timer_period: 15_000, ..WorkloadParams::default() }
     }
 }
 
@@ -83,6 +94,18 @@ pub enum Workload {
     /// and patches it on every pass — the worst case for host-side
     /// predecode/block/trace caches, which must invalidate on each write.
     Jit,
+    /// Adversarial allocator-churn workload (not in the paper): batches of
+    /// kernel-heap allocations past the VRT table capacity plus edge
+    /// writes and big-frame reuse, deliberately tripping every VRT
+    /// false-positive class (coarse bounds, capacity eviction, stale
+    /// frames) while staying completely benign.
+    HeapServer,
+    /// Adversarial `setjmp`/`longjmp` storm (not in the paper): deep call
+    /// chains with large frames alternately unwound normally (filing VRT
+    /// returned-frame windows) and abandoned via `longjmp` (misaligning
+    /// the frame stack) — the worst case for returned-window tracking and
+    /// a steady source of benign RAS target mismatches.
+    Longjmp,
 }
 
 impl Workload {
@@ -90,16 +113,19 @@ impl Workload {
     pub const ALL: [Workload; 5] =
         [Workload::Apache, Workload::Fileio, Workload::Make, Workload::Mysql, Workload::Radiosity];
 
-    /// The paper's five plus the adversarial self-modifying JIT workload —
-    /// the set equivalence and fault matrices sweep. [`Workload::ALL`]
-    /// keeps the paper's figure order for tables and benchmarks.
-    pub const ADVERSARIAL: [Workload; 6] = [
+    /// The paper's five plus the adversarial extensions (self-modifying
+    /// JIT, allocator churn, longjmp storms) — the set equivalence and
+    /// fault matrices sweep. [`Workload::ALL`] keeps the paper's figure
+    /// order for tables and benchmarks.
+    pub const ADVERSARIAL: [Workload; 8] = [
         Workload::Apache,
         Workload::Fileio,
         Workload::Make,
         Workload::Mysql,
         Workload::Radiosity,
         Workload::Jit,
+        Workload::HeapServer,
+        Workload::Longjmp,
     ];
 
     /// Figure/table label.
@@ -111,6 +137,8 @@ impl Workload {
             Workload::Mysql => "mysql",
             Workload::Radiosity => "radiosity",
             Workload::Jit => "jit",
+            Workload::HeapServer => "heapserver",
+            Workload::Longjmp => "longjmp",
         }
     }
 
@@ -127,6 +155,8 @@ impl Workload {
             }
             Workload::Radiosity => "-p1 -bf 0.005 -batch -largeroom",
             Workload::Jit => "self-modifying hot loops (adversarial extension; not in the paper)",
+            Workload::HeapServer => "kernel-heap allocator churn (adversarial extension; not in the paper)",
+            Workload::Longjmp => "setjmp/longjmp storms (adversarial extension; not in the paper)",
         }
     }
 
@@ -186,6 +216,12 @@ fn build_spec(kind: Workload, pv: bool, params: &WorkloadParams, vulnerable: boo
         Workload::Jit => {
             spec.boot.user_thread(entry("jit_main"));
         }
+        Workload::HeapServer => {
+            spec.boot.user_thread(entry("heap_main"));
+        }
+        Workload::Longjmp => {
+            spec.boot.user_thread(entry("longjmp_main"));
+        }
     }
     spec.boot.set_param(0, params.compute);
     spec
@@ -201,6 +237,8 @@ fn build_user_image(kind: Workload, params: &WorkloadParams, vulnerable: bool) -
         Workload::Mysql => emit_mysql(&mut a),
         Workload::Radiosity => emit_radiosity(&mut a),
         Workload::Jit => emit_jit(&mut a),
+        Workload::HeapServer => emit_heapserver(&mut a),
+        Workload::Longjmp => emit_longjmp(&mut a),
     }
     runtime::emit_runtime(&mut a);
     a.assemble().expect("workload assembly must succeed")
@@ -448,6 +486,154 @@ fn emit_jit(a: &mut Assembler) {
     a.jmp("jit_loop");
 }
 
+fn emit_heapserver(a: &mut Assembler) {
+    const SP: Reg = Reg::SP;
+    // Benign allocator churn tuned to trip every VRT false-positive class
+    // (DESIGN.md §15): batches two past the table capacity force FIFO
+    // eviction of live regions, pokes at jittered bases land in uncovered
+    // partial head granules, and paired big-frame calls reuse a returned
+    // window. Every alarm this program raises is a false positive.
+    a.label("heap_main");
+    a.movi(Reg::R13, 0); // iteration counter
+    a.label("hp_loop");
+    // Allocate a batch of 10 (VRT capacity is 8): the two oldest batch
+    // entries are FIFO-evicted from the hardware table while still live.
+    a.movi(Reg::R10, bufs::HEAP_PTRS as i32);
+    a.movi(Reg::R11, 0);
+    a.label("hp_alloc");
+    a.movi(R5, 10);
+    a.bgeu(Reg::R11, R5, "hp_allocd");
+    a.muli(R1, Reg::R11, 96);
+    a.addi(R1, R1, 200); // sizes 200..1064: varied partial tail granules
+    a.call("u_alloc");
+    a.muli(R5, Reg::R11, 8);
+    a.add(R5, R5, Reg::R10);
+    a.st(R5, 0, R1);
+    a.addi(Reg::R11, Reg::R11, 1);
+    a.jmp("hp_alloc");
+    a.label("hp_allocd");
+    // Interior write into the youngest region: granule-covered, quiet.
+    a.ld(R5, Reg::R10, 72);
+    a.st(R5, 128, R5);
+    // Every 8th iteration: poke the oldest (evicted-but-live) region's
+    // interior and the youngest region's jittered base — one EvictedRegion
+    // and one CoarseBounds false positive.
+    a.andi(R5, Reg::R13, 7);
+    a.movi(R6, 0);
+    a.bne(R5, R6, "hp_noedge");
+    a.ld(R5, Reg::R10, 0);
+    a.st(R5, 128, R5);
+    a.ld(R5, Reg::R10, 72);
+    a.st(R5, 0, R5);
+    a.label("hp_noedge");
+    // Every 8th iteration (offset 4): a pair of big-frame calls — the
+    // first files its dead window into the ring, the second's locals land
+    // inside it (ordinary frame reuse → StaleFrame false positive).
+    a.andi(R5, Reg::R13, 7);
+    a.movi(R6, 4);
+    a.bne(R5, R6, "hp_noframe");
+    a.call("hs_bigframe");
+    a.call("hs_bigframe");
+    a.label("hp_noframe");
+    // Free the whole batch (retires of evicted entries are no-ops).
+    a.movi(Reg::R11, 0);
+    a.label("hp_free");
+    a.movi(R5, 10);
+    a.bgeu(Reg::R11, R5, "hp_freed");
+    a.muli(R5, Reg::R11, 8);
+    a.add(R5, R5, Reg::R10);
+    a.ld(R1, R5, 0);
+    a.call("u_free");
+    a.addi(Reg::R11, Reg::R11, 1);
+    a.jmp("hp_free");
+    a.label("hp_freed");
+    a.movi(R1, 800);
+    a.call("u_compute");
+    a.call("u_op_done"); // one churn round
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("hp_loop");
+
+    // hs_bigframe: a 384-byte stack frame written end to end — past
+    // min_frame, so its window enters the ring when it returns.
+    a.label("hs_bigframe");
+    a.addi(SP, SP, -384);
+    a.movi(R5, 0x42);
+    a.st(SP, 0, R5);
+    a.st(SP, 184, R5);
+    a.st(SP, 376, R5);
+    a.movi(R1, 60);
+    a.call("u_compute");
+    a.addi(SP, SP, 384);
+    a.ret();
+}
+
+fn emit_longjmp(a: &mut Assembler) {
+    const SP: Reg = Reg::SP;
+    // setjmp/longjmp storm over deep chains of 448-byte frames. Every 16th
+    // iteration the chain unwinds normally, filing each frame's window
+    // into the VRT ring; the next iteration's chain reuses the same stack
+    // and abandons its frames via longjmp from the bottom — stores land in
+    // the filed windows (StaleFrame false positives) and the longjmp's
+    // final ret is a guaranteed benign RAS target mismatch (§4.5).
+    a.label("longjmp_main");
+    a.call("u_getpid");
+    a.muli(Reg::R10, R1, 0x40);
+    a.addi(Reg::R10, Reg::R10, bufs::JMPBUF as i32);
+    a.movi(Reg::R13, 0); // iteration counter
+    a.label("lj_loop");
+    a.mov(R1, Reg::R10);
+    a.call("u_setjmp");
+    a.movi(R5, 0);
+    a.bne(R1, R5, "lj_recovered");
+    a.andi(R5, Reg::R13, 15);
+    a.movi(R6, 0);
+    a.beq(R5, R6, "lj_file");
+    a.movi(R6, 1);
+    a.beq(R5, R6, "lj_storm");
+    a.jmp("lj_quiet");
+    a.label("lj_file");
+    a.movi(Reg::R11, 0); // unwind normally: file the frame windows
+    a.movi(R1, 2);
+    a.call("lj_deep");
+    a.jmp("lj_quiet");
+    a.label("lj_storm");
+    a.movi(Reg::R11, 1); // abandon the chain via longjmp from depth 0
+    a.movi(R1, 2);
+    a.call("lj_deep"); // never returns here: depth 0 longjmps out
+    a.label("lj_recovered");
+    a.movi(R1, 150);
+    a.call("u_compute"); // "error recovery" work
+    a.label("lj_quiet");
+    a.movi(R1, 900);
+    a.call("u_compute");
+    a.call("u_op_done"); // one iteration survived
+    a.addi(Reg::R13, Reg::R13, 1);
+    a.jmp("lj_loop");
+
+    // lj_deep(r1 = depth; r11 = unwind-via-longjmp flag): recursive chain
+    // of 448-byte frames, each written at both ends and the middle.
+    a.label("lj_deep");
+    a.addi(SP, SP, -448);
+    a.movi(R5, 0x5A);
+    a.st(SP, 0, R5);
+    a.st(SP, 216, R5);
+    a.st(SP, 440, R5);
+    a.movi(R5, 0);
+    a.bne(R1, R5, "lj_deeper");
+    a.bne(Reg::R11, R5, "lj_unwind");
+    a.addi(SP, SP, 448);
+    a.ret();
+    a.label("lj_deeper");
+    a.addi(R1, R1, -1);
+    a.call("lj_deep");
+    a.addi(SP, SP, 448);
+    a.ret();
+    a.label("lj_unwind");
+    a.mov(R1, Reg::R10);
+    a.movi(R2, 1);
+    a.call("u_longjmp"); // never returns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +667,21 @@ mod tests {
         // The images differ exactly at the procmsg argument selection.
         assert_ne!(benign.extra_images[0].bytes(), vuln.extra_images[0].bytes());
         assert_eq!(benign.extra_images[0].len(), vuln.extra_images[0].len());
+    }
+
+    #[test]
+    fn vrt_workloads_join_the_adversarial_set() {
+        assert!(Workload::ADVERSARIAL.contains(&Workload::HeapServer));
+        assert!(Workload::ADVERSARIAL.contains(&Workload::Longjmp));
+        for w in [Workload::HeapServer, Workload::Longjmp] {
+            let spec = w.spec(false);
+            assert_eq!(spec.boot.entries().len(), 1, "{}", w.label());
+            assert!(!spec.net.has_traffic(), "{}", w.label());
+        }
+        let flood = WorkloadParams::interrupt_flood();
+        assert!(flood.timer_period * 10 == WorkloadParams::default().timer_period);
+        let spec = Workload::HeapServer.spec_with(false, &flood);
+        assert_eq!(spec.timer_period, flood.timer_period);
     }
 
     #[test]

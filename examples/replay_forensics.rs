@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let case = out.alarm_cases.first().expect("the attack escalates");
     println!(
         "\nalarm at instruction {}, base checkpoint #{} at instruction {} ({} dirty pages)",
-        case.alarm.at_insn, case.checkpoint.id, case.checkpoint.at_insn, case.checkpoint.dirty_pages
+        case.at_insn(),
+        case.checkpoint.id,
+        case.checkpoint.at_insn,
+        case.checkpoint.dirty_pages
     );
 
     // "The AR can be re-run multiple times, with increasing levels of
@@ -42,6 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let label = match &verdict {
             Verdict::RopAttack(r) => format!("ROP in {:?}", r.vulnerable_symbol),
             Verdict::FalsePositive(k) => format!("false positive: {k:?}"),
+            Verdict::HeapOverflow(r) => format!("heap overflow at {:#x}", r.addr),
+            Verdict::UseAfterReturn(r) => format!("use-after-return at {:#x}", r.addr),
         };
         println!("  analysis pass {pass}: {label} ({} replayed cycles)", ar_out.cycles);
     }

@@ -43,6 +43,12 @@ trap summary EXIT
 
 timed fmt cargo fmt --all --check
 timed clippy cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Doc gate: every public item is documented (the crates set
+# `#![warn(missing_docs)]`) and no rustdoc warning — broken intra-doc link,
+# bad code-block language, ambiguous reference — lands on main.
+timed doc env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 timed tests cargo test --workspace -q --offline
 
 # Fault-matrix gate: run the attack pipeline under every seeded fault
@@ -51,8 +57,10 @@ timed tests cargo test --workspace -q --offline
 # short read, failed fsync, each forcing the CR's disk-first refetch).
 # Fails if any recoverable scenario's report differs from the fault-free
 # run (or shows no recovery activity), or if the unrecoverable scenario
-# does anything but fail with a structured error. Ends with the
-# self-modifying JIT workload under the superblock trace engine. Durable
+# does anything but fail with a structured error. Ends with the two
+# adversarial guests: the self-modifying JIT workload under the superblock
+# trace engine, and the VRT-armed heap-overflow attack (conviction and
+# false-positive dismissal must survive every knob and heal). Durable
 # scenarios write to per-scenario temp dirs, removed on success.
 timed fault-matrix cargo run --release -q -p rnr-bench --bin fault_matrix --offline
 

@@ -148,6 +148,65 @@ fn cr_divergence_rewinds_and_refetches_under_parallel_span_replay() {
     assert!(!report.recovery.rewind_trail.is_empty());
 }
 
+/// The VRT detector family rides the same self-healing replay path as the
+/// RAS: the mounted heap-overflow attack, VRT-armed, heals a corrupted
+/// transport batch, a CR divergence, and an injected AR panic back to the
+/// clean report — heap-overflow conviction and dismissed false positives
+/// included.
+#[test]
+fn vrt_armed_heap_attack_heals_to_an_identical_report() {
+    use rnr_safe::VerdictSummary;
+    let run = |plan: FaultPlan| {
+        let (spec, _attack) = rnr_attacks::mount_heap_overflow(&WorkloadParams::default(), 40);
+        let cfg = PipelineConfig {
+            duration_insns: 600_000,
+            checkpoint_interval_secs: Some(0.125),
+            vrt: Some(rnr_vrt::VrtParams::default()),
+            fault_plan: plan,
+            ..PipelineConfig::default()
+        };
+        Pipeline::new(spec, cfg).run()
+    };
+    let reference = run(FaultPlan::default()).expect("clean VRT-armed run");
+    let convicted = reference
+        .resolutions
+        .iter()
+        .filter(|r| {
+            matches!(&r.summary, VerdictSummary::MemoryViolation { class, .. } if class == "heap-overflow")
+        })
+        .count();
+    assert!(convicted >= 1, "clean run must convict the heap overflow");
+    assert!(!reference.recovery.any(), "clean run must not report recovery");
+
+    let scenarios = [
+        // Frame 0 always exists (the heap-server log is sparser than the
+        // ROP attack's, so a later frame may never stream).
+        (
+            "corrupt-batch",
+            FaultPlan {
+                seed: SEED,
+                transport: vec![TransportFault {
+                    seq: 0,
+                    kind: TransportFaultKind::CorruptBit,
+                    poison_retained: false,
+                }],
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "cr-divergence",
+            FaultPlan { seed: SEED, cr_divergence_at_insn: Some(200_000), ..FaultPlan::default() },
+        ),
+        ("ar-panic", FaultPlan { seed: SEED, ar_panic_case: Some(0), ..FaultPlan::default() }),
+    ];
+    for (name, plan) in scenarios {
+        let report = run(plan).unwrap_or_else(|e| panic!("{name}: pipeline failed: {e}"));
+        assert_eq!(report.to_json(), reference.to_json(), "{name}: healed report must be byte-identical");
+        assert!(report.recovery.any(), "{name}: the fault must leave a trace in the recovery block");
+        assert!(report.recovery.failed_cases.is_empty(), "{name}: no alarm case may stay unresolved");
+    }
+}
+
 #[test]
 fn poisoned_retained_store_fails_with_structured_error_not_panic() {
     let (name, plan) = unrecoverable_scenario(SEED);

@@ -3,9 +3,10 @@
 use proptest::prelude::*;
 use rnr_log::{
     decode_frame, decode_segment, encode_frame, encode_segment, get_varint, put_varint, segment_from_json,
-    segment_to_json, unzigzag, zigzag, AlarmInfo, DmaSource, InputLog, Record, Segment,
+    segment_to_json, unzigzag, zigzag, AlarmInfo, DmaSource, InputLog, Record, Segment, VrtAlarmInfo,
 };
 use rnr_ras::{Mispredict, MispredictKind, ThreadId};
+use rnr_vrt::VrtKind;
 
 fn record_strategy() -> impl Strategy<Value = Record> {
     prop_oneof![
@@ -48,6 +49,26 @@ fn record_strategy() -> impl Strategy<Value = Record> {
                     at_cycle,
                 })
             }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(tid, branch_pc, target, at_insn, at_cycle)| Record::JopAlarm {
+                tid: ThreadId(tid),
+                branch_pc,
+                target,
+                at_insn,
+                at_cycle,
+            }
+        ),
+        (any::<u64>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(tid, stack, addr, at_insn, at_cycle)| {
+                Record::VrtAlarm(VrtAlarmInfo {
+                    tid: ThreadId(tid),
+                    kind: if stack { VrtKind::Stack } else { VrtKind::Heap },
+                    addr,
+                    at_insn,
+                    at_cycle,
+                })
+            }
+        ),
         (any::<u64>(), any::<u64>()).prop_map(|(at_insn, at_cycle)| Record::End { at_insn, at_cycle }),
     ]
 }

@@ -229,29 +229,26 @@ fn block_engine_edge_cases_match_single_step() {
 /// Checkpoint-partitioned span replay is a pure wall-clock knob: for every
 /// worker count, workload, and block-engine setting, the parallel pipeline
 /// report is byte-identical to the serial one of the same configuration.
+/// The matrix runs the full adversarial set — including the VRT-stressing
+/// `HeapServer` and `Longjmp` workloads — with the VRT detector armed, so
+/// memory-safety alarm cases ride the span-partitioned escalation path too.
 #[test]
 fn parallel_span_replay_matches_serial_across_matrix() {
-    let all = [
-        Workload::Apache,
-        Workload::Fileio,
-        Workload::Jit,
-        Workload::Make,
-        Workload::Mysql,
-        Workload::Radiosity,
-    ];
-    for workload in all {
+    for workload in Workload::ADVERSARIAL {
         for block_engine in [true, false] {
             let run = |parallel_spans: usize| {
                 let cfg = PipelineConfig {
                     duration_insns: 250_000,
                     block_engine,
                     parallel_spans,
+                    vrt: Some(rnr_vrt::VrtParams::default()),
                     ..PipelineConfig::default()
                 };
                 Pipeline::new(workload.spec(false), cfg).run().unwrap()
             };
             let serial = run(0);
             assert!(serial.replay.verified);
+            assert_eq!(serial.attacks_confirmed(), 0, "{workload:?}: benign run convicted");
             for workers in [1, 2, 4, 8] {
                 let parallel = run(workers);
                 assert_eq!(

@@ -140,7 +140,7 @@ fn thread_id_reuse_is_clean() {
         .with_config(rnr_replay::ReplayConfig { ras_capacity: 16, ..rnr_replay::ReplayConfig::default() });
     for case in &out.alarm_cases {
         let (verdict, _) = ar.resolve(case).unwrap();
-        assert!(!verdict.is_attack(), "churn misclassified: {:?} -> {verdict:?}", case.alarm);
+        assert!(!verdict.is_attack(), "churn misclassified: {:?} -> {verdict:?}", case.kind);
     }
 }
 
